@@ -1,0 +1,23 @@
+//! Ablation — volcano batch (vector) size for a remote operator boundary.
+//!
+//! §3.3 argues vectorization rescues remote placement; this sweep shows
+//! the diminishing returns curve from single-record to 4096-record calls
+//! (DESIGN.md design-choice #1).
+
+use wattdb_bench::{fig1_throughput, Fig1Config};
+
+fn main() {
+    const ROWS: u64 = 20_000;
+    println!("Ablation — vector size at a remote projection boundary");
+    println!("{:>10} {:>14}", "batch", "records/sec");
+    for batch in [1u64, 4, 16, 64, 128, 512, 1024, 4096] {
+        let cfg = Fig1Config {
+            label: "sweep",
+            batch,
+            remote: true,
+            project: true,
+            buffered: false,
+        };
+        println!("{batch:>10} {:>14.0}", fig1_throughput(&cfg, ROWS));
+    }
+}

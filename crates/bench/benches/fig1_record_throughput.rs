@@ -1,0 +1,17 @@
+//! Fig. 1 — "Micro-benchmark testing record throughput".
+//!
+//! Paper series (records/second): local TBSCAN ≈ 40 000; + local PROJECT
+//! ≈ 34 000; remote PROJECT single-record < 1 000; remote PROJECT
+//! vectorized ≈ 24 000; + remote BUFFER ≈ 30 000.
+
+use wattdb_bench::{fig1_configs, fig1_throughput};
+
+fn main() {
+    const ROWS: u64 = 20_000;
+    println!("Fig. 1 — record throughput micro-benchmark ({ROWS} records)");
+    println!("{:<45} {:>12}", "configuration", "records/sec");
+    for cfg in fig1_configs() {
+        let tput = fig1_throughput(&cfg, ROWS);
+        println!("{:<45} {:>12.0}", cfg.label, tput);
+    }
+}

@@ -1,0 +1,23 @@
+//! Fig. 2 — "Offloading queries, throughput".
+//!
+//! Concurrent scan+sort queries with the sort either colocated with the
+//! data (L SORT/GROUP) or offloaded to a second node (R SORT/GROUP). The
+//! paper's shape: local wins at low concurrency (no network), offloading
+//! wins once the data node's CPU and buffer saturate.
+
+use wattdb_bench::fig2_throughput;
+
+fn main() {
+    const ROWS: u64 = 5_000;
+    println!("Fig. 2 — offloading blocking operators (scan+sort, {ROWS} rows/query)");
+    println!(
+        "{:>12} {:>16} {:>16} {:>8}",
+        "concurrent", "local qps", "offloaded qps", "winner"
+    );
+    for n in [1u64, 10, 100, 1000] {
+        let local = fig2_throughput(n, false, ROWS);
+        let remote = fig2_throughput(n, true, ROWS);
+        let winner = if local >= remote { "local" } else { "remote" };
+        println!("{n:>12} {local:>16.2} {remote:>16.2} {winner:>8}");
+    }
+}

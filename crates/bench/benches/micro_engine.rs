@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks for the engine's core data structures:
+//! B+-tree, slotted page, lock manager, MVCC read path, buffer pool.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wattdb_common::{Key, KeyRange, PageId, SegmentId, TableId, TxnId};
+use wattdb_index::{BPlusTree, SegmentIndex};
+use wattdb_storage::{BufferPool, PageStore, Record, SlottedPage};
+use wattdb_txn::mvcc::{self, Snapshot};
+use wattdb_txn::{LockManager, LockMode, LockTarget};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("insert_10k_scattered", |b| {
+        b.iter_batched(
+            BPlusTree::<u64>::new,
+            |mut t| {
+                for i in 0..10_000u64 {
+                    t.insert(Key((i * 2_654_435_761) % 1_000_003), i);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut tree = BPlusTree::new();
+    for i in 0..100_000u64 {
+        tree.insert(Key(i), i);
+    }
+    g.bench_function("point_lookup_100k", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 54_321) % 100_000;
+            std::hint::black_box(tree.get(Key(k)).0)
+        })
+    });
+    g.bench_function("range_scan_1k_of_100k", |b| {
+        b.iter(|| std::hint::black_box(tree.range(KeyRange::new(Key(40_000), Key(41_000)))))
+    });
+    g.finish();
+}
+
+fn bench_page(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slotted_page");
+    g.bench_function("insert_until_full", |b| {
+        b.iter_batched(
+            SlottedPage::new,
+            |mut p| {
+                while p.fits(64) {
+                    p.insert(b"payload.", 64).unwrap();
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_manager");
+    g.bench_function("acquire_release_hierarchy", |b| {
+        let mut lm = LockManager::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let txn = TxnId(t);
+            lm.acquire(txn, LockTarget::Table(TableId(1)), LockMode::IX);
+            lm.acquire(txn, LockTarget::Record(TableId(1), Key(t % 1000)), LockMode::X);
+            lm.release_all(txn)
+        })
+    });
+    g.finish();
+}
+
+fn bench_mvcc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mvcc");
+    let seg = SegmentId(1);
+    let mut store = PageStore::new();
+    store.add_segment(seg);
+    let mut idx = SegmentIndex::new(seg, KeyRange::all());
+    for i in 0..10_000u64 {
+        let rec = Record::new(Key(i), 1, 64, vec![0; 8]);
+        let (rid, _) = store.insert_record(seg, &rec, u32::MAX).unwrap();
+        idx.insert(Key(i), rid);
+    }
+    g.bench_function("snapshot_read_10k", |b| {
+        let snap = Snapshot {
+            ts: 100,
+            txn: TxnId(99),
+        };
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7_919) % 10_000;
+            std::hint::black_box(mvcc::read(&idx, &store, Key(k), snap).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_pool");
+    g.bench_function("fetch_hit", |b| {
+        let mut bp = BufferPool::new(1024);
+        for i in 0..1024u32 {
+            bp.fetch_pin(PageId::new(SegmentId(1), i));
+            bp.unpin(PageId::new(SegmentId(1), i), false);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 37) % 1024;
+            let p = PageId::new(SegmentId(1), i);
+            let f = bp.fetch_pin(p);
+            bp.unpin(p, false);
+            std::hint::black_box(f)
+        })
+    });
+    g.bench_function("fetch_miss_evict", |b| {
+        let mut bp = BufferPool::new(256);
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let p = PageId::new(SegmentId(1), i);
+            let f = bp.fetch_pin(p);
+            bp.unpin(p, false);
+            std::hint::black_box(f)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_btree, bench_page, bench_locks, bench_mvcc, bench_buffer
+);
+criterion_main!(benches);

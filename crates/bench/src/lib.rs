@@ -1,0 +1,498 @@
+//! Experiment harnesses regenerating every figure of the paper.
+//!
+//! Each `cargo bench -p wattdb-bench --bench figN_*` target prints the
+//! same rows/series the corresponding figure reports. Absolute numbers come
+//! from the simulated substrate (see DESIGN.md §1); the comparisons —
+//! which scheme wins, where the crossovers fall — are the reproduction
+//! target. EXPERIMENTS.md records paper-vs-measured for each figure.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wattdb_common::{CostParams, NodeId, SimDuration};
+use wattdb_core::api::WattDb;
+use wattdb_core::cluster::Scheme;
+use wattdb_core::executor;
+use wattdb_core::metrics::Phase;
+use wattdb_core::replay::{replay_trace, SortMemoryBroker};
+use wattdb_query::{execute, ExecConfig, PlanNode, SyntheticTable};
+use wattdb_sim::CostCategory;
+use wattdb_tpcc::TxnProfile;
+use wattdb_txn::CcMode;
+
+/// One row of a Fig. 6/8-style time series.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesRow {
+    /// Seconds relative to the rebalance trigger.
+    pub t_rel: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Mean response time in ms.
+    pub resp_ms: f64,
+    /// Mean cluster power in W.
+    pub watts: f64,
+    /// Energy per query in J.
+    pub jpq: f64,
+}
+
+/// Configuration for the scheme-comparison experiments (Figs. 6–8).
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeExperiment {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Attach helper nodes during the rebalance (Fig. 8).
+    pub helpers: bool,
+    /// Warm-up before the rebalance trigger.
+    pub warmup: SimDuration,
+    /// Observation window after the trigger.
+    pub window: SimDuration,
+    /// OLTP clients.
+    pub clients: u32,
+    /// Mean think time.
+    pub think: SimDuration,
+    /// TPC-C warehouses.
+    pub warehouses: u32,
+    /// Cardinality density.
+    pub density: f64,
+    /// Bulk-I/O scale (DESIGN.md).
+    pub io_scale: u64,
+    /// Multiplier on per-operation CPU costs: models the full SQL-layer
+    /// work per record op on the wimpy Atom cores, putting the two initial
+    /// nodes near saturation as in the paper's runs.
+    pub cpu_scale: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SchemeExperiment {
+    fn default() -> Self {
+        Self {
+            scheme: Scheme::Physiological,
+            helpers: false,
+            warmup: SimDuration::from_secs(40),
+            window: SimDuration::from_secs(180),
+            clients: 80,
+            think: SimDuration::from_millis(50),
+            warehouses: 8,
+            density: 0.05,
+            io_scale: 800,
+            cpu_scale: 40,
+            seed: 42,
+        }
+    }
+}
+
+fn scaled_costs(scale: u64) -> CostParams {
+    let mut c = CostParams::default();
+    c.index_node_visit = c.index_node_visit * scale;
+    c.record_read = c.record_read * scale;
+    c.record_write = c.record_write * scale;
+    c.log_append = c.log_append * scale;
+    c.buffer_hit = c.buffer_hit * scale;
+    c
+}
+
+/// Outcome of one scheme run.
+pub struct SchemeRun {
+    /// Bucketed series relative to the trigger.
+    pub series: Vec<SeriesRow>,
+    /// Virtual seconds the rebalance took (if it finished in-window).
+    pub rebalance_secs: Option<f64>,
+    /// Completed transactions.
+    pub completed: u64,
+    /// Aborted attempts.
+    pub aborted: u64,
+    /// The deployment, for post-hoc inspection (Fig. 7 profiles).
+    pub db: WattDb,
+}
+
+/// Run the §5.1 experiment: load on two nodes, warm up, then move 50 % of
+/// the data to two fresh nodes under the configured scheme.
+pub fn run_scheme_experiment(cfg: SchemeExperiment) -> SchemeRun {
+    let mut db = WattDb::builder()
+        .nodes(10)
+        .scheme(cfg.scheme)
+        .warehouses(cfg.warehouses)
+        .density(cfg.density)
+        .io_scale(cfg.io_scale)
+        .costs(scaled_costs(cfg.cpu_scale))
+        .segment_pages(16)
+        .bucket(SimDuration::from_secs(5))
+        .seed(cfg.seed)
+        .initial_data_nodes(&[NodeId(0), NodeId(1)])
+        .build();
+    db.start_oltp(cfg.clients, cfg.think);
+    db.run_for(cfg.warmup);
+    let trigger = db.now();
+    let sources = [NodeId(0), NodeId(1)];
+    let targets = [NodeId(2), NodeId(3)];
+    if cfg.helpers {
+        db.rebalance_with_helpers(0.5, &sources, &targets, &[NodeId(4), NodeId(5)]);
+    } else {
+        db.rebalance(0.5, &sources, &targets);
+    }
+    db.run_for(cfg.window);
+    db.stop_clients();
+    let rebalance_secs = db
+        .cluster
+        .borrow()
+        .last_rebalance
+        .map(|r| r.finished.since(r.started).as_secs_f64());
+    let series = db
+        .timeseries()
+        .into_iter()
+        .map(|(at, qps, resp, watts, jpq)| SeriesRow {
+            t_rel: at.as_secs_f64() - trigger.as_secs_f64(),
+            qps,
+            resp_ms: resp,
+            watts,
+            jpq,
+        })
+        .collect();
+    let completed = db.completed();
+    let aborted = db.aborted();
+    SchemeRun {
+        series,
+        rebalance_secs,
+        completed,
+        aborted,
+        db,
+    }
+}
+
+/// Print a Fig. 6/8 series as aligned columns.
+pub fn print_series(label: &str, run: &SchemeRun) {
+    println!("# {label}");
+    println!(
+        "{:>8} {:>10} {:>10} {:>9} {:>9}",
+        "t(s)", "qps", "resp(ms)", "W", "J/query"
+    );
+    for r in &run.series {
+        println!(
+            "{:>8.0} {:>10.1} {:>10.2} {:>9.1} {:>9.3}",
+            r.t_rel, r.qps, r.resp_ms, r.watts, r.jpq
+        );
+    }
+    match run.rebalance_secs {
+        Some(s) => println!("# rebalance completed in {s:.1}s"),
+        None => println!("# rebalance still running at window end"),
+    }
+    println!("# completed={} aborted={}", run.completed, run.aborted);
+    println!();
+}
+
+/// Fig. 7: per-phase mean query-cost breakdown in ms.
+pub fn print_breakdown(label: &str, db: &WattDb, phase: Phase) {
+    let c = db.cluster.borrow();
+    let Some(profile) = c.metrics.mean_profile(phase) else {
+        println!("{label:<24} (no samples)");
+        return;
+    };
+    let ms = |cat: CostCategory| profile.get(cat).as_millis_f64();
+    // "other" folds CPU and scheduling residue, as Fig. 7 does.
+    println!(
+        "{label:<24} logging={:>7.2} latching={:>7.2} locking={:>7.2} networkIO={:>7.2} diskIO={:>7.2} other={:>7.2} | total={:>7.2} (ms)",
+        ms(CostCategory::Logging),
+        ms(CostCategory::Latching),
+        ms(CostCategory::Locking),
+        ms(CostCategory::NetworkIo),
+        ms(CostCategory::DiskIo),
+        ms(CostCategory::Cpu) + ms(CostCategory::Other),
+        profile.total().as_millis_f64(),
+    );
+}
+
+// ------------------------------------------------------------------ Fig. 1
+
+/// One Fig. 1 configuration.
+pub struct Fig1Config {
+    /// Bar label as in the paper.
+    pub label: &'static str,
+    /// Volcano batch size (1 = single record).
+    pub batch: u64,
+    /// Projection placed remotely?
+    pub remote: bool,
+    /// Projection present at all?
+    pub project: bool,
+    /// Buffering operator inserted at the boundary?
+    pub buffered: bool,
+}
+
+/// The five bars of Fig. 1.
+pub fn fig1_configs() -> Vec<Fig1Config> {
+    vec![
+        Fig1Config {
+            label: "TBSCAN (local)",
+            batch: 1,
+            remote: false,
+            project: false,
+            buffered: false,
+        },
+        Fig1Config {
+            label: "L PROJECT + TBSCAN (single record)",
+            batch: 1,
+            remote: false,
+            project: true,
+            buffered: false,
+        },
+        Fig1Config {
+            label: "R PROJECT + TBSCAN (single record)",
+            batch: 1,
+            remote: true,
+            project: true,
+            buffered: false,
+        },
+        Fig1Config {
+            label: "R PROJECT + TBSCAN (vectorized)",
+            batch: 128,
+            remote: true,
+            project: true,
+            buffered: false,
+        },
+        Fig1Config {
+            label: "R BUFFER + R PROJECT + TBSCAN (vectorized)",
+            batch: 128,
+            remote: true,
+            project: true,
+            buffered: true,
+        },
+    ]
+}
+
+/// Run one Fig. 1 configuration; returns records/second.
+pub fn fig1_throughput(cfg: &Fig1Config, rows: u64) -> f64 {
+    let data = NodeId(1);
+    let consumer = if cfg.remote { NodeId(2) } else { NodeId(1) };
+    let scan = PlanNode::Scan {
+        source: Box::new(SyntheticTable::new(rows, 200, 40)),
+        on: data,
+    };
+    let inner: PlanNode = if cfg.buffered {
+        PlanNode::Buffer {
+            input: Box::new(scan),
+        }
+    } else {
+        scan
+    };
+    let plan = if cfg.project {
+        PlanNode::Project {
+            input: Box::new(inner),
+            keep_width: 50,
+            on: consumer,
+        }
+    } else {
+        inner
+    };
+    let (_, trace) = execute(
+        &plan,
+        &CostParams::default(),
+        &ExecConfig {
+            batch_size: cfg.batch,
+            ..Default::default()
+        },
+    );
+    let db = idle_cluster(3);
+    let mut sim = wattdb_sim::Sim::new();
+    let broker = Rc::new(RefCell::new(SortMemoryBroker::default()));
+    let out: Rc<RefCell<Option<SimDuration>>> = Rc::new(RefCell::new(None));
+    let o = out.clone();
+    replay_trace(&db, &mut sim, trace, broker, move |sim, started| {
+        *o.borrow_mut() = Some(sim.now().since(started));
+    });
+    sim.run_to_completion();
+    let elapsed = out.borrow().expect("trace completes");
+    rows as f64 / elapsed.as_secs_f64()
+}
+
+fn idle_cluster(nodes: u16) -> wattdb_core::ClusterRc {
+    let active: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+    wattdb_core::Cluster::new(
+        wattdb_core::ClusterConfig {
+            nodes,
+            buffer_pages: 4096,
+            ..Default::default()
+        },
+        &active,
+    )
+}
+
+// ------------------------------------------------------------------ Fig. 2
+
+/// Fig. 2: throughput of N concurrent scan+sort queries, local vs. remote
+/// sort placement. Returns queries/second.
+pub fn fig2_throughput(concurrent: u64, offload: bool, rows: u64) -> f64 {
+    let db = idle_cluster(3);
+    let mut sim = wattdb_sim::Sim::new();
+    let broker = Rc::new(RefCell::new(SortMemoryBroker::default()));
+    // Wimpy nodes: modest sort memory forces spills under concurrency.
+    broker.borrow_mut().set_limit(NodeId(1), 24 * 1024 * 1024);
+    broker.borrow_mut().set_limit(NodeId(2), 24 * 1024 * 1024);
+    let done: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+    for _ in 0..concurrent {
+        let plan = PlanNode::Sort {
+            input: Box::new(PlanNode::Scan {
+                source: Box::new(SyntheticTable::new(rows, 100, 80)),
+                on: NodeId(1),
+            }),
+            on: if offload { NodeId(2) } else { NodeId(1) },
+        };
+        let (_, trace) = execute(&plan, &CostParams::default(), &ExecConfig::default());
+        let d = done.clone();
+        replay_trace(&db, &mut sim, trace, broker.clone(), move |_, _| {
+            *d.borrow_mut() += 1;
+        });
+    }
+    sim.run_to_completion();
+    assert_eq!(*done.borrow(), concurrent);
+    let makespan = sim.now().as_secs_f64();
+    concurrent as f64 / makespan
+}
+
+// ------------------------------------------------------------------ Fig. 3
+
+/// Result of one Fig. 3 cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Point {
+    /// Percentage of update transactions.
+    pub update_pct: u32,
+    /// Transactions per minute while records were on the move.
+    pub ta_per_minute: f64,
+    /// Storage footprint relative to live data (1.0 = no overhead).
+    pub storage_ratio: f64,
+}
+
+/// Run the Fig. 3 micro-benchmark: a read/update mix at `update_pct`
+/// percent updates, while a logical move relocates 50 % of the records,
+/// under the given CC mode.
+pub fn fig3_run(update_pct: u32, mode: CcMode) -> Fig3Point {
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Logical)
+        .cc_mode(mode)
+        .warehouses(2)
+        .density(0.05)
+        .io_scale(1200)
+        .segment_pages(16)
+        .bucket(SimDuration::from_secs(5))
+        .seed(7)
+        .initial_data_nodes(&[NodeId(0), NodeId(1)])
+        .build();
+    // Spawn clients; a custom driver loop submits the fixed mix.
+    {
+        let mut c = db.cluster.borrow_mut();
+        c.auto_resubmit = false;
+        c.cfg.migration_batch = 64;
+        c.spawn_clients(
+            24,
+            wattdb_tpcc::ClientConfig {
+                think_time: SimDuration::from_millis(25),
+                ..Default::default()
+            },
+        );
+    }
+    start_mixed_clients(&db.cluster, &mut db.sim, update_pct);
+    db.run_for(SimDuration::from_secs(10));
+    let move_start = db.now();
+    let completed_before = db.completed();
+    db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
+    // Track peak storage overhead during the move.
+    let peak: Rc<RefCell<f64>> = Rc::new(RefCell::new(1.0));
+    {
+        let cl = db.cluster.clone();
+        let peak = peak.clone();
+        wattdb_sim::Repeater::every(&mut db.sim, SimDuration::from_secs(2), move |_| {
+            let c = cl.borrow();
+            let (versions, live) = c.version_stats();
+            let mut ratio = if live > 0 {
+                versions as f64 / live as f64
+            } else {
+                1.0
+            };
+            // Locking mode: pending before-image bytes count as overhead.
+            let pending = c.txn.pending_change_bytes();
+            if pending > 0 {
+                ratio += pending as f64 / (live.max(1) as f64 * 128.0);
+            }
+            let mut p = peak.borrow_mut();
+            if ratio > *p {
+                *p = ratio;
+            }
+            c.mover.is_some()
+        });
+    }
+    // Run until the move finishes (bounded; MGL-RX may stall on its
+    // pending-change locks — that *is* the measured effect).
+    for _ in 0..60 {
+        db.run_for(SimDuration::from_secs(5));
+        if !db.rebalancing() {
+            break;
+        }
+    }
+    db.stop_clients();
+    let move_minutes = db.now().since(move_start).as_secs_f64() / 60.0;
+    let ta = (db.completed() - completed_before) as f64 / move_minutes.max(1e-9);
+    let storage_ratio = *peak.borrow();
+    Fig3Point {
+        update_pct,
+        ta_per_minute: ta,
+        storage_ratio,
+    }
+}
+
+/// Custom closed-loop drivers with a fixed update fraction: updates are
+/// Payments, reads OrderStatus. Each client keeps exactly one transaction
+/// in flight, polling for completion.
+fn start_mixed_clients(cl: &wattdb_core::ClusterRc, sim: &mut wattdb_sim::Sim, update_pct: u32) {
+    let n = cl.borrow().clients.len();
+    for client in 0..n {
+        arm_mixed(cl, sim, client, update_pct);
+    }
+}
+
+fn arm_mixed(
+    cl: &wattdb_core::ClusterRc,
+    sim: &mut wattdb_sim::Sim,
+    client: usize,
+    update_pct: u32,
+) {
+    let think = {
+        let mut c = cl.borrow_mut();
+        if c.stopped {
+            return;
+        }
+        c.clients[client].think()
+    };
+    let handle = cl.clone();
+    sim.after(think, move |sim| {
+        let job = {
+            let mut c = handle.borrow_mut();
+            if c.stopped {
+                None
+            } else {
+                let update = {
+                    let r = c.clients[client].rng();
+                    r.uniform(0, 99) < update_pct as u64
+                };
+                let profile = if update {
+                    TxnProfile::Payment
+                } else {
+                    TxnProfile::OrderStatus
+                };
+                c.new_job_with(client, Some(profile), sim.now())
+            }
+        };
+        let Some(job_id) = job else {
+            return;
+        };
+        executor::step(&handle, sim, job_id);
+        // Poll for completion, then re-arm.
+        let poll = handle.clone();
+        wattdb_sim::Repeater::every(sim, SimDuration::from_millis(25), move |sim| {
+            if poll.borrow().jobs.contains_key(&job_id) {
+                return true;
+            }
+            arm_mixed(&poll, sim, client, update_pct);
+            false
+        });
+    });
+}

@@ -1,0 +1,211 @@
+//! Strongly-typed identifiers used across the cluster.
+//!
+//! All identifiers are small `Copy` newtypes so they can be used as map keys
+//! and passed by value without thought. Display impls render the short forms
+//! used in logs and experiment output (`n3`, `seg17`, `txn42`, ...).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Raw numeric value of the identifier.
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A cluster node. Node 0 is always the master/coordinator.
+    NodeId, u16, "n"
+);
+id_type!(
+    /// A logical DB table (metadata lives on the master).
+    TableId, u32, "tbl"
+);
+id_type!(
+    /// A horizontal partition of a table, owned by exactly one node.
+    PartitionId, u64, "part"
+);
+id_type!(
+    /// A segment: the physical unit of storage and of data movement
+    /// (4096 pages = 32 MB in the paper's configuration).
+    SegmentId, u64, "seg"
+);
+id_type!(
+    /// A transaction.
+    TxnId, u64, "txn"
+);
+id_type!(
+    /// A log sequence number within one node's WAL.
+    Lsn, u64, "lsn"
+);
+id_type!(
+    /// A query admitted to the cluster.
+    QueryId, u64, "q"
+);
+id_type!(
+    /// An OLTP client driving the workload.
+    ClientId, u32, "cl"
+);
+
+impl NodeId {
+    /// The master node coordinates the cluster and is the client endpoint.
+    pub const MASTER: NodeId = NodeId(0);
+
+    /// True if this node is the cluster master.
+    #[inline]
+    pub fn is_master(self) -> bool {
+        self == Self::MASTER
+    }
+}
+
+impl Lsn {
+    /// LSN ordering starts at 1; 0 means "no LSN" (e.g. a clean page).
+    pub const ZERO: Lsn = Lsn(0);
+
+    /// Next LSN in sequence.
+    #[inline]
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+}
+
+impl TxnId {
+    /// Sentinel for "no transaction" (e.g. an unversioned record slot).
+    pub const NONE: TxnId = TxnId(0);
+}
+
+/// A physical disk drive attached to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DiskId {
+    /// Owning node.
+    pub node: NodeId,
+    /// Index of the drive within the node (0 = HDD, 1.. = SSDs by default).
+    pub index: u8,
+}
+
+impl DiskId {
+    /// Construct a disk id.
+    pub fn new(node: NodeId, index: u8) -> Self {
+        Self { node, index }
+    }
+}
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}d{}", self.node, self.index)
+    }
+}
+
+/// A page address: segment plus page number within the segment.
+///
+/// Logical page addresses stay stable while segments move between disks and
+/// nodes; the storage layer maintains the physical mapping (cf. §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId {
+    /// Segment containing the page.
+    pub segment: SegmentId,
+    /// Page number within the segment (0-based).
+    pub page_no: u32,
+}
+
+impl PageId {
+    /// Construct a page id.
+    pub fn new(segment: SegmentId, page_no: u32) -> Self {
+        Self { segment, page_no }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}p{}", self.segment, self.page_no)
+    }
+}
+
+/// A record address: page plus slot number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Construct a record id.
+    pub fn new(page: PageId, slot: u16) -> Self {
+        Self { page, slot }
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s{}", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(SegmentId(17).to_string(), "seg17");
+        assert_eq!(TxnId(42).to_string(), "txn42");
+        let pid = PageId::new(SegmentId(2), 9);
+        assert_eq!(pid.to_string(), "seg2p9");
+        assert_eq!(RecordId::new(pid, 4).to_string(), "seg2p9s4");
+        assert_eq!(DiskId::new(NodeId(1), 2).to_string(), "n1d2");
+    }
+
+    #[test]
+    fn master_node() {
+        assert!(NodeId::MASTER.is_master());
+        assert!(!NodeId(1).is_master());
+    }
+
+    #[test]
+    fn lsn_sequence() {
+        assert_eq!(Lsn::ZERO.next(), Lsn(1));
+        assert_eq!(Lsn(7).next(), Lsn(8));
+    }
+
+    #[test]
+    fn ordering_and_hash_usable() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(PageId::new(SegmentId(1), 2));
+        s.insert(PageId::new(SegmentId(1), 1));
+        s.insert(PageId::new(SegmentId(0), 9));
+        let v: Vec<_> = s.into_iter().collect();
+        assert_eq!(
+            v,
+            vec![
+                PageId::new(SegmentId(0), 9),
+                PageId::new(SegmentId(1), 1),
+                PageId::new(SegmentId(1), 2)
+            ]
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic element of the simulation (workload mix, think times,
+//! key selection) draws from a [`DetRng`] derived from a single experiment
+//! seed, so repeated runs produce identical event sequences.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic PRNG with convenience helpers for workload generation.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Seed the generator. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream (e.g. one per client). Children
+    /// depend on both the parent's seed and the salt, decorrelated via
+    /// splitmix-style mixing.
+    pub fn derive(&self, salt: u64) -> DetRng {
+        let mut z = self
+            .seed
+            .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+            .wrapping_add(salt)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::new(z ^ (z >> 31))
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Pick an index according to integer weights. Panics on empty or
+    /// all-zero weights.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weights must sum to a positive value");
+        let mut x = self.uniform(0, total - 1);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = w as u64;
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        unreachable!("weighted draw out of range")
+    }
+
+    /// Exponentially distributed duration with the given mean (µs domain);
+    /// used for Poisson-ish arrival/think-time processes.
+    pub fn exp_micros(&mut self, mean_us: f64) -> u64 {
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        (-mean_us * u.ln()).round().max(0.0) as u64
+    }
+
+    /// TPC-C NURand(A, x, y): non-uniform random over `[x, y]`.
+    pub fn nurand(&mut self, a: u64, x: u64, y: u64, c: u64) -> u64 {
+        let r1 = self.uniform(0, a);
+        let r2 = self.uniform(x, y);
+        (((r1 | r2) + c) % (y - x + 1)) + x
+    }
+
+    /// Access the underlying rand generator for anything not covered above.
+    pub fn raw(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0, 1_000_000), b.uniform(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn derive_decorrelates() {
+        let root = DetRng::new(7);
+        let mut c1 = root.derive(1);
+        let mut c2 = root.derive(2);
+        let s1: Vec<u64> = (0..16).map(|_| c1.uniform(0, 1000)).collect();
+        let s2: Vec<u64> = (0..16).map(|_| c2.uniform(0, 1000)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn derive_depends_on_parent_seed() {
+        let mut a = DetRng::new(1).derive(5);
+        let mut b = DetRng::new(2).derive(5);
+        let sa: Vec<u64> = (0..16).map(|_| a.uniform(0, 1000)).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.uniform(0, 1000)).collect();
+        assert_ne!(sa, sb, "same salt under different parents must differ");
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut r = DetRng::new(1);
+        for _ in 0..1000 {
+            let v = r.uniform(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = DetRng::new(3);
+        for _ in 0..200 {
+            let i = r.weighted(&[0, 5, 0, 5]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn exp_mean_roughly_right() {
+        let mut r = DetRng::new(9);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| r.exp_micros(1000.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "mean {mean} too far from 1000");
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let mut r = DetRng::new(11);
+        for _ in 0..1000 {
+            let v = r.nurand(255, 1, 3000, 123);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+}

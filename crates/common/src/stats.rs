@@ -1,0 +1,426 @@
+//! Online statistics and time-series bucketing for experiment reporting.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming mean/min/max/count over f64 samples (Welford for variance).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0 when fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A latency histogram with logarithmically spaced buckets (µs domain).
+///
+/// Buckets: [0,1), [1,2), [2,4), ... doubling up to ~2^40 µs, which covers
+/// sub-µs to ~12 days. Percentiles are estimated at bucket upper bounds —
+/// adequate for the comparative reporting this repo does.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+}
+
+const HIST_BUCKETS: usize = 42;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Record a duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us += us;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean duration.
+    pub fn mean(&self) -> SimDuration {
+        match self.sum_us.checked_div(self.count) {
+            Some(us) => SimDuration::from_micros(us),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Estimated percentile (`p` in [0,100]) as a duration.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket i: 2^i - 1 ≈ 2^i.
+                let ub = if i == 0 { 0 } else { 1u64 << i };
+                return SimDuration::from_micros(ub);
+            }
+        }
+        SimDuration::from_micros(1 << (HIST_BUCKETS - 1))
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+    }
+}
+
+/// Exponentially weighted moving average, used by the utilization monitors.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha` in (0,1]: weight of the newest observation.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Self { alpha, value: None }
+    }
+
+    /// Feed an observation, returning the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average (0 before any observation).
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+}
+
+/// A simple monotonically increasing counter with delta reads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter {
+    total: u64,
+    last_read: u64,
+}
+
+impl Counter {
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.total += 1;
+    }
+
+    /// Total since creation.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Amount accumulated since the previous `take_delta` call.
+    pub fn take_delta(&mut self) -> u64 {
+        let d = self.total - self.last_read;
+        self.last_read = self.total;
+        d
+    }
+}
+
+/// Fixed-width time buckets accumulating per-interval experiment metrics
+/// (queries completed, response-time sums, energy) for time-series plots
+/// like Fig. 6 of the paper.
+#[derive(Debug, Clone)]
+pub struct TimeBuckets {
+    width: SimDuration,
+    origin: SimTime,
+    /// (count, sum) per bucket, indexed by bucket number.
+    buckets: Vec<(u64, f64)>,
+}
+
+impl TimeBuckets {
+    /// Buckets of `width` starting at `origin`.
+    pub fn new(origin: SimTime, width: SimDuration) -> Self {
+        assert!(width.as_micros() > 0, "bucket width must be positive");
+        Self {
+            width,
+            origin,
+            buckets: Vec::new(),
+        }
+    }
+
+    fn index_of(&self, t: SimTime) -> usize {
+        (t.since(self.origin).as_micros() / self.width.as_micros()) as usize
+    }
+
+    /// Record a sample value at time `t`.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        let i = self.index_of(t);
+        if i >= self.buckets.len() {
+            self.buckets.resize(i + 1, (0, 0.0));
+        }
+        let b = &mut self.buckets[i];
+        b.0 += 1;
+        b.1 += value;
+    }
+
+    /// Iterate `(bucket_start_time, count, sum)` over all buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, u64, f64)> + '_ {
+        self.buckets.iter().enumerate().map(move |(i, &(c, s))| {
+            (self.origin + self.width * i as u64, c, s)
+        })
+    }
+
+    /// Count in the bucket containing `t` (0 if none).
+    pub fn count_at(&self, t: SimTime) -> u64 {
+        self.buckets.get(self.index_of(t)).map_or(0, |b| b.0)
+    }
+
+    /// Mean value in the bucket containing `t` (0 if empty).
+    pub fn mean_at(&self, t: SimTime) -> f64 {
+        match self.buckets.get(self.index_of(t)) {
+            Some(&(c, s)) if c > 0 => s / c as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count(),
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.variance() - 4.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.7 - 3.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_percentiles_ordered() {
+        let mut h = Histogram::new();
+        for us in [10u64, 100, 1000, 10_000, 100_000] {
+            for _ in 0..20 {
+                h.record(SimDuration::from_micros(us));
+            }
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p99);
+        assert!(p99 >= SimDuration::from_micros(100_000));
+        assert!(h.mean() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), 0.0);
+        e.update(10.0);
+        assert_eq!(e.value(), 10.0);
+        for _ in 0..32 {
+            e.update(20.0);
+        }
+        assert!((e.value() - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn counter_delta() {
+        let mut c = Counter::default();
+        c.add(5);
+        c.inc();
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.take_delta(), 6);
+        assert_eq!(c.take_delta(), 0);
+        c.inc();
+        assert_eq!(c.take_delta(), 1);
+    }
+
+    #[test]
+    fn time_buckets() {
+        let mut tb = TimeBuckets::new(SimTime::ZERO, SimDuration::from_secs(10));
+        tb.record(SimTime::from_secs(1), 100.0);
+        tb.record(SimTime::from_secs(9), 200.0);
+        tb.record(SimTime::from_secs(25), 50.0);
+        assert_eq!(tb.count_at(SimTime::from_secs(5)), 2);
+        assert!((tb.mean_at(SimTime::from_secs(5)) - 150.0).abs() < 1e-9);
+        assert_eq!(tb.count_at(SimTime::from_secs(15)), 0);
+        assert_eq!(tb.count_at(SimTime::from_secs(25)), 1);
+        let rows: Vec<_> = tb.iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, SimTime::ZERO);
+        assert_eq!(rows[2].0, SimTime::from_secs(20));
+    }
+}

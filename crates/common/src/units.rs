@@ -1,0 +1,213 @@
+//! Byte, power, and energy units.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use crate::time::SimDuration;
+
+/// A number of bytes (data sizes, transfer volumes, storage footprints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Construct from bytes.
+    #[inline]
+    pub const fn bytes(b: u64) -> Self {
+        ByteSize(b)
+    }
+
+    /// Construct from binary kilobytes.
+    #[inline]
+    pub const fn kib(k: u64) -> Self {
+        ByteSize(k * 1024)
+    }
+
+    /// Construct from binary megabytes.
+    #[inline]
+    pub const fn mib(m: u64) -> Self {
+        ByteSize(m * 1024 * 1024)
+    }
+
+    /// Construct from binary gigabytes.
+    #[inline]
+    pub const fn gib(g: u64) -> Self {
+        ByteSize(g * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Time to transfer this many bytes at `bytes_per_sec`.
+    #[inline]
+    pub fn transfer_time(self, bytes_per_sec: u64) -> SimDuration {
+        if bytes_per_sec == 0 {
+            return SimDuration::ZERO;
+        }
+        // µs = bytes * 1e6 / Bps, computed in u128 to avoid overflow.
+        let us = (self.0 as u128 * 1_000_000) / bytes_per_sec as u128;
+        SimDuration::from_micros(us as u64)
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    #[inline]
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * KIB;
+        const GIB: u64 = 1024 * MIB;
+        if self.0 >= GIB {
+            write!(f, "{:.2}GiB", self.0 as f64 / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2}MiB", self.0 as f64 / MIB as f64)
+        } else if self.0 >= KIB {
+            write!(f, "{:.2}KiB", self.0 as f64 / KIB as f64)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// Instantaneous electrical power.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watts(pub f64);
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Energy consumed by drawing this power for `dur`.
+    #[inline]
+    pub fn over(self, dur: SimDuration) -> Joules {
+        Joules(self.0 * dur.as_secs_f64())
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    #[inline]
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    #[inline]
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}W", self.0)
+    }
+}
+
+/// An amount of energy.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(pub f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    #[inline]
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    #[inline]
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}J", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(ByteSize::kib(2).as_u64(), 2048);
+        assert_eq!(ByteSize::mib(32).as_u64(), 32 * 1024 * 1024);
+        assert_eq!(ByteSize::gib(1).as_u64(), 1 << 30);
+    }
+
+    #[test]
+    fn transfer_time_gigabit() {
+        // 125 MB/s (Gigabit Ethernet): 125_000 bytes take 1 ms.
+        let t = ByteSize::bytes(125_000).transfer_time(125_000_000);
+        assert_eq!(t, SimDuration::from_millis(1));
+        assert_eq!(ByteSize::bytes(10).transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(ByteSize::bytes(17).to_string(), "17B");
+        assert_eq!(ByteSize::kib(1).to_string(), "1.00KiB");
+        assert_eq!(ByteSize::mib(32).to_string(), "32.00MiB");
+        assert_eq!(ByteSize::gib(2).to_string(), "2.00GiB");
+    }
+
+    #[test]
+    fn energy_integration() {
+        // 26 W for 10 s = 260 J.
+        let e = Watts(26.0).over(SimDuration::from_secs(10));
+        assert!((e.0 - 260.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_sum() {
+        let mut p = Watts(22.0);
+        p += Watts(4.0);
+        assert_eq!(p, Watts(26.0));
+        assert_eq!((Watts(1.5) + Watts(2.5)).to_string(), "4.0W");
+    }
+}

@@ -1,0 +1,713 @@
+//! The WattDB cluster: nodes, partitions, catalog, power, and loading.
+//!
+//! This is the stateful heart of the reproduction. A [`Cluster`] owns the
+//! per-node runtimes (CPU/disk resources, buffer pool, WAL), the storage
+//! and index layers, the transaction manager, the master's routing table,
+//! and the experiment metrics. The executor ([`crate::executor`]) and the
+//! migration engine ([`crate::migration`]) drive it through the
+//! discrete-event simulator.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wattdb_common::config::DiskKind;
+use wattdb_common::{
+    ByteSize, CostParams, DetRng, DiskId, HardwareSpec, Key, KeyRange, NetworkSpec, NodeId,
+    PartitionId, PowerSpec, Result, SegmentId, SimDuration, SimTime, TableId, Watts,
+};
+use wattdb_energy::{EnergyMeter, NodeState, PowerModel};
+use wattdb_index::{GlobalRouter, SegmentIndex, TopIndex};
+use wattdb_net::Network;
+use wattdb_sim::{Resource, ResourceHandle, Sim, UtilizationProbe};
+use wattdb_storage::{BufferPool, PageStore, Record, SegmentDirectory, SimDisk, PAGE_SIZE};
+use wattdb_tpcc::{Client, ClientConfig, GenRow, TpccConfig, TpccTable, TpccWorkload};
+use wattdb_txn::{CcMode, IndexMap, TxnManager};
+use wattdb_wal::{LogManager, LogShipper};
+
+use crate::executor::TxnJob;
+use crate::metrics::{Metrics, Phase};
+use crate::migration::MoveController;
+
+/// The repartitioning scheme in force (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// §4.1: move segments between disks/nodes; logical ownership stays.
+    Physical,
+    /// §4.2: move records between key-range partitions via transactions.
+    Logical,
+    /// §4.3: move segments carrying their own PK indexes; ownership moves.
+    Physiological,
+}
+
+impl Scheme {
+    /// Display label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Physical => "physical",
+            Scheme::Logical => "logical",
+            Scheme::Physiological => "physiological",
+        }
+    }
+}
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Total nodes (paper: 10). Node 0 is the master.
+    pub nodes: u16,
+    /// Per-node hardware.
+    pub hardware: HardwareSpec,
+    /// Power model parameters.
+    pub power: PowerSpec,
+    /// Interconnect parameters.
+    pub network: NetworkSpec,
+    /// CPU cost calibration.
+    pub costs: CostParams,
+    /// Concurrency control (MVCC unless benchmarking the MGL-RX baseline).
+    pub cc_mode: CcMode,
+    /// Repartitioning scheme.
+    pub scheme: Scheme,
+    /// Pages per segment (paper: 4096; experiments default smaller so the
+    /// scaled dataset still spans many segments).
+    pub segment_pages: u32,
+    /// Buffer-pool frames per node. The paper's data:memory ratio is
+    /// ~10:1; loaders pick this from the dataset size when zero.
+    pub buffer_pages: usize,
+    /// Bulk-I/O scale: segment copies and migration scans charge
+    /// `bytes × io_scale` so a memory-friendly dataset produces the I/O
+    /// volume of the paper's 100 GB deployment (documented in DESIGN.md).
+    pub io_scale: u64,
+    /// Records per logical-partitioning move batch.
+    pub migration_batch: usize,
+    /// Group-commit window.
+    pub group_commit: SimDuration,
+    /// Metric bucket width.
+    pub bucket: SimDuration,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 10,
+            hardware: HardwareSpec::default(),
+            power: PowerSpec::default(),
+            network: NetworkSpec::default(),
+            costs: CostParams::default(),
+            cc_mode: CcMode::Mvcc,
+            scheme: Scheme::Physiological,
+            segment_pages: 64,
+            buffer_pages: 0,
+            io_scale: 1,
+            migration_batch: 64,
+            group_commit: SimDuration::from_millis(2),
+            bucket: SimDuration::from_secs(10),
+            seed: 42,
+        }
+    }
+}
+
+/// Per-node runtime state.
+pub struct NodeRuntime {
+    /// Node id.
+    pub id: NodeId,
+    /// Power state.
+    pub state: NodeState,
+    /// CPU cores as a queueing resource.
+    pub cpu: ResourceHandle,
+    /// Attached drives (0 = HDD for WAL + data, 1.. = SSDs for data).
+    pub disks: Vec<SimDisk>,
+    /// Buffer pool (created at load time when sized automatically).
+    pub buffer: BufferPool,
+    /// Write-ahead log.
+    pub log: LogManager,
+    /// Log shipping cursors (helper mode).
+    pub shipper: LogShipper,
+    /// Ship log flushes to this helper instead of local disk.
+    pub helper: Option<NodeId>,
+    /// Probe for power sampling windows.
+    pub power_probe: UtilizationProbe,
+    /// Probe for monitoring windows (independent of power sampling).
+    pub monitor_probe: UtilizationProbe,
+}
+
+impl NodeRuntime {
+    fn new(id: NodeId, hw: &HardwareSpec, buffer_pages: usize) -> Self {
+        Self {
+            id,
+            state: NodeState::Standby,
+            cpu: Resource::new(format!("{id}-cpu"), hw.cpu_cores),
+            disks: hw
+                .disks
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| SimDisk::new(DiskId::new(id, i as u8), *spec))
+                .collect(),
+            buffer: BufferPool::new(buffer_pages.max(64)),
+            log: LogManager::new(),
+            shipper: LogShipper::new(),
+            helper: None,
+            power_probe: UtilizationProbe::new(),
+            monitor_probe: UtilizationProbe::new(),
+        }
+    }
+}
+
+/// A partition: one table's presence on one node, owning a set of segments
+/// through its top index (Fig. 4 / §4.3).
+#[derive(Debug)]
+pub struct Partition {
+    /// Partition id.
+    pub id: PartitionId,
+    /// Owning table.
+    pub table: TableId,
+    /// Node evaluating queries for this partition.
+    pub node: NodeId,
+    /// Key-range → segment top index.
+    pub top: TopIndex,
+}
+
+/// Shared handle to the cluster.
+pub type ClusterRc = Rc<RefCell<Cluster>>;
+
+/// The whole simulated WattDB deployment.
+pub struct Cluster {
+    /// Configuration.
+    pub cfg: ClusterConfig,
+    /// Per-node runtimes, indexed by `NodeId::raw()`.
+    pub nodes: Vec<NodeRuntime>,
+    /// Interconnect.
+    pub net: Network,
+    /// All page data.
+    pub store: PageStore,
+    /// Segment catalog.
+    pub seg_dir: SegmentDirectory,
+    /// Per-segment PK indexes.
+    pub indexes: IndexMap,
+    /// Partitions by id.
+    pub partitions: HashMap<PartitionId, Partition>,
+    /// Master's routing table.
+    pub router: GlobalRouter,
+    /// Transactions.
+    pub txn: TxnManager,
+    /// OLTP clients.
+    pub clients: Vec<Client>,
+    /// Transaction generator (shared key high-water marks).
+    pub workload: Option<TpccWorkload>,
+    /// In-flight executor jobs.
+    pub jobs: HashMap<u64, TxnJob>,
+    /// Lock waiter → job/mover mapping.
+    pub lock_waiters: HashMap<wattdb_common::TxnId, crate::executor::Waiter>,
+    /// Pending group commits per node.
+    pub commit_queues: HashMap<NodeId, Vec<u64>>,
+    /// Nodes with a flush scheduled.
+    pub flush_scheduled: std::collections::HashSet<NodeId>,
+    /// Migration controller (present while rebalancing).
+    pub mover: Option<MoveController>,
+    /// Key batch staged by the logical mover.
+    pub pending_logical_keys: Vec<Key>,
+    /// Summary of the last completed rebalance.
+    pub last_rebalance: Option<crate::migration::RebalanceReport>,
+    /// Metrics.
+    pub metrics: Metrics,
+    /// Power/energy meter.
+    pub meter: EnergyMeter,
+    /// Power model.
+    pub power_model: PowerModel,
+    /// Experiment randomness.
+    pub rng: DetRng,
+    /// Next job id.
+    pub next_job: u64,
+    /// Next partition id.
+    pub next_partition: u64,
+    /// Stop flag: clients cease submitting.
+    pub stopped: bool,
+    /// When false, finished jobs do not auto-schedule the client's next
+    /// standard-mix transaction (custom driver loops take over).
+    pub auto_resubmit: bool,
+    /// Helper nodes currently attached (Fig. 8).
+    pub helpers_active: Vec<NodeId>,
+}
+
+impl Cluster {
+    /// Build a cluster; all nodes start in standby except those in
+    /// `initially_active`.
+    pub fn new(cfg: ClusterConfig, initially_active: &[NodeId]) -> ClusterRc {
+        let nodes = (0..cfg.nodes)
+            .map(|i| {
+                let mut n = NodeRuntime::new(NodeId(i), &cfg.hardware, cfg.buffer_pages);
+                if initially_active.contains(&NodeId(i)) {
+                    n.state = NodeState::Active;
+                }
+                n
+            })
+            .collect();
+        let net = Network::new(cfg.nodes as usize, cfg.network);
+        let rng = DetRng::new(cfg.seed);
+        let metrics = Metrics::new(SimTime::ZERO, cfg.bucket);
+        let power_model = PowerModel::new(cfg.power);
+        let cc = cfg.cc_mode;
+        Rc::new(RefCell::new(Cluster {
+            cfg,
+            nodes,
+            net,
+            store: PageStore::new(),
+            seg_dir: SegmentDirectory::new(),
+            indexes: IndexMap::new(),
+            partitions: HashMap::new(),
+            router: GlobalRouter::new(),
+            txn: TxnManager::new(cc),
+            clients: Vec::new(),
+            workload: None,
+            jobs: HashMap::new(),
+            lock_waiters: HashMap::new(),
+            commit_queues: HashMap::new(),
+            flush_scheduled: std::collections::HashSet::new(),
+            mover: None,
+            pending_logical_keys: Vec::new(),
+            last_rebalance: None,
+            metrics,
+            meter: EnergyMeter::new(SimTime::ZERO),
+            power_model,
+            rng,
+            next_job: 1,
+            next_partition: 1,
+            stopped: false,
+            auto_resubmit: true,
+            helpers_active: Vec::new(),
+        }))
+    }
+
+    /// Nodes currently active.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Active)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Power on a node (instantaneous state flip; boot latency is modelled
+    /// by the caller scheduling work later).
+    pub fn power_on(&mut self, node: NodeId) {
+        self.nodes[node.raw() as usize].state = NodeState::Active;
+    }
+
+    /// Power a node down to standby. Panics if it still stores segments
+    /// ("nodes still having data on disk must not shut down", §4).
+    pub fn power_off(&mut self, node: NodeId) {
+        assert!(
+            self.seg_dir.on_node(node).next().is_none(),
+            "cannot power off {node}: segments present"
+        );
+        self.nodes[node.raw() as usize].state = NodeState::Standby;
+    }
+
+    /// Current operating phase (Fig. 7 attribution).
+    pub fn phase(&self) -> Phase {
+        match (&self.mover, self.helpers_active.is_empty()) {
+            (None, _) => Phase::Normal,
+            (Some(_), true) => Phase::Rebalancing,
+            (Some(_), false) => Phase::RebalancingImproved,
+        }
+    }
+
+    /// Mint a partition for `table` on `node`.
+    pub fn create_partition(&mut self, table: TableId, node: NodeId) -> PartitionId {
+        let id = PartitionId(self.next_partition);
+        self.next_partition += 1;
+        self.partitions.insert(
+            id,
+            Partition {
+                id,
+                table,
+                node,
+                top: TopIndex::new(),
+            },
+        );
+        id
+    }
+
+    /// The partition of `table` on `node`, creating it on demand (used by
+    /// migrations targeting fresh nodes).
+    pub fn partition_on(&mut self, table: TableId, node: NodeId) -> PartitionId {
+        if let Some(p) = self
+            .partitions
+            .values()
+            .find(|p| p.table == table && p.node == node)
+        {
+            return p.id;
+        }
+        self.create_partition(table, node)
+    }
+
+    /// Instantaneous total cluster power, given per-node CPU utilizations
+    /// sampled over the last window.
+    pub fn sample_power(&mut self, now: SimTime) -> Watts {
+        let mut total = self.power_model.switch_power();
+        for i in 0..self.nodes.len() {
+            let state = self.nodes[i].state;
+            let cpu = self.nodes[i].cpu.clone();
+            let util = self.nodes[i].power_probe.sample(&cpu, now);
+            total += self.power_model.node_power(state, util);
+            for d in 0..self.nodes[i].disks.len() {
+                let kind: DiskKind = self.nodes[i].disks[d].kind();
+                total += self.power_model.disk_power(kind, state);
+            }
+        }
+        total
+    }
+
+    /// Bulk-load a generated TPC-C row into the right partition/segment,
+    /// creating segments that tile each partition's key range on the fly.
+    fn load_row(&mut self, row: &GenRow, loaded_segments: &mut HashMap<(TableId, NodeId), SegmentId>) -> Result<()> {
+        let table = row.table.table_id();
+        let route = self.router.route(table, row.key)?;
+        let node = route.primary.node;
+        let partition = route.primary.partition;
+        let seg_key = (table, node);
+        let seg = match loaded_segments.get(&seg_key) {
+            Some(&seg) if self.segment_has_room(seg, row) => seg,
+            _ => {
+                // Close the previous fill segment's range and open a new one
+                // starting at this key.
+                let part_range = self.partition_entry_range(table, row.key)?;
+                if let Some(&prev) = loaded_segments.get(&seg_key) {
+                    self.close_fill_segment(prev, row.key)?;
+                }
+                let start = match loaded_segments.get(&seg_key) {
+                    Some(_) => row.key,
+                    None => part_range.start,
+                };
+                let seg = self.open_segment(table, node, partition, KeyRange::new(start, part_range.end))?;
+                loaded_segments.insert(seg_key, seg);
+                seg
+            }
+        };
+        let rec = Record::new(row.key, 1, row.width, row.payload.clone());
+        let (rid, allocated) = self.store.insert_record(seg, &rec, u32::MAX)?;
+        if allocated {
+            let meta = self.seg_dir.get_mut(seg)?;
+            meta.allocated_pages += 1;
+            let disk = meta.disk;
+            self.nodes[disk.node.raw() as usize].disks[disk.index as usize]
+                .reserve(ByteSize::bytes(PAGE_SIZE as u64));
+        }
+        let meta = self.seg_dir.get_mut(seg)?;
+        meta.records += 1;
+        meta.logical_bytes += ByteSize::bytes(rec.logical_footprint() as u64);
+        self.indexes
+            .get_mut(&seg)
+            .expect("segment index exists")
+            .insert(row.key, rid);
+        Ok(())
+    }
+
+    fn segment_has_room(&self, seg: SegmentId, _row: &GenRow) -> bool {
+        let meta = self.seg_dir.get(seg).expect("segment exists");
+        (self.store.page_count(seg) as u32) < self.cfg.segment_pages
+            || self
+                .store
+                .logical_bytes(seg)
+                .map(|b| b < meta.capacity().as_u64())
+                .unwrap_or(false)
+    }
+
+    fn partition_entry_range(&self, table: TableId, key: Key) -> Result<KeyRange> {
+        let entries = self.router.prune(table, KeyRange::new(key, Key(key.raw() + 1)))?;
+        Ok(entries
+            .first()
+            .map(|e| e.range)
+            .unwrap_or_else(KeyRange::all))
+    }
+
+    fn close_fill_segment(&mut self, seg: SegmentId, next_start: Key) -> Result<()> {
+        // Narrow the previous fill segment's range to end where the next
+        // one begins, keeping the partition's top index tiling exact.
+        let meta = self.seg_dir.get(seg)?;
+        let old_range = meta.key_range.expect("fill segments have ranges");
+        let table = meta.table;
+        let node = meta.node;
+        if next_start >= old_range.end || next_start <= old_range.start {
+            return Ok(());
+        }
+        let new_range = KeyRange::new(old_range.start, next_start);
+        let pid = self.partition_on(table, node);
+        let part = self.partitions.get_mut(&pid).expect("partition exists");
+        part.top.detach(seg)?;
+        part.top.attach(seg, new_range)?;
+        self.seg_dir.get_mut(seg)?.key_range = Some(new_range);
+        self.indexes
+            .get_mut(&seg)
+            .expect("index exists")
+            .set_range(new_range);
+        Ok(())
+    }
+
+    /// Create an empty segment covering `range` on `node`, attached to
+    /// `partition`'s top index.
+    pub fn open_segment(
+        &mut self,
+        table: TableId,
+        node: NodeId,
+        partition: PartitionId,
+        range: KeyRange,
+    ) -> Result<SegmentId> {
+        // Data segments go on the SSDs round-robin (disk 1..); the HDD
+        // (disk 0) carries the WAL, as in the testbed layout.
+        let n_disks = self.nodes[node.raw() as usize].disks.len();
+        let disk_idx = if n_disks > 1 {
+            1 + (self.seg_dir.len() % (n_disks - 1))
+        } else {
+            0
+        };
+        let disk = DiskId::new(node, disk_idx as u8);
+        let seg = self
+            .seg_dir
+            .create(table, node, disk, Some(range), self.cfg.segment_pages);
+        self.store.add_segment(seg);
+        self.indexes.insert(seg, SegmentIndex::new(seg, range));
+        let part = self.partitions.get_mut(&partition).expect("partition");
+        part.top.attach(seg, range)?;
+        Ok(seg)
+    }
+
+    /// Load the TPC-C dataset, range-partitioned by warehouse across
+    /// `data_nodes`. Also sizes buffer pools to ~1/10 of the per-node data
+    /// when `cfg.buffer_pages == 0`, matching the paper's data:memory
+    /// ratio.
+    pub fn load_tpcc(&mut self, tpcc: TpccConfig, data_nodes: &[NodeId]) -> Result<()> {
+        assert!(!data_nodes.is_empty());
+        let w = tpcc.warehouses;
+        let chunks = KeyRange::chunks(
+            wattdb_tpcc::wkey(0, 0, 0),
+            wattdb_tpcc::wkey(w, 0, 0),
+            data_nodes.len(),
+        );
+        // Align chunk boundaries to warehouse boundaries.
+        let per = (w as usize).div_ceil(data_nodes.len()) as u32;
+        let mut ranges = Vec::new();
+        for (i, _) in data_nodes.iter().enumerate() {
+            let lo = (i as u32) * per;
+            let hi = ((i as u32 + 1) * per).min(w);
+            if lo < hi {
+                ranges.push(wattdb_tpcc::warehouse_range(lo, hi));
+            }
+        }
+        drop(chunks);
+        // Register tables and initial routing.
+        for t in TpccTable::ALL {
+            let table = t.table_id();
+            self.router.create_table(table);
+            for (i, node) in data_nodes.iter().enumerate() {
+                if i >= ranges.len() {
+                    break;
+                }
+                let pid = self.partition_on(table, *node);
+                // Extend the edge partitions to cover the full key space so
+                // out-of-range probes (ITEM spreading etc.) still route.
+                let mut r = ranges[i];
+                if i == 0 {
+                    r.start = Key::MIN;
+                }
+                if i == ranges.len() - 1 {
+                    r.end = Key::MAX;
+                }
+                self.router.assign(table, r, pid, *node)?;
+            }
+        }
+        // Generate and load rows warehouse by warehouse (keys ascend within
+        // each warehouse, so fill segments stay range-contiguous).
+        let mut fill: HashMap<(TableId, NodeId), SegmentId> = HashMap::new();
+        for wh in 0..w {
+            let mut rows = wattdb_tpcc::warehouse_rows(&tpcc, wh);
+            rows.sort_by_key(|r| (r.table.table_id(), r.key));
+            for row in &rows {
+                self.load_row(row, &mut fill)?;
+            }
+        }
+        let mut items = wattdb_tpcc::item_rows(&tpcc);
+        items.sort_by_key(|r| r.key);
+        // ITEM rows are scattered across the warehouse-major space; load
+        // them individually (each creates/extends segments as needed).
+        let mut item_fill: HashMap<(TableId, NodeId), SegmentId> = HashMap::new();
+        for row in &items {
+            self.load_row(row, &mut item_fill)?;
+        }
+        self.workload = Some(TpccWorkload::new(tpcc));
+        // Auto-size buffer pools: data bytes per node / 10 (paper ratio).
+        if self.cfg.buffer_pages == 0 {
+            let logical = tpcc.logical_dataset_bytes();
+            let per_node = logical / data_nodes.len() as u64;
+            let pages = ((per_node / 10) / PAGE_SIZE as u64).max(64) as usize;
+            self.cfg.buffer_pages = pages;
+            for n in &mut self.nodes {
+                n.buffer = BufferPool::new(pages);
+            }
+        }
+        Ok(())
+    }
+
+    /// Spawn `n` closed-loop clients.
+    pub fn spawn_clients(&mut self, n: u32, client_cfg: ClientConfig) {
+        let w = self
+            .workload
+            .as_ref()
+            .map(|wl| wl.config().warehouses)
+            .unwrap_or(1);
+        self.clients = wattdb_tpcc::spawn_clients(n, w, client_cfg, &self.rng);
+    }
+
+    /// Vacuum every segment at the current GC horizon: reclaims committed
+    /// superseded versions and old tombstones. Returns versions reclaimed.
+    pub fn vacuum_all(&mut self) -> usize {
+        let horizon = self.txn.gc_horizon();
+        let mut reclaimed = 0;
+        for idx in self.indexes.values_mut() {
+            reclaimed += wattdb_txn::mvcc::vacuum(idx, &mut self.store, horizon).unwrap_or(0);
+        }
+        reclaimed
+    }
+
+    /// Total stored record versions and live keys (Fig. 3 storage line).
+    pub fn version_stats(&self) -> (usize, usize) {
+        let mut versions = 0;
+        let mut live = 0;
+        for (seg, idx) in &self.indexes {
+            let _ = seg;
+            if let Ok((v, l)) = wattdb_txn::mvcc::version_stats(idx, &self.store) {
+                versions += v;
+                live += l;
+            }
+        }
+        (versions, live)
+    }
+
+    /// Start the periodic power sampler (1 s cadence).
+    pub fn start_power_sampler(cl: &ClusterRc, sim: &mut Sim) {
+        let handle = cl.clone();
+        wattdb_sim::Repeater::every(sim, SimDuration::from_secs(1), move |sim| {
+            let mut c = handle.borrow_mut();
+            let now = sim.now();
+            let p = c.sample_power(now);
+            let q = c.metrics.take_completions();
+            c.meter.sample(now, p, q);
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ClusterConfig {
+        ClusterConfig {
+            nodes: 4,
+            segment_pages: 16,
+            buffer_pages: 256,
+            ..Default::default()
+        }
+    }
+
+    fn tpcc_cfg() -> TpccConfig {
+        TpccConfig {
+            warehouses: 4,
+            density: 0.01,
+            payload_bytes: 8,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn load_routes_all_tables() {
+        let cl = Cluster::new(small_cfg(), &[NodeId(0), NodeId(1)]);
+        let mut c = cl.borrow_mut();
+        c.load_tpcc(tpcc_cfg(), &[NodeId(0), NodeId(1)]).unwrap();
+        // Every table routes every warehouse's keys.
+        for t in TpccTable::ALL {
+            let table = t.table_id();
+            let r0 = c.router.route(table, wattdb_tpcc::keys::warehouse(0)).unwrap();
+            let r3 = c.router.route(table, wattdb_tpcc::keys::warehouse(3)).unwrap();
+            assert_eq!(r0.primary.node, NodeId(0));
+            assert_eq!(r3.primary.node, NodeId(1));
+        }
+        assert!(c.seg_dir.len() > 4, "several segments created");
+    }
+
+    #[test]
+    fn loaded_records_are_readable() {
+        let cl = Cluster::new(small_cfg(), &[NodeId(0), NodeId(1)]);
+        let mut c = cl.borrow_mut();
+        c.load_tpcc(tpcc_cfg(), &[NodeId(0), NodeId(1)]).unwrap();
+        // Look up a customer through router → partition → top → index.
+        let key = wattdb_tpcc::keys::customer(1, 3, 5);
+        let table = TpccTable::Customer.table_id();
+        let route = c.router.route(table, key).unwrap();
+        let part = c
+            .partitions
+            .values()
+            .find(|p| p.id == route.primary.partition)
+            .unwrap();
+        let seg = part.top.segment_for(key).expect("segment covers key");
+        let idx = &c.indexes[&seg];
+        let (rid, _) = idx.get(key);
+        let rec = c.store.read_record(rid.expect("customer loaded")).unwrap();
+        assert_eq!(rec.key, key);
+        assert_eq!(rec.logical_width, TpccTable::Customer.row_width());
+    }
+
+    #[test]
+    fn segments_tile_partition_ranges() {
+        let cl = Cluster::new(small_cfg(), &[NodeId(0), NodeId(1)]);
+        let mut c = cl.borrow_mut();
+        c.load_tpcc(tpcc_cfg(), &[NodeId(0), NodeId(1)]).unwrap();
+        for part in c.partitions.values() {
+            let segs = part.top.segments();
+            if segs.is_empty() {
+                continue;
+            }
+            for w in segs.windows(2) {
+                assert_eq!(w[0].1.end, w[1].1.start, "contiguous tiling");
+            }
+        }
+    }
+
+    #[test]
+    fn power_envelope_minimal_vs_loaded() {
+        let cl = Cluster::new(small_cfg(), &[NodeId(0)]);
+        let mut c = cl.borrow_mut();
+        // 1 active of 4 + switch + drives.
+        let p = c.sample_power(SimTime::from_secs(1)).0;
+        // 22 (idle) + 3×2.5 + 20 (switch) + 9 (drives) = 58.5.
+        assert!((55.0..62.0).contains(&p), "{p}");
+        c.power_on(NodeId(1));
+        c.power_on(NodeId(2));
+        let p2 = c.sample_power(SimTime::from_secs(2)).0;
+        assert!(p2 > p + 30.0, "two more active nodes: {p2}");
+    }
+
+    #[test]
+    fn power_off_requires_empty_node() {
+        let cl = Cluster::new(small_cfg(), &[NodeId(0), NodeId(1)]);
+        let mut c = cl.borrow_mut();
+        c.load_tpcc(tpcc_cfg(), &[NodeId(0), NodeId(1)]).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.power_off(NodeId(1));
+        }));
+        assert!(result.is_err(), "node with segments must not power off");
+    }
+
+    #[test]
+    fn partition_on_is_idempotent() {
+        let cl = Cluster::new(small_cfg(), &[NodeId(0)]);
+        let mut c = cl.borrow_mut();
+        let a = c.partition_on(TableId(1), NodeId(2));
+        let b = c.partition_on(TableId(1), NodeId(2));
+        let other = c.partition_on(TableId(2), NodeId(2));
+        assert_eq!(a, b);
+        assert_ne!(a, other);
+    }
+}

@@ -1,0 +1,901 @@
+//! The transaction executor: closed-loop OLTP over the simulated cluster.
+//!
+//! Each client transaction is a [`TxnJob`] advancing through its record
+//! operations as a small state machine. Everything that costs time becomes
+//! a simulator action — CPU slices on the executing node's cores, page
+//! fetches through the buffer pool (misses queue on the segment's disk),
+//! network hops when an operation's owner is another node, lock waits, and
+//! the group-commit log flush — and every wait is attributed to a Fig. 7
+//! cost category.
+//!
+//! ITEM is treated as a read-only replicated table (the standard
+//! distributed-TPC-C arrangement): item lookups execute locally and never
+//! route.
+
+use wattdb_common::{
+    ByteSize, Error, Key, NodeId, PageId, PartitionId, SegmentId, SimDuration, SimTime, TxnId,
+};
+use wattdb_sim::{CostCategory, CostProfile, EventFn, Resource, Sim};
+use wattdb_storage::{Fetch, PAGE_SIZE};
+use wattdb_tpcc::{Op, OpKind, TpccTable, TxnProfile};
+use wattdb_txn::{CcMode, LockAcquire, LockMode, LockTarget};
+use wattdb_wal::LogPayload;
+
+use crate::cluster::{Cluster, ClusterRc};
+
+/// Who is waiting on a queued lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Waiter {
+    /// An executor job.
+    Job(u64),
+    /// A migration step (resumed by the move controller).
+    Mover(u64),
+}
+
+/// Per-operation progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpStage {
+    /// Resolve routing, switch nodes, acquire locks.
+    Start,
+    /// Charge the operation's CPU.
+    Cpu,
+    /// Fetch the data page.
+    Io,
+    /// Apply the engine mutation and advance.
+    Apply,
+}
+
+/// One in-flight transaction.
+pub struct TxnJob {
+    /// Job id.
+    pub id: u64,
+    /// Index into `cluster.clients`.
+    pub client: usize,
+    /// Profile (for reporting).
+    pub profile: TxnProfile,
+    ops: Vec<Op>,
+    next_op: usize,
+    stage: OpStage,
+    /// Engine transaction.
+    pub txn: TxnId,
+    /// Submission time of the current attempt.
+    pub started: SimTime,
+    current_node: NodeId,
+    routed: bool,
+    locks_acquired: usize,
+    /// Set while parked on a lock.
+    pub lock_wait_started: Option<SimTime>,
+    /// Resolved execution target of the current op.
+    cur: Option<(PartitionId, NodeId, SegmentId)>,
+    /// Accumulated CPU not yet charged.
+    cpu_accum: SimDuration,
+    /// Per-category time attribution.
+    pub costs: CostProfile,
+    write_nodes: Vec<NodeId>,
+    /// Outstanding log-flush acknowledgements at commit.
+    pub commit_pending: u32,
+    /// When the commit wait began.
+    pub commit_wait_started: SimTime,
+    retries: u32,
+}
+
+/// What the job must do next (computed under the cluster borrow, executed
+/// by [`step`] outside it).
+enum Action {
+    /// Re-enter `advance` immediately.
+    Loop,
+    /// Occupy the node's CPU, then re-enter.
+    Cpu(NodeId, SimDuration, CostCategory),
+    /// Read one page from a disk, then re-enter.
+    DiskRead(NodeId, u8),
+    /// Remote page fetch: disk on the storage node plus a page-sized
+    /// network transfer (physical partitioning's penalty).
+    RemoteRead {
+        /// Node executing the query.
+        exec: NodeId,
+        /// Node storing the segment.
+        storage: NodeId,
+        /// Disk index on the storage node.
+        disk: u8,
+    },
+    /// Page served from the rDMA remote-buffer tier: one round trip.
+    RemoteBufferFetch(NodeId),
+    /// Forward the transaction to another node.
+    Hop {
+        /// Source.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// Parked on a lock; a grant resumes the job.
+    Parked,
+    /// Waiting for the group-commit flush.
+    CommitWait,
+    /// Transaction finished (read-only or after flush).
+    Finished,
+    /// Abort: retry after backoff.
+    Retry,
+}
+
+impl Cluster {
+    /// Create a job for `client`'s next transaction. Returns `None` when
+    /// the experiment is stopped.
+    pub fn new_job(&mut self, client: usize, now: SimTime) -> Option<u64> {
+        self.new_job_with(client, None, now)
+    }
+
+    /// Create a job with an explicit profile (custom mixes, e.g. the
+    /// Fig. 3 read/update-ratio sweep); `None` draws from the standard mix.
+    pub fn new_job_with(
+        &mut self,
+        client: usize,
+        profile: Option<TxnProfile>,
+        now: SimTime,
+    ) -> Option<u64> {
+        if self.stopped {
+            return None;
+        }
+        let workload = self.workload.as_mut().expect("dataset loaded");
+        let cl = &mut self.clients[client];
+        let drawn = cl.next_profile();
+        let profile = profile.unwrap_or(drawn);
+        let home = cl.home_warehouse;
+        let ops = workload.generate(profile, home, cl.rng());
+        let txn = self.txn.begin(wattdb_txn::TxnKind::User);
+        let id = self.next_job;
+        self.next_job += 1;
+        self.jobs.insert(
+            id,
+            TxnJob {
+                id,
+                client,
+                profile,
+                ops,
+                next_op: 0,
+                stage: OpStage::Start,
+                txn,
+                started: now,
+                current_node: NodeId::MASTER,
+                routed: false,
+                locks_acquired: 0,
+                lock_wait_started: None,
+                cur: None,
+                cpu_accum: SimDuration::ZERO,
+                costs: CostProfile::new(),
+                write_nodes: Vec::new(),
+                commit_pending: 0,
+                commit_wait_started: SimTime::ZERO,
+                retries: 0,
+            },
+        );
+        Some(id)
+    }
+
+    /// Advance `job` until it blocks; returns the blocking action.
+    fn advance(&mut self, now: SimTime, job_id: u64) -> Action {
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            return Action::Finished;
+        };
+        // One-time master routing work per transaction.
+        if !job.routed {
+            job.routed = true;
+            return Action::Cpu(
+                NodeId::MASTER,
+                SimDuration::from_micros(20),
+                CostCategory::Cpu,
+            );
+        }
+        if job.next_op >= job.ops.len() {
+            return self.begin_commit(now, job_id);
+        }
+        let op = self.jobs[&job_id].ops[self.jobs[&job_id].next_op];
+        match self.jobs[&job_id].stage {
+            OpStage::Start => self.op_start(now, job_id, op),
+            OpStage::Cpu => self.op_cpu(job_id, op),
+            OpStage::Io => self.op_io(job_id, op),
+            OpStage::Apply => self.op_apply(now, job_id, op),
+        }
+    }
+
+    fn op_start(&mut self, now: SimTime, job_id: u64, op: Op) -> Action {
+        // ITEM: replicated read-only table — serve locally.
+        if op.table == TpccTable::Item {
+            let job = self.jobs.get_mut(&job_id).expect("live job");
+            job.cur = None;
+            job.stage = OpStage::Cpu;
+            return Action::Loop;
+        }
+        let table = op.table.table_id();
+        let Ok(route) = self.router.route(table, op.key) else {
+            // Unroutable key (shouldn't happen): skip the op.
+            let job = self.jobs.get_mut(&job_id).expect("live job");
+            job.next_op += 1;
+            return Action::Loop;
+        };
+        // Dual-pointer resolution (§4.3): prefer the location whose top
+        // index currently covers the key; fall back to the second pointer.
+        let primary_has = self
+            .partitions
+            .get(&route.primary.partition)
+            .and_then(|p| p.top.segment_for(op.key))
+            .is_some();
+        let (pid, node) = if primary_has {
+            (route.primary.partition, route.primary.node)
+        } else if let Some(also) = route.also {
+            (also.partition, also.node)
+        } else {
+            (route.primary.partition, route.primary.node)
+        };
+        let Some(seg) = self
+            .partitions
+            .get(&pid)
+            .and_then(|p| p.top.segment_for(op.key))
+        else {
+            // Moving window edge: retry shortly via a tiny CPU spin.
+            return Action::Cpu(
+                self.jobs[&job_id].current_node,
+                SimDuration::from_micros(50),
+                CostCategory::Other,
+            );
+        };
+        let job = self.jobs.get_mut(&job_id).expect("live job");
+        job.cur = Some((pid, node, seg));
+        // Ship the operation to its owner if we're elsewhere.
+        if job.current_node != node {
+            let from = job.current_node;
+            job.current_node = node;
+            return Action::Hop { from, to: node };
+        }
+        // Locks, coarse to fine.
+        let write = op.kind != OpKind::Read;
+        let needed = self.locks_for(table, pid, seg, op.key, write);
+        loop {
+            let acquired = self.jobs[&job_id].locks_acquired;
+            if acquired >= needed.len() {
+                break;
+            }
+            let (target, mode) = needed[acquired];
+            let txn = self.jobs[&job_id].txn;
+            match self.txn.locks.acquire(txn, target, mode) {
+                LockAcquire::Granted => {
+                    self.jobs.get_mut(&job_id).expect("live job").locks_acquired += 1;
+                }
+                LockAcquire::Waiting => {
+                    let job = self.jobs.get_mut(&job_id).expect("live job");
+                    job.lock_wait_started = Some(now);
+                    self.lock_waiters.insert(txn, Waiter::Job(job_id));
+                    return Action::Parked;
+                }
+                LockAcquire::Deadlock => {
+                    return Action::Retry;
+                }
+            }
+        }
+        let job = self.jobs.get_mut(&job_id).expect("live job");
+        job.stage = OpStage::Cpu;
+        Action::Loop
+    }
+
+    fn locks_for(
+        &self,
+        table: wattdb_common::TableId,
+        pid: PartitionId,
+        seg: SegmentId,
+        key: Key,
+        write: bool,
+    ) -> Vec<(LockTarget, LockMode)> {
+        match (self.txn.mode(), write) {
+            (CcMode::Mvcc, false) => Vec::new(),
+            (_, true) => vec![
+                (LockTarget::Table(table), LockMode::IX),
+                (LockTarget::Partition(pid), LockMode::IX),
+                (LockTarget::Segment(seg), LockMode::IX),
+                (LockTarget::Record(table, key), LockMode::X),
+            ],
+            (CcMode::LockingRx, false) => vec![
+                (LockTarget::Table(table), LockMode::IS),
+                (LockTarget::Partition(pid), LockMode::IS),
+                (LockTarget::Segment(seg), LockMode::IS),
+                (LockTarget::Record(table, key), LockMode::S),
+            ],
+        }
+    }
+
+    fn op_cpu(&mut self, job_id: u64, op: Op) -> Action {
+        let costs = self.cfg.costs;
+        let height = match self.jobs[&job_id].cur {
+            Some((_, _, seg)) => self.indexes[&seg].height() as u64,
+            None => 2, // ITEM replica
+        };
+        let mut cpu = costs.index_node_visit * height + SimDuration::from_micros(2); // latches
+        cpu += match op.kind {
+            OpKind::Read => costs.record_read,
+            OpKind::Update => costs.record_read + costs.record_write + costs.log_append,
+            OpKind::Insert => costs.record_write + costs.log_append,
+            OpKind::Delete => costs.record_read + costs.record_write + costs.log_append,
+        };
+        let job = self.jobs.get_mut(&job_id).expect("live job");
+        job.stage = OpStage::Io;
+        job.cpu_accum += cpu;
+        Action::Loop
+    }
+
+    fn op_io(&mut self, job_id: u64, op: Op) -> Action {
+        let Some((_, exec_node, seg)) = self.jobs[&job_id].cur else {
+            // ITEM replica read: always buffer-resident.
+            let job = self.jobs.get_mut(&job_id).expect("live job");
+            job.cpu_accum += self.cfg.costs.buffer_hit;
+            job.stage = OpStage::Apply;
+            return Action::Loop;
+        };
+        // The page to touch: the record's page for reads/updates/deletes,
+        // the segment's fill page for inserts.
+        let page: Option<PageId> = match op.kind {
+            OpKind::Insert => {
+                let n = self.store.page_count(seg);
+                (n > 0).then(|| PageId::new(seg, (n - 1) as u32))
+            }
+            _ => self.indexes[&seg].get(op.key).0.map(|rid| rid.page),
+        };
+        let job = self.jobs.get_mut(&job_id).expect("live job");
+        job.stage = OpStage::Apply;
+        let Some(page) = page else {
+            return Action::Loop; // nothing resident to touch (miss read)
+        };
+        // Storage location: under physical partitioning a segment may be
+        // stored away from its owner.
+        let meta = self.seg_dir.get(seg).expect("segment meta");
+        let storage_node = meta.node;
+        let disk = meta.disk.index;
+        let buf = &mut self.nodes[exec_node.raw() as usize].buffer;
+        match buf.fetch_pin(page) {
+            Fetch::Hit => {
+                buf.unpin(page, op.kind != OpKind::Read);
+                let job = self.jobs.get_mut(&job_id).expect("live job");
+                job.cpu_accum += self.cfg.costs.buffer_hit;
+                Action::Loop
+            }
+            Fetch::Miss { writeback } => {
+                buf.unpin(page, op.kind != OpKind::Read);
+                if writeback.is_some() {
+                    // Asynchronous writeback occupies the disk but does not
+                    // block the job; buffer churn shows up as latching.
+                    let job = self.jobs.get_mut(&job_id).expect("live job");
+                    job.costs
+                        .record(CostCategory::Latching, SimDuration::from_micros(20));
+                }
+                if storage_node == exec_node {
+                    Action::DiskRead(storage_node, disk)
+                } else {
+                    Action::RemoteRead {
+                        exec: exec_node,
+                        storage: storage_node,
+                        disk,
+                    }
+                }
+            }
+            Fetch::RemoteHit { writeback } => {
+                buf.unpin(page, op.kind != OpKind::Read);
+                if writeback.is_some() {
+                    let job = self.jobs.get_mut(&job_id).expect("live job");
+                    job.costs
+                        .record(CostCategory::Latching, SimDuration::from_micros(20));
+                }
+                Action::RemoteBufferFetch(exec_node)
+            }
+        }
+    }
+
+    fn op_apply(&mut self, now: SimTime, job_id: u64, op: Op) -> Action {
+        let table = op.table.table_id();
+        let result: Result<(), Error> = match self.jobs[&job_id].cur {
+            None => Ok(()), // ITEM replica read
+            Some((_, node, seg)) => {
+                let max_pages = u32::MAX; // segments soft-cap under load
+                let width = op.table.row_width();
+                let txn = self.jobs[&job_id].txn;
+                let idx = self.indexes.get_mut(&seg).expect("segment index");
+                let payload = op.key.raw().to_le_bytes().to_vec();
+                let r = match op.kind {
+                    OpKind::Read => self.txn.read(txn, idx, &self.store, op.key).map(|_| ()),
+                    OpKind::Update => {
+                        match self
+                            .txn
+                            .update(txn, idx, &mut self.store, max_pages, op.key, width, payload)
+                        {
+                            Err(Error::KeyNotFound(_)) => Ok(()), // racing delete
+                            other => other,
+                        }
+                    }
+                    OpKind::Insert => self
+                        .txn
+                        .insert(txn, idx, &mut self.store, max_pages, op.key, width, payload),
+                    OpKind::Delete => {
+                        match self.txn.delete(txn, idx, &mut self.store, max_pages, op.key) {
+                            Err(Error::KeyNotFound(_)) => Ok(()),
+                            other => other,
+                        }
+                    }
+                };
+                if r.is_ok() && op.kind != OpKind::Read {
+                    // WAL append on the owner node.
+                    let bytes = width as usize + 32;
+                    let payload = match op.kind {
+                        OpKind::Insert => LogPayload::Insert {
+                            segment: seg,
+                            after: vec![0; bytes],
+                        },
+                        OpKind::Delete => LogPayload::Delete {
+                            segment: seg,
+                            before: vec![0; bytes],
+                        },
+                        _ => LogPayload::Update {
+                            segment: seg,
+                            before: vec![0; bytes],
+                            after: vec![0; bytes],
+                        },
+                    };
+                    self.nodes[node.raw() as usize].log.append(txn, payload);
+                    let job = self.jobs.get_mut(&job_id).expect("live job");
+                    if !job.write_nodes.contains(&node) {
+                        job.write_nodes.push(node);
+                    }
+                }
+                r
+            }
+        };
+        let _ = table;
+        match result {
+            Ok(()) => {
+                let job = self.jobs.get_mut(&job_id).expect("live job");
+                job.next_op += 1;
+                job.stage = OpStage::Start;
+                job.locks_acquired = 0;
+                job.cur = None;
+                Action::Loop
+            }
+            Err(Error::TxnAborted { .. }) | Err(Error::DuplicateKey(_)) => Action::Retry,
+            Err(_) => {
+                // Unexpected engine error: abort the attempt.
+                let _ = now;
+                Action::Retry
+            }
+        }
+    }
+
+    fn begin_commit(&mut self, now: SimTime, job_id: u64) -> Action {
+        // Flush any residual CPU before committing.
+        if self.jobs[&job_id].cpu_accum > SimDuration::ZERO {
+            let job = self.jobs.get_mut(&job_id).expect("live job");
+            let dur = std::mem::take(&mut job.cpu_accum);
+            let node = job.current_node;
+            return Action::Cpu(node, dur, CostCategory::Cpu);
+        }
+        let job = self.jobs.get_mut(&job_id).expect("live job");
+        if job.write_nodes.is_empty() {
+            return Action::Finished;
+        }
+        job.commit_pending = job.write_nodes.len() as u32;
+        job.commit_wait_started = now;
+        let nodes = job.write_nodes.clone();
+        let txn = job.txn;
+        for node in nodes {
+            self.nodes[node.raw() as usize]
+                .log
+                .append(txn, LogPayload::Commit);
+            self.commit_queues.entry(node).or_default().push(job_id);
+        }
+        Action::CommitWait
+    }
+}
+
+/// Drive `job` until it blocks, scheduling the blocking action's
+/// continuation.
+pub fn step(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
+    loop {
+        let action = {
+            let mut c = cl.borrow_mut();
+            // Flush accumulated CPU at genuine blocking points only; the
+            // advance loop accumulates between them.
+            c.advance(sim.now(), job_id)
+        };
+        match action {
+            Action::Loop => continue,
+            Action::Cpu(node, dur, cat) => {
+                let pending = {
+                    let mut c = cl.borrow_mut();
+                    let job = c.jobs.get_mut(&job_id).expect("live job");
+                    dur + std::mem::take(&mut job.cpu_accum)
+                };
+                let cpu = cl.borrow().nodes[node.raw() as usize].cpu.clone();
+                let handle = cl.clone();
+                let submitted = sim.now();
+                Resource::submit(
+                    &cpu,
+                    sim,
+                    pending,
+                    Box::new(move |sim| {
+                        {
+                            let mut c = handle.borrow_mut();
+                            if let Some(job) = c.jobs.get_mut(&job_id) {
+                                job.costs.record(cat, sim.now().since(submitted));
+                            }
+                        }
+                        step(&handle, sim, job_id);
+                    }),
+                );
+                return;
+            }
+            Action::DiskRead(node, disk) => {
+                let handle = cl.clone();
+                let submitted = sim.now();
+                let mut c = cl.borrow_mut();
+                // Flush CPU accumulated so far onto the profile directly
+                // (disk access point is the boundary).
+                flush_cpu_inline(&mut c, sim, job_id, node);
+                c.nodes[node.raw() as usize].disks[disk as usize].read_page(
+                    sim,
+                    Box::new(move |sim| {
+                        {
+                            let mut c = handle.borrow_mut();
+                            if let Some(job) = c.jobs.get_mut(&job_id) {
+                                job.costs
+                                    .record(CostCategory::DiskIo, sim.now().since(submitted));
+                            }
+                        }
+                        step(&handle, sim, job_id);
+                    }),
+                );
+                return;
+            }
+            Action::RemoteRead {
+                exec,
+                storage,
+                disk,
+            } => {
+                // Remote disk read + page over the wire (physical scheme).
+                let handle = cl.clone();
+                let submitted = sim.now();
+                let mut c = cl.borrow_mut();
+                flush_cpu_inline(&mut c, sim, job_id, exec);
+                let inner = cl.clone();
+                c.nodes[storage.raw() as usize].disks[disk as usize].read_page(
+                    sim,
+                    Box::new(move |sim| {
+                        let disk_done = sim.now();
+                        {
+                            let mut c = inner.borrow_mut();
+                            if let Some(job) = c.jobs.get_mut(&job_id) {
+                                job.costs
+                                    .record(CostCategory::DiskIo, disk_done.since(submitted));
+                            }
+                        }
+                        let c = inner.borrow();
+                        c.net.send(
+                            sim,
+                            storage,
+                            exec,
+                            ByteSize::bytes(PAGE_SIZE as u64 + 64),
+                            Box::new(move |sim| {
+                                {
+                                    let mut c = handle.borrow_mut();
+                                    if let Some(job) = c.jobs.get_mut(&job_id) {
+                                        job.costs.record(
+                                            CostCategory::NetworkIo,
+                                            sim.now().since(disk_done),
+                                        );
+                                    }
+                                }
+                                step(&handle, sim, job_id);
+                            }),
+                        );
+                    }),
+                );
+                return;
+            }
+            Action::RemoteBufferFetch(exec) => {
+                // rDMA fetch from a helper's memory: round trip + page.
+                let helper = {
+                    let c = cl.borrow();
+                    c.nodes[exec.raw() as usize].helper.unwrap_or(exec)
+                };
+                let handle = cl.clone();
+                let submitted = sim.now();
+                let c = cl.borrow();
+                wattdb_net::round_trip(
+                    &c.net,
+                    sim,
+                    exec,
+                    helper,
+                    ByteSize::bytes(64),
+                    ByteSize::bytes(PAGE_SIZE as u64),
+                    SimDuration::from_micros(10),
+                    Box::new(move |sim| {
+                        {
+                            let mut c = handle.borrow_mut();
+                            if let Some(job) = c.jobs.get_mut(&job_id) {
+                                job.costs
+                                    .record(CostCategory::NetworkIo, sim.now().since(submitted));
+                            }
+                        }
+                        step(&handle, sim, job_id);
+                    }),
+                );
+                return;
+            }
+            Action::Hop { from, to } => {
+                let handle = cl.clone();
+                let submitted = sim.now();
+                let c = cl.borrow();
+                c.net.send(
+                    sim,
+                    from,
+                    to,
+                    ByteSize::bytes(256),
+                    Box::new(move |sim| {
+                        {
+                            let mut c = handle.borrow_mut();
+                            if let Some(job) = c.jobs.get_mut(&job_id) {
+                                job.costs
+                                    .record(CostCategory::NetworkIo, sim.now().since(submitted));
+                            }
+                        }
+                        step(&handle, sim, job_id);
+                    }),
+                );
+                return;
+            }
+            Action::Parked | Action::CommitWait => {
+                schedule_pending_flushes(cl, sim);
+                return;
+            }
+            Action::Finished => {
+                finish_job(cl, sim, job_id);
+                return;
+            }
+            Action::Retry => {
+                abort_and_retry(cl, sim, job_id);
+                return;
+            }
+        }
+    }
+}
+
+fn flush_cpu_inline(c: &mut Cluster, sim: &mut Sim, job_id: u64, node: NodeId) {
+    // Residual CPU accumulated since the last boundary: attribute it to the
+    // job's profile and occupy the node's cores asynchronously (the job is
+    // about to wait on I/O anyway, but the cycles must consume capacity or
+    // utilization — and the monitor/power model — would undercount).
+    if let Some(job) = c.jobs.get_mut(&job_id) {
+        let dur = std::mem::take(&mut job.cpu_accum);
+        if dur > SimDuration::ZERO {
+            job.costs.record(CostCategory::Cpu, dur);
+            let cpu = c.nodes[node.raw() as usize].cpu.clone();
+            Resource::submit(&cpu, sim, dur, Box::new(|_| {}));
+        }
+    }
+}
+
+/// Ensure every node with queued commits has a flush scheduled.
+pub fn schedule_pending_flushes(cl: &ClusterRc, sim: &mut Sim) {
+    let nodes: Vec<NodeId> = {
+        let c = cl.borrow();
+        c.commit_queues
+            .iter()
+            .filter(|(n, q)| !q.is_empty() && !c.flush_scheduled.contains(n))
+            .map(|(n, _)| *n)
+            .collect()
+    };
+    for node in nodes {
+        let window = {
+            let mut c = cl.borrow_mut();
+            c.flush_scheduled.insert(node);
+            c.cfg.group_commit
+        };
+        let handle = cl.clone();
+        sim.after(window, move |sim| flush_node_log(&handle, sim, node));
+    }
+}
+
+fn flush_node_log(cl: &ClusterRc, sim: &mut Sim, node: NodeId) {
+    let (jobs, bytes, last_lsn, helper) = {
+        let mut c = cl.borrow_mut();
+        c.flush_scheduled.remove(&node);
+        let jobs = c.commit_queues.remove(&node).unwrap_or_default();
+        let n = &c.nodes[node.raw() as usize];
+        (
+            jobs,
+            n.log.pending_bytes(),
+            n.log.last_lsn(),
+            n.helper,
+        )
+    };
+    if jobs.is_empty() {
+        return;
+    }
+    let handle = cl.clone();
+    let done: EventFn = Box::new(move |sim| {
+        {
+            let mut c = handle.borrow_mut();
+            c.nodes[node.raw() as usize].log.mark_durable(last_lsn);
+        }
+        for job_id in jobs {
+            commit_ack(&handle, sim, job_id);
+        }
+        // New commits may have queued while flushing.
+        schedule_pending_flushes(&handle, sim);
+    });
+    match helper {
+        Some(h) => {
+            // Log shipping: the flush travels the wire instead of the disk.
+            let c = cl.borrow();
+            c.net
+                .send(sim, node, h, ByteSize::bytes(bytes as u64), done);
+        }
+        None => {
+            let mut c = cl.borrow_mut();
+            // WAL lives on disk 0 (the HDD).
+            c.nodes[node.raw() as usize].disks[0].bulk_transfer(
+                sim,
+                ByteSize::bytes(bytes as u64),
+                done,
+            );
+        }
+    }
+}
+
+fn commit_ack(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
+    let ready = {
+        let mut c = cl.borrow_mut();
+        let Some(job) = c.jobs.get_mut(&job_id) else {
+            return;
+        };
+        job.commit_pending -= 1;
+        if job.commit_pending == 0 {
+            let waited = sim.now().since(job.commit_wait_started);
+            job.costs.record(CostCategory::Logging, waited);
+            true
+        } else {
+            false
+        }
+    };
+    if ready {
+        finish_job(cl, sim, job_id);
+    }
+}
+
+fn finish_job(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
+    let (client, grants) = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let Some(job) = c.jobs.remove(&job_id) else {
+            return;
+        };
+        let (_, grants) = c
+            .txn
+            .commit(job.txn, &mut c.store)
+            .unwrap_or((0, Vec::new()));
+        let phase = c.phase();
+        let response = sim.now().since(job.started);
+        c.metrics
+            .record_completion(sim.now(), response, phase, job.costs);
+        c.clients[job.client].complete();
+        (job.client, grants)
+    };
+    resume_grants(cl, sim, grants);
+    schedule_client(cl, sim, client);
+}
+
+fn abort_and_retry(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
+    let (client, grants, backoff, resubmit) = {
+        let mut c = cl.borrow_mut();
+        let Some(job) = c.jobs.get_mut(&job_id) else {
+            return;
+        };
+        let txn = job.txn;
+        job.retries += 1;
+        let too_many = job.retries > 10;
+        // Undo engine state and release locks.
+        let grants = {
+            let c2 = &mut *c;
+            c2.txn
+                .abort(txn, &mut c2.indexes, &mut c2.store)
+                .unwrap_or_default()
+        };
+        c.lock_waiters.remove(&txn);
+        c.metrics.record_abort();
+        let client = c.jobs[&job_id].client;
+        let backoff = c.clients[client].backoff();
+        if too_many {
+            c.jobs.remove(&job_id);
+            (client, grants, backoff, false)
+        } else {
+            // Fresh attempt: new engine txn, same ops.
+            let new_txn = c.txn.begin(wattdb_txn::TxnKind::User);
+            let job = c.jobs.get_mut(&job_id).expect("live job");
+            job.txn = new_txn;
+            job.next_op = 0;
+            job.stage = OpStage::Start;
+            job.locks_acquired = 0;
+            job.cur = None;
+            job.write_nodes.clear();
+            job.routed = false;
+            job.current_node = NodeId::MASTER;
+            (client, grants, backoff, true)
+        }
+    };
+    resume_grants(cl, sim, grants);
+    if resubmit {
+        let handle = cl.clone();
+        sim.after(backoff, move |sim| step(&handle, sim, job_id));
+    } else {
+        schedule_client(cl, sim, client);
+    }
+}
+
+/// Resume lock waiters granted by a release.
+pub fn resume_grants(
+    cl: &ClusterRc,
+    sim: &mut Sim,
+    grants: Vec<(TxnId, LockTarget, LockMode)>,
+) {
+    for (txn, _, _) in grants {
+        let waiter = {
+            let mut c = cl.borrow_mut();
+            c.lock_waiters.remove(&txn)
+        };
+        match waiter {
+            Some(Waiter::Job(job_id)) => {
+                {
+                    let mut c = cl.borrow_mut();
+                    if let Some(job) = c.jobs.get_mut(&job_id) {
+                        if let Some(started) = job.lock_wait_started.take() {
+                            job.costs
+                                .record(CostCategory::Locking, sim.now().since(started));
+                        }
+                        job.locks_acquired += 1;
+                    }
+                }
+                step(cl, sim, job_id);
+            }
+            Some(Waiter::Mover(move_id)) => {
+                crate::migration::resume_mover(cl, sim, move_id);
+            }
+            None => {}
+        }
+    }
+}
+
+/// Schedule a client's next submission after its think time.
+pub fn schedule_client(cl: &ClusterRc, sim: &mut Sim, client: usize) {
+    let think = {
+        let mut c = cl.borrow_mut();
+        if c.stopped || !c.auto_resubmit {
+            return;
+        }
+        c.clients[client].think()
+    };
+    let handle = cl.clone();
+    sim.after(think, move |sim| {
+        let job = {
+            let mut c = handle.borrow_mut();
+            c.new_job(client, sim.now())
+        };
+        if let Some(job_id) = job {
+            step(&handle, sim, job_id);
+        }
+    });
+}
+
+/// Kick off all clients (staggered by their first think time).
+pub fn start_clients(cl: &ClusterRc, sim: &mut Sim) {
+    let n = cl.borrow().clients.len();
+    for client in 0..n {
+        schedule_client(cl, sim, client);
+    }
+}
+
+/// Retry aborted transaction bookkeeping visible for tests.
+pub fn inflight_jobs(cl: &ClusterRc) -> usize {
+    cl.borrow().jobs.len()
+}

@@ -1,0 +1,36 @@
+//! # WattDB-RS core: dynamic physiological partitioning
+//!
+//! The primary contribution of Schall & Härder (ICDE 2015): an
+//! energy-proportional shared-nothing DBMS cluster that repartitions its
+//! data online. This crate assembles the substrate crates (storage, index,
+//! txn, WAL, network, query, simulation, energy) into the full WattDB
+//! system:
+//!
+//! * [`cluster`] — nodes, partitions, catalog, TPC-C loading, power;
+//! * [`executor`] — the closed-loop OLTP transaction engine;
+//! * [`migration`] — physical / logical / physiological repartitioning
+//!   protocols (§4), including the §4.3 move protocol with master-first
+//!   dual pointers, segment read locks, and helper nodes (Fig. 8);
+//! * [`monitor`] / [`policy`] — utilization monitoring and the 80 %-CPU
+//!   threshold elasticity policy (§3.4);
+//! * [`replay`] — analytic query execution over shared resources
+//!   (Figs. 1–2);
+//! * [`metrics`] — throughput / response-time / power / energy series
+//!   (Figs. 6, 8) and per-phase cost breakdowns (Fig. 7);
+//! * [`api`] — the [`api::WattDb`] facade used by examples and benches.
+
+pub mod api;
+pub mod cluster;
+pub mod executor;
+pub mod metrics;
+pub mod migration;
+pub mod monitor;
+pub mod policy;
+pub mod replay;
+
+pub use api::{WattDb, WattDbBuilder};
+pub use cluster::{Cluster, ClusterConfig, ClusterRc, NodeRuntime, Partition, Scheme};
+pub use metrics::{Metrics, Phase};
+pub use migration::{MoveController, RebalanceReport};
+pub use monitor::{ClusterView, NodeReport};
+pub use policy::{Decision, ElasticityPolicy, PolicyConfig};

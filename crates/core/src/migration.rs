@@ -1,0 +1,908 @@
+//! The migration engine: physical, logical, and physiological
+//! repartitioning (§4 of the paper).
+//!
+//! * **Physical** (§4.1): whole segments are copied to another node's disk
+//!   under a short segment latch. Logical ownership does not change, so
+//!   subsequent accesses from the owner pay a remote page fetch — the
+//!   paper's reason physical partitioning "is not usable for a dynamic
+//!   cluster".
+//! * **Logical** (§4.2): records in a key range are deleted at the source
+//!   and inserted at the target inside system transactions, batch by
+//!   batch; ownership (and the router) moves with each batch. Scan I/O and
+//!   record locking make this the slowest but fully general scheme.
+//! * **Physiological** (§4.3): whole segments move *with their primary-key
+//!   indexes*; only the two partitions' top indexes and the master's dual
+//!   pointers are updated. The §4.3 protocol is followed step by step:
+//!   master updated first, read lock on the source segment (waits out
+//!   updaters, blocks new writers, never blocks readers under MVCC), bulk
+//!   copy at raw device speed, ownership switch, redirect window, cleanup.
+//!
+//! Bulk I/O volumes are multiplied by `cfg.io_scale` so the scaled-down
+//! dataset produces the paper's 100 GB-class transfer times (see
+//! DESIGN.md).
+
+use std::collections::VecDeque;
+
+use wattdb_common::{
+    ByteSize, Key, KeyRange, NodeId, SegmentId, SimDuration, SimTime, TableId, TxnId,
+};
+use wattdb_sim::{EventFn, Sim};
+use wattdb_tpcc::TpccTable;
+use wattdb_txn::{LockAcquire, LockMode, LockTarget, TxnKind};
+use wattdb_wal::LogPayload;
+
+use crate::cluster::{Cluster, ClusterRc, Scheme};
+use crate::executor::{resume_grants, Waiter};
+
+/// One planned segment move.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentMove {
+    /// Moving segment.
+    pub seg: SegmentId,
+    /// Table it belongs to.
+    pub table: TableId,
+    /// Covered key range.
+    pub range: KeyRange,
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+}
+
+/// One planned logical range move (per table, per source).
+#[derive(Debug, Clone, Copy)]
+pub struct RangeMove {
+    /// Table.
+    pub table: TableId,
+    /// Key range whose records move.
+    pub range: KeyRange,
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+}
+
+/// Per-source migration chain state.
+pub struct MoverChain {
+    /// Chain id (used as the lock-waiter token).
+    pub id: u64,
+    /// Pending segment moves (physical/physiological).
+    pub segments: VecDeque<SegmentMove>,
+    /// Pending range moves (logical).
+    pub ranges: VecDeque<RangeMove>,
+    /// Cursor within the current logical range.
+    pub cursor: Option<Key>,
+    /// The system transaction currently held, if any.
+    pub txn: Option<TxnId>,
+    /// The segment currently locked/copied, if any.
+    pub current: Option<SegmentMove>,
+    /// Done flag.
+    pub done: bool,
+}
+
+/// Cluster-wide migration controller.
+pub struct MoveController {
+    /// Scheme driving this rebalance.
+    pub scheme: Scheme,
+    /// Chains by id.
+    pub chains: Vec<MoverChain>,
+    /// Start time.
+    pub started: SimTime,
+    /// Completion time, when finished.
+    pub finished: Option<SimTime>,
+    /// Segments moved.
+    pub segments_moved: u64,
+    /// Records moved (logical).
+    pub records_moved: u64,
+    /// Bytes shipped (after io_scale).
+    pub bytes_moved: u64,
+}
+
+impl MoveController {
+    /// True once every chain has drained.
+    pub fn all_done(&self) -> bool {
+        self.chains.iter().all(|c| c.done)
+    }
+}
+
+/// Plan which segments leave each source: the upper `fraction` of each
+/// (table, source) partition's key-ordered segments, paired with targets
+/// round-robin.
+pub fn plan_segment_moves(
+    c: &Cluster,
+    fraction: f64,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> Vec<SegmentMove> {
+    let mut moves = Vec::new();
+    for (i, &src) in sources.iter().enumerate() {
+        let to = targets[i % targets.len()];
+        for part in c.partitions.values().filter(|p| p.node == src) {
+            let segs = part.top.segments();
+            if segs.is_empty() {
+                continue;
+            }
+            let keep = ((segs.len() as f64) * (1.0 - fraction)).round() as usize;
+            for (seg, range) in segs.into_iter().skip(keep) {
+                moves.push(SegmentMove {
+                    seg,
+                    table: part.table,
+                    range,
+                    from: src,
+                    to,
+                });
+            }
+        }
+    }
+    moves
+}
+
+/// Plan logical range moves: the upper `fraction` *of the records* of each
+/// (table, source) partition. The cut point is found by walking the
+/// partition's segments in key order and accumulating their record counts
+/// — cutting the raw key-space envelope instead would be meaningless,
+/// since edge partitions extend to the key-space limits.
+pub fn plan_range_moves(
+    c: &Cluster,
+    fraction: f64,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> Vec<RangeMove> {
+    let mut moves = Vec::new();
+    for (i, &src) in sources.iter().enumerate() {
+        let to = targets[i % targets.len()];
+        for part in c.partitions.values().filter(|p| p.node == src) {
+            let segs = part.top.segments();
+            if segs.is_empty() {
+                continue;
+            }
+            let total: u64 = segs
+                .iter()
+                .map(|(s, _)| c.seg_dir.get(*s).map(|m| m.records).unwrap_or(0))
+                .sum();
+            if total == 0 {
+                continue;
+            }
+            let keep = ((total as f64) * (1.0 - fraction)) as u64;
+            let mut cum = 0u64;
+            let mut cut = None;
+            for (s, range) in &segs {
+                if cum >= keep {
+                    cut = Some(range.start);
+                    break;
+                }
+                cum += c.seg_dir.get(*s).map(|m| m.records).unwrap_or(0);
+            }
+            let Some(cut) = cut else {
+                continue;
+            };
+            let end = segs.last().expect("non-empty").1.end;
+            let range = KeyRange::new(cut, end);
+            if !range.is_empty() {
+                moves.push(RangeMove {
+                    table: part.table,
+                    range,
+                    from: src,
+                    to,
+                });
+            }
+        }
+    }
+    moves
+}
+
+/// Start a rebalance moving `fraction` of each source's data to `targets`.
+/// Targets are powered on; copies start after a boot delay.
+pub fn start_rebalance(
+    cl: &ClusterRc,
+    sim: &mut Sim,
+    fraction: f64,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) {
+    let scheme = {
+        let mut c = cl.borrow_mut();
+        for &t in targets {
+            c.power_on(t);
+        }
+        c.cfg.scheme
+    };
+    let chains: Vec<MoverChain> = {
+        let c = cl.borrow();
+        match scheme {
+            Scheme::Physical | Scheme::Physiological => {
+                let all = plan_segment_moves(&c, fraction, sources, targets);
+                sources
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &src)| MoverChain {
+                        id: i as u64,
+                        segments: all.iter().filter(|m| m.from == src).copied().collect(),
+                        ranges: VecDeque::new(),
+                        cursor: None,
+                        txn: None,
+                        current: None,
+                        done: false,
+                    })
+                    .collect()
+            }
+            Scheme::Logical => {
+                let all = plan_range_moves(&c, fraction, sources, targets);
+                sources
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &src)| MoverChain {
+                        id: i as u64,
+                        segments: VecDeque::new(),
+                        ranges: all.iter().filter(|m| m.from == src).copied().collect(),
+                        cursor: None,
+                        txn: None,
+                        current: None,
+                        done: false,
+                    })
+                    .collect()
+            }
+        }
+    };
+    let n = chains.len();
+    {
+        let mut c = cl.borrow_mut();
+        c.mover = Some(MoveController {
+            scheme,
+            chains,
+            started: sim.now(),
+            finished: None,
+            segments_moved: 0,
+            records_moved: 0,
+            bytes_moved: 0,
+        });
+    }
+    // Boot delay for the freshly powered targets.
+    for id in 0..n as u64 {
+        let handle = cl.clone();
+        sim.after(SimDuration::from_secs(5), move |sim| {
+            next_step(&handle, sim, id)
+        });
+    }
+}
+
+/// Resume a mover chain parked on a lock.
+pub fn resume_mover(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    let scheme = cl.borrow().mover.as_ref().map(|m| m.scheme);
+    match scheme {
+        Some(Scheme::Logical) => logical_batch_locked(cl, sim, chain),
+        Some(_) => segment_lock_granted(cl, sim, chain),
+        None => {}
+    }
+}
+
+fn next_step(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    let scheme = {
+        let c = cl.borrow();
+        match &c.mover {
+            Some(m) => m.scheme,
+            None => return,
+        }
+    };
+    match scheme {
+        Scheme::Physical | Scheme::Physiological => next_segment_move(cl, sim, chain),
+        Scheme::Logical => next_logical_batch(cl, sim, chain),
+    }
+}
+
+// ---------------------------------------------------------------- segments
+
+fn next_segment_move(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    let mv = {
+        let mut c = cl.borrow_mut();
+        let scheme = c.cfg.scheme;
+        let m = c.mover.as_mut().expect("mover active");
+        let Some(mv) = m.chains[chain as usize].segments.pop_front() else {
+            m.chains[chain as usize].done = true;
+            drop(c);
+            try_finish(cl, sim);
+            return;
+        };
+        m.chains[chain as usize].current = Some(mv);
+        // §4.3 step 1: the master is updated first, keeping both pointers —
+        // only under physiological partitioning (physical never changes
+        // logical ownership).
+        if scheme == Scheme::Physiological {
+            let c = &mut *c;
+            let target_pid = c.partition_on(mv.table, mv.to);
+            c.router
+                .begin_move(mv.table, mv.range, target_pid, mv.to)
+                .expect("routable move");
+        }
+        mv
+    };
+    // §4.3 step 2: read-lock the segment; pre-existing updaters must commit
+    // first. Readers are unaffected (MVCC) or share the lock (MGL: IS).
+    let granted = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let txn = c.txn.begin(TxnKind::System);
+        let m = c.mover.as_mut().expect("mover active");
+        m.chains[chain as usize].txn = Some(txn);
+        match c
+            .txn
+            .locks
+            .acquire(txn, LockTarget::Segment(mv.seg), LockMode::S)
+        {
+            LockAcquire::Granted => true,
+            LockAcquire::Waiting => {
+                c.lock_waiters.insert(txn, Waiter::Mover(chain));
+                false
+            }
+            LockAcquire::Deadlock => {
+                // Movers only hold one lock; a deadlock here means a user
+                // upgrade cycle — retry shortly.
+                let grants = c.txn.abort(txn, &mut c.indexes, &mut c.store).unwrap_or_default();
+                let m = c.mover.as_mut().expect("mover active");
+                m.chains[chain as usize].segments.push_front(mv);
+                m.chains[chain as usize].txn = None;
+                drop(grants);
+                let handle = cl.clone();
+                sim.after(SimDuration::from_millis(20), move |sim| {
+                    next_segment_move(&handle, sim, chain)
+                });
+                return;
+            }
+        }
+    };
+    if granted {
+        segment_lock_granted(cl, sim, chain);
+    }
+}
+
+fn segment_lock_granted(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    // §4.3 step 3: flush dirty pages (checkpoint semantics), then copy the
+    // segment at raw device speed: source disk read and wire transfer
+    // pipelined (join), destination write overlapped with receive.
+    let (mv, bytes, src_disk_idx) = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let m = c.mover.as_mut().expect("mover active");
+        let mv = m.chains[chain as usize].current.expect("current move");
+        let meta = c.seg_dir.get(mv.seg).expect("segment meta");
+        let footprint = meta.disk_footprint().as_u64().max(wattdb_storage::PAGE_SIZE as u64);
+        let bytes = footprint * c.cfg.io_scale;
+        m.bytes_moved += bytes;
+        // Log the move bracket on the source's WAL.
+        c.nodes[mv.from.raw() as usize].log.append(
+            TxnId::NONE,
+            LogPayload::SegmentMoveStart {
+                segment: mv.seg,
+                to_node: mv.to.raw(),
+            },
+        );
+        // Dirty pages of the segment flush before the copy.
+        let dirty: Vec<_> = c.nodes[mv.from.raw() as usize]
+            .buffer
+            .dirty_pages()
+            .into_iter()
+            .filter(|p| p.segment == mv.seg)
+            .collect();
+        for p in &dirty {
+            c.nodes[mv.from.raw() as usize].buffer.mark_clean(*p);
+        }
+        (mv, bytes, meta.disk.index)
+    };
+    // Join: disk read ∥ network ship; completion when both finish.
+    use std::cell::Cell;
+    use std::rc::Rc;
+    let remaining = Rc::new(Cell::new(2u8));
+    let handle = cl.clone();
+    let make_arm = |cl: &ClusterRc| -> EventFn {
+        let remaining = remaining.clone();
+        let handle = cl.clone();
+        Box::new(move |sim: &mut Sim| {
+            remaining.set(remaining.get() - 1);
+            if remaining.get() == 0 {
+                segment_copy_done(&handle, sim, chain);
+            }
+        })
+    };
+    {
+        let mut c = cl.borrow_mut();
+        let arm1 = make_arm(&handle);
+        c.nodes[mv.from.raw() as usize].disks[src_disk_idx as usize].bulk_transfer(
+            sim,
+            ByteSize::bytes(bytes),
+            arm1,
+        );
+    }
+    {
+        let c = cl.borrow();
+        let arm2 = make_arm(&handle);
+        c.net
+            .send(sim, mv.from, mv.to, ByteSize::bytes(bytes), arm2);
+    }
+}
+
+fn segment_copy_done(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    let grants = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let scheme = c.cfg.scheme;
+        let m = c.mover.as_mut().expect("mover active");
+        let mv = m.chains[chain as usize].current.take().expect("current");
+        let txn = m.chains[chain as usize].txn.take().expect("mover txn");
+        m.segments_moved += 1;
+        match scheme {
+            Scheme::Physiological => {
+                // §4.3 step 4: ownership switch — detach from the source's
+                // top index, attach to the target's; the per-segment PK
+                // index travels untouched. Then the master drops the old
+                // pointer.
+                let src_pid = c
+                    .partitions
+                    .values()
+                    .find(|p| p.table == mv.table && p.node == mv.from)
+                    .map(|p| p.id)
+                    .expect("source partition");
+                let dst_pid = c.partition_on(mv.table, mv.to);
+                c.partitions
+                    .get_mut(&src_pid)
+                    .expect("src")
+                    .top
+                    .detach(mv.seg)
+                    .expect("attached");
+                c.partitions
+                    .get_mut(&dst_pid)
+                    .expect("dst")
+                    .top
+                    .attach(mv.seg, mv.range)
+                    .expect("tiles");
+                // Storage follows ownership (shared nothing): place on the
+                // target's SSD.
+                let n_disks = c.nodes[mv.to.raw() as usize].disks.len();
+                let disk_idx = if n_disks > 1 { 1 + (mv.seg.raw() as usize % (n_disks - 1)) } else { 0 };
+                c.seg_dir
+                    .relocate(mv.seg, mv.to, wattdb_common::DiskId::new(mv.to, disk_idx as u8))
+                    .expect("relocate");
+                c.router
+                    .complete_move(mv.table, mv.range)
+                    .expect("complete move");
+                // Old buffered pages are dropped at the source.
+                c.nodes[mv.from.raw() as usize].buffer.evict_segment(mv.seg);
+            }
+            Scheme::Physical => {
+                // §4.1: only the physical placement changes; ownership and
+                // routing stay at the source. Future accesses pay the wire.
+                let n_disks = c.nodes[mv.to.raw() as usize].disks.len();
+                let disk_idx = if n_disks > 1 { 1 + (mv.seg.raw() as usize % (n_disks - 1)) } else { 0 };
+                c.seg_dir
+                    .relocate(mv.seg, mv.to, wattdb_common::DiskId::new(mv.to, disk_idx as u8))
+                    .expect("relocate");
+                c.nodes[mv.from.raw() as usize].buffer.evict_segment(mv.seg);
+            }
+            Scheme::Logical => unreachable!("segment moves not used logically"),
+        }
+        c.nodes[mv.from.raw() as usize].log.append(
+            TxnId::NONE,
+            LogPayload::SegmentMoveEnd { segment: mv.seg },
+        );
+        // Release the segment lock: queued writers resume, redirected to
+        // the new owner by routing on their next op.
+        let (_, grants) = c.txn.commit(txn, &mut c.store).expect("system commit");
+        grants
+    };
+    resume_grants(cl, sim, grants);
+    next_segment_move(cl, sim, chain);
+}
+
+// ----------------------------------------------------------------- logical
+
+fn next_logical_batch(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    // Pick the batch: up to `migration_batch` keys starting at the cursor.
+    let planned = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let batch_size = c.cfg.migration_batch;
+        loop {
+            let (rm, cursor) = {
+                let m = c.mover.as_mut().expect("mover active");
+                let ch = &mut m.chains[chain as usize];
+                match ch.ranges.front().copied() {
+                    None => {
+                        ch.done = true;
+                        break None;
+                    }
+                    Some(rm) => (rm, ch.cursor.unwrap_or(rm.range.start)),
+                }
+            };
+            // Collect keys from the source partition's segments.
+            let src_part = c
+                .partitions
+                .values()
+                .find(|p| p.table == rm.table && p.node == rm.from)
+                .expect("source partition");
+            let scan_range = KeyRange::new(cursor, rm.range.end);
+            let mut keys: Vec<Key> = Vec::with_capacity(batch_size);
+            'outer: for (seg, seg_range) in src_part.top.prune(scan_range) {
+                let lo = seg_range.start.max(cursor);
+                for (k, _) in c.indexes[&seg].range_scan(KeyRange::new(lo, rm.range.end)) {
+                    keys.push(k);
+                    if keys.len() >= batch_size {
+                        break 'outer;
+                    }
+                }
+            }
+            if keys.is_empty() {
+                // Range drained: commit any held range transaction (MGL-RX
+                // releases its pending-change locks here), collapse routing,
+                // move on.
+                let leftover = {
+                    let m = c.mover.as_mut().expect("mover active");
+                    m.chains[chain as usize].txn.take()
+                };
+                if let Some(txn) = leftover {
+                    let _ = c.txn.commit(txn, &mut c.store);
+                }
+                finish_logical_range(c, rm);
+                let m = c.mover.as_mut().expect("mover active");
+                let ch = &mut m.chains[chain as usize];
+                ch.ranges.pop_front();
+                ch.cursor = None;
+                continue;
+            }
+            let last = *keys.last().expect("non-empty");
+            let batch_end = if keys.len() < batch_size {
+                rm.range.end
+            } else {
+                Key(last.raw() + 1)
+            };
+            let batch_range = KeyRange::new(cursor, batch_end);
+            let m = c.mover.as_mut().expect("mover active");
+            m.chains[chain as usize].cursor = Some(batch_end);
+            break Some((rm, batch_range, keys));
+        }
+    };
+    let Some((rm, batch_range, keys)) = planned else {
+        try_finish(cl, sim);
+        return;
+    };
+    // Master first: dual pointers for the batch range.
+    {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let dst_pid = c.partition_on(rm.table, rm.to);
+        c.router
+            .begin_move(rm.table, batch_range, dst_pid, rm.to)
+            .expect("routable");
+        // Under MGL-RX one system transaction spans the whole range move:
+        // its locks (and before-images, the "pending changes") are held
+        // until the move finishes (§3.5/Fig. 3). Under MVCC each batch
+        // commits promptly so versions stamp and readers advance.
+        let existing = c
+            .mover
+            .as_ref()
+            .and_then(|m| m.chains[chain as usize].txn)
+            .filter(|_| c.txn.mode() == wattdb_txn::CcMode::LockingRx);
+        let txn = existing.unwrap_or_else(|| c.txn.begin(TxnKind::System));
+        let m = c.mover.as_mut().expect("mover");
+        m.chains[chain as usize].txn = Some(txn);
+        m.chains[chain as usize].current = Some(SegmentMove {
+            seg: SegmentId(u64::MAX),
+            table: rm.table,
+            range: batch_range,
+            from: rm.from,
+            to: rm.to,
+        });
+        m.records_moved += keys.len() as u64;
+        // Stash keys for the apply step.
+        c.pending_logical_keys = keys;
+    }
+    logical_acquire_locks(cl, sim, chain);
+}
+
+/// Acquire X locks on every key of the pending batch; park on conflict.
+fn logical_batch_locked(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    logical_acquire_locks(cl, sim, chain)
+}
+
+fn logical_acquire_locks(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    enum Outcome {
+        Ready,
+        Parked,
+        Deadlock,
+    }
+    let outcome = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let m = c.mover.as_ref().expect("mover");
+        let txn = m.chains[chain as usize].txn.expect("txn");
+        let mv = m.chains[chain as usize].current.expect("current");
+        // §3.5: under MVCC the mover needs no record locks — readers use
+        // old versions and writers version on top; only the MGL-RX
+        // baseline X-locks the batch (its "pending changes" cost, Fig. 3).
+        let keys = if c.txn.mode() == wattdb_txn::CcMode::Mvcc {
+            Vec::new()
+        } else {
+            c.pending_logical_keys.clone()
+        };
+        let mut out = Outcome::Ready;
+        for k in keys {
+            match c
+                .txn
+                .locks
+                .acquire(txn, LockTarget::Record(mv.table, k), LockMode::X)
+            {
+                LockAcquire::Granted => continue,
+                LockAcquire::Waiting => {
+                    c.lock_waiters.insert(txn, Waiter::Mover(chain));
+                    out = Outcome::Parked;
+                    break;
+                }
+                LockAcquire::Deadlock => {
+                    out = Outcome::Deadlock;
+                    break;
+                }
+            }
+        }
+        match out {
+            Outcome::Deadlock => {
+                let grants = c.txn.abort(txn, &mut c.indexes, &mut c.store).unwrap_or_default();
+                c.lock_waiters.remove(&txn);
+                // Rewind the batch: routing + cursor.
+                let m = c.mover.as_mut().expect("mover");
+                let mv = m.chains[chain as usize].current.take().expect("current");
+                m.chains[chain as usize].txn = None;
+                m.chains[chain as usize].cursor = Some(mv.range.start);
+                c.router.abort_move(mv.table, mv.range).ok();
+                drop(grants);
+                Outcome::Deadlock
+            }
+            o => o,
+        }
+    };
+    match outcome {
+        Outcome::Ready => logical_copy_records(cl, sim, chain),
+        Outcome::Parked => {}
+        Outcome::Deadlock => {
+            let handle = cl.clone();
+            sim.after(SimDuration::from_millis(20), move |sim| {
+                next_logical_batch(&handle, sim, chain)
+            });
+        }
+    }
+}
+
+fn logical_copy_records(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    // Charge the batch's hardware demands, then apply the record moves.
+    let (mv, scan_bytes, ship_bytes, src_disk, cpu) = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let m = c.mover.as_ref().expect("mover");
+        let mv = m.chains[chain as usize].current.expect("current");
+        let keys = &c.pending_logical_keys;
+        // Pages touched while hunting the records (scattered): one page per
+        // record, scaled.
+        let pages = keys.len() as u64;
+        let scan_bytes =
+            pages * wattdb_storage::PAGE_SIZE as u64 * c.cfg.io_scale / 8;
+        let width: u64 = 128; // mixed-table average row image
+        let ship_bytes = keys.len() as u64 * width * c.cfg.io_scale;
+        let cpu = c.cfg.costs.scan_per_record * keys.len() as u64 * 2;
+        let meta_disk = c
+            .seg_dir
+            .on_node(mv.from)
+            .next()
+            .map(|s| s.disk.index)
+            .unwrap_or(1);
+        let mm = c.mover.as_mut().expect("mover");
+        mm.bytes_moved += ship_bytes;
+        (mv, scan_bytes, ship_bytes, meta_disk, cpu)
+    };
+    let handle = cl.clone();
+    // Chain: scan I/O → CPU → wire → apply.
+    let after_wire: EventFn = Box::new(move |sim| logical_apply_batch(&handle, sim, chain));
+    let handle2 = cl.clone();
+    let after_cpu: EventFn = Box::new(move |sim| {
+        let c = handle2.borrow();
+        c.net
+            .send(sim, mv.from, mv.to, ByteSize::bytes(ship_bytes), after_wire);
+    });
+    let handle3 = cl.clone();
+    let after_scan: EventFn = Box::new(move |sim| {
+        let cpu_res = handle3.borrow().nodes[mv.from.raw() as usize].cpu.clone();
+        wattdb_sim::Resource::submit(&cpu_res, sim, cpu, after_cpu);
+    });
+    {
+        let mut c = cl.borrow_mut();
+        c.nodes[mv.from.raw() as usize].disks[src_disk as usize].bulk_transfer(
+            sim,
+            ByteSize::bytes(scan_bytes),
+            after_scan,
+        );
+    }
+}
+
+fn logical_apply_batch(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    let grants = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let m = c.mover.as_mut().expect("mover");
+        let mv = m.chains[chain as usize].current.take().expect("current");
+        let txn = m.chains[chain as usize].txn.take().expect("txn");
+        let keys = std::mem::take(&mut c.pending_logical_keys);
+        // Target segment covering exactly this batch range.
+        let dst_pid = c.partition_on(mv.table, mv.to);
+        let dst_seg = c
+            .open_segment(mv.table, mv.to, dst_pid, mv.range)
+            .expect("fresh segment tiles");
+        let src_pid = c
+            .partitions
+            .values()
+            .find(|p| p.table == mv.table && p.node == mv.from)
+            .map(|p| p.id)
+            .expect("source partition");
+        for k in keys {
+            // Read current image at the source, tombstone it, re-create at
+            // the target — all inside the system transaction.
+            let src_seg = match c.partitions[&src_pid].top.segment_for(k) {
+                Some(s) => s,
+                None => continue,
+            };
+            let rec = {
+                let idx = c.indexes.get(&src_seg).expect("index");
+                match c.txn.read(txn, idx, &c.store, k) {
+                    Ok(Some(r)) => r,
+                    _ => continue,
+                }
+            };
+            {
+                let idx = c.indexes.get_mut(&src_seg).expect("index");
+                let _ = c.txn.delete(txn, idx, &mut c.store, u32::MAX, k);
+            }
+            {
+                let idx = c.indexes.get_mut(&dst_seg).expect("index");
+                let _ = c.txn.insert(
+                    txn,
+                    idx,
+                    &mut c.store,
+                    u32::MAX,
+                    k,
+                    rec.logical_width,
+                    rec.payload,
+                );
+            }
+            // WAL on both ends.
+            c.nodes[mv.from.raw() as usize].log.append(
+                txn,
+                LogPayload::Delete {
+                    segment: src_seg,
+                    before: vec![0; rec.logical_width as usize + 32],
+                },
+            );
+            c.nodes[mv.to.raw() as usize].log.append(
+                txn,
+                LogPayload::Insert {
+                    segment: dst_seg,
+                    after: vec![0; rec.logical_width as usize + 32],
+                },
+            );
+        }
+        // Hand the batch range's ownership to the target.
+        c.router
+            .complete_move(mv.table, mv.range)
+            .expect("complete");
+        // Range end? (The last batch's range extends to the move's end.)
+        let range_done = c
+            .mover
+            .as_ref()
+            .and_then(|m| m.chains[chain as usize].ranges.front())
+            .map(|rm| mv.range.end >= rm.range.end)
+            .unwrap_or(true);
+        if c.txn.mode() == wattdb_txn::CcMode::LockingRx && !range_done {
+            // Keep the system transaction (locks + pending changes) open.
+            let m = c.mover.as_mut().expect("mover");
+            m.chains[chain as usize].txn = Some(txn);
+            Vec::new()
+        } else {
+            let (_, grants) = c.txn.commit(txn, &mut c.store).expect("system commit");
+            grants
+        }
+    };
+    resume_grants(cl, sim, grants);
+    // Commit durability: flush both logs as a bulk write, then continue.
+    let handle = cl.clone();
+    sim.after(SimDuration::from_millis(2), move |sim| {
+        next_logical_batch(&handle, sim, chain)
+    });
+}
+
+/// After a logical range drains, collapse the remaining routing so future
+/// inserts in the moved range land at the target.
+fn finish_logical_range(c: &mut Cluster, rm: RangeMove) {
+    // Any leftover routing entries still marked moving are completed.
+    let _ = c.router.complete_move(rm.table, rm.range);
+    let _ = c.router.coalesce(rm.table);
+}
+
+fn try_finish(cl: &ClusterRc, sim: &mut Sim) {
+    let mut c = cl.borrow_mut();
+    let c = &mut *c;
+    maybe_finish(c, sim.now());
+}
+
+fn maybe_finish(c: &mut Cluster, now: SimTime) {
+    let done = c.mover.as_ref().map(|m| m.all_done()).unwrap_or(false);
+    if !done {
+        return;
+    }
+    if let Some(m) = c.mover.as_mut() {
+        m.finished = Some(now);
+    }
+    let stats = c.mover.take().expect("mover");
+    c.last_rebalance = Some(RebalanceReport {
+        scheme: stats.scheme,
+        started: stats.started,
+        finished: now,
+        segments_moved: stats.segments_moved,
+        records_moved: stats.records_moved,
+        bytes_moved: stats.bytes_moved,
+    });
+    // Helpers detach (Fig. 8: "after rebalancing, the additional nodes
+    // should be turned off again").
+    let helpers = std::mem::take(&mut c.helpers_active);
+    for h in helpers {
+        for n in &mut c.nodes {
+            if n.helper == Some(h) {
+                n.helper = None;
+                n.buffer.set_remote_capacity(0);
+                n.shipper.detach(h);
+            }
+        }
+        c.power_off(h);
+    }
+}
+
+/// Summary of the last completed rebalance.
+#[derive(Debug, Clone, Copy)]
+pub struct RebalanceReport {
+    /// Scheme used.
+    pub scheme: Scheme,
+    /// Start time.
+    pub started: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+    /// Segments moved.
+    pub segments_moved: u64,
+    /// Records moved (logical only).
+    pub records_moved: u64,
+    /// Bytes shipped (post io_scale).
+    pub bytes_moved: u64,
+}
+
+/// Attach helper nodes for the improved physiological run (Fig. 8): each
+/// source ships its log to a helper and extends its buffer pool into the
+/// helper's DRAM.
+pub fn attach_helpers(cl: &ClusterRc, _sim: &mut Sim, sources: &[NodeId], helpers: &[NodeId]) {
+    let mut c = cl.borrow_mut();
+    let c = &mut *c;
+    for &h in helpers {
+        c.power_on(h);
+    }
+    c.helpers_active = helpers.to_vec();
+    let remote_pages = c.cfg.buffer_pages;
+    for (i, &src) in sources.iter().enumerate() {
+        let h = helpers[i % helpers.len()];
+        let node = &mut c.nodes[src.raw() as usize];
+        node.helper = Some(h);
+        node.buffer.set_remote_capacity(remote_pages);
+        let log_ref = &node.log;
+        node.shipper.attach(h, log_ref);
+    }
+}
+
+/// Is a rebalance still running?
+pub fn rebalancing(cl: &ClusterRc) -> bool {
+    cl.borrow().mover.is_some()
+}
+
+/// Convenience for TPC-C experiments: move `fraction` of every TPC-C table.
+pub fn tpcc_tables() -> Vec<TableId> {
+    TpccTable::ALL.iter().map(|t| t.table_id()).collect()
+}

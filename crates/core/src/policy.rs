@@ -1,0 +1,276 @@
+//! Threshold-driven elasticity policy (§3.4).
+//!
+//! "The master checks the incoming performance data to predefined
+//! thresholds — with both upper and lower bounds. If an overloaded
+//! component is detected, it will decide where to distribute data and
+//! whether to power on additional nodes [...] Similarly, underutilized
+//! nodes trigger a scale-in protocol." The CPU ceiling is 80 %.
+
+use wattdb_common::NodeId;
+use wattdb_energy::NodeState;
+use wattdb_sim::Sim;
+
+use crate::cluster::ClusterRc;
+use crate::migration::{rebalancing, start_rebalance};
+use crate::monitor::ClusterView;
+
+/// Policy thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyConfig {
+    /// Scale out when an active node's CPU exceeds this (paper: 0.8).
+    pub cpu_high: f64,
+    /// Scale in when all active nodes sit below this.
+    pub cpu_low: f64,
+    /// Consecutive breaching windows before acting (hysteresis).
+    pub patience: u32,
+    /// Fraction of the hot node's data to offload.
+    pub move_fraction: f64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self {
+            cpu_high: 0.8,
+            cpu_low: 0.25,
+            patience: 3,
+            move_fraction: 0.5,
+        }
+    }
+}
+
+/// What the policy decided for one monitoring window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Nothing to do.
+    Hold,
+    /// Spread data from the overloaded sources to fresh targets.
+    ScaleOut {
+        /// Overloaded nodes to relieve.
+        sources: Vec<NodeId>,
+        /// Standby nodes to power on.
+        targets: Vec<NodeId>,
+    },
+    /// Consolidate data away from underutilized nodes (drain + power off).
+    ScaleIn {
+        /// Nodes to drain.
+        drain: Vec<NodeId>,
+    },
+}
+
+/// Stateful policy evaluated once per monitoring window.
+#[derive(Debug)]
+pub struct ElasticityPolicy {
+    cfg: PolicyConfig,
+    high_streak: u32,
+    low_streak: u32,
+}
+
+impl ElasticityPolicy {
+    /// Policy with the given thresholds.
+    pub fn new(cfg: PolicyConfig) -> Self {
+        Self {
+            cfg,
+            high_streak: 0,
+            low_streak: 0,
+        }
+    }
+
+    /// Evaluate one monitoring view. `standby` lists nodes available to
+    /// power on; `active_with_data` the nodes currently serving.
+    pub fn evaluate(
+        &mut self,
+        view: &ClusterView,
+        standby: &[NodeId],
+        active_with_data: &[NodeId],
+    ) -> Decision {
+        let hot = view.overloaded(self.cfg.cpu_high);
+        if !hot.is_empty() && !standby.is_empty() {
+            self.high_streak += 1;
+            self.low_streak = 0;
+            if self.high_streak >= self.cfg.patience {
+                self.high_streak = 0;
+                let targets: Vec<NodeId> =
+                    standby.iter().copied().take(hot.len()).collect();
+                return Decision::ScaleOut {
+                    sources: hot,
+                    targets,
+                };
+            }
+            return Decision::Hold;
+        }
+        // Scale-in: every active data node under the low bound and more
+        // than one of them (never drain the last node).
+        let active: Vec<_> = view.reports.iter().filter(|r| r.active).collect();
+        let all_low = !active.is_empty()
+            && active.iter().all(|r| r.cpu < self.cfg.cpu_low)
+            && active_with_data.len() > 1;
+        if all_low {
+            self.low_streak += 1;
+            self.high_streak = 0;
+            if self.low_streak >= self.cfg.patience {
+                self.low_streak = 0;
+                // Drain the highest-numbered data node.
+                let drain = active_with_data
+                    .iter()
+                    .max()
+                    .map(|n| vec![*n])
+                    .unwrap_or_default();
+                return Decision::ScaleIn { drain };
+            }
+        } else {
+            self.low_streak = 0;
+            self.high_streak = 0;
+        }
+        Decision::Hold
+    }
+
+    /// Thresholds in force.
+    pub fn config(&self) -> &PolicyConfig {
+        &self.cfg
+    }
+}
+
+/// Apply a decision to the cluster: power nodes and start migrations.
+pub fn apply(cl: &ClusterRc, sim: &mut Sim, decision: &Decision, move_fraction: f64) {
+    if rebalancing(cl) {
+        return; // one rebalance at a time
+    }
+    match decision {
+        Decision::Hold => {}
+        Decision::ScaleOut { sources, targets } => {
+            if targets.is_empty() {
+                return;
+            }
+            start_rebalance(cl, sim, move_fraction, sources, targets);
+        }
+        Decision::ScaleIn { drain } => {
+            // Move *everything* off the drained nodes onto the remaining
+            // data nodes, then the migration engine powers nothing off —
+            // the caller re-checks emptiness and powers down.
+            let targets: Vec<NodeId> = {
+                let c = cl.borrow();
+                c.active_nodes()
+                    .into_iter()
+                    .filter(|n| !drain.contains(n) && c.seg_dir.on_node(*n).next().is_some())
+                    .collect()
+            };
+            if targets.is_empty() {
+                return;
+            }
+            start_rebalance(cl, sim, 1.0, drain, &targets);
+        }
+    }
+}
+
+/// Power off every active node that holds no segments and runs no helper
+/// duty (post scale-in cleanup). Returns the nodes suspended.
+pub fn suspend_empty_nodes(cl: &ClusterRc) -> Vec<NodeId> {
+    let mut c = cl.borrow_mut();
+    let c = &mut *c;
+    let mut off = Vec::new();
+    for i in 1..c.nodes.len() {
+        // never the master
+        let id = NodeId(i as u16);
+        let empty = c.seg_dir.on_node(id).next().is_none();
+        let is_helper = c.helpers_active.contains(&id);
+        if empty && !is_helper && c.nodes[i].state == NodeState::Active {
+            c.nodes[i].state = NodeState::Standby;
+            off.push(id);
+        }
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::NodeReport;
+    use wattdb_common::SimTime;
+
+    fn view(cpus: &[(u16, f64)]) -> ClusterView {
+        ClusterView {
+            reports: cpus
+                .iter()
+                .map(|&(n, cpu)| NodeReport {
+                    node: NodeId(n),
+                    at: SimTime::ZERO,
+                    cpu,
+                    disk: 0.0,
+                    net_tx: 0.0,
+                    buffer_hit_ratio: 0.9,
+                    active: true,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn scale_out_after_patience() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 2,
+            ..Default::default()
+        });
+        let hot = view(&[(0, 0.95), (1, 0.5)]);
+        let standby = [NodeId(2), NodeId(3)];
+        let data = [NodeId(0), NodeId(1)];
+        assert_eq!(p.evaluate(&hot, &standby, &data), Decision::Hold);
+        match p.evaluate(&hot, &standby, &data) {
+            Decision::ScaleOut { sources, targets } => {
+                assert_eq!(sources, vec![NodeId(0)]);
+                assert_eq!(targets, vec![NodeId(2)]);
+            }
+            other => panic!("expected scale-out, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_scale_out_without_standby_nodes() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            ..Default::default()
+        });
+        let hot = view(&[(0, 0.95)]);
+        assert_eq!(p.evaluate(&hot, &[], &[NodeId(0)]), Decision::Hold);
+    }
+
+    #[test]
+    fn scale_in_when_everyone_idles() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 2,
+            ..Default::default()
+        });
+        let idle = view(&[(0, 0.05), (1, 0.1)]);
+        let data = [NodeId(0), NodeId(1)];
+        assert_eq!(p.evaluate(&idle, &[], &data), Decision::Hold);
+        match p.evaluate(&idle, &[], &data) {
+            Decision::ScaleIn { drain } => assert_eq!(drain, vec![NodeId(1)]),
+            other => panic!("expected scale-in, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_drain_the_last_data_node() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            ..Default::default()
+        });
+        let idle = view(&[(0, 0.05)]);
+        assert_eq!(p.evaluate(&idle, &[], &[NodeId(0)]), Decision::Hold);
+    }
+
+    #[test]
+    fn hysteresis_resets_on_recovery() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 3,
+            ..Default::default()
+        });
+        let hot = view(&[(0, 0.95)]);
+        let cool = view(&[(0, 0.5)]);
+        let standby = [NodeId(2)];
+        let data = [NodeId(0)];
+        p.evaluate(&hot, &standby, &data);
+        p.evaluate(&hot, &standby, &data);
+        p.evaluate(&cool, &standby, &data); // streak resets
+        assert_eq!(p.evaluate(&hot, &standby, &data), Decision::Hold);
+    }
+}

@@ -1,0 +1,15 @@
+//! Power and energy models for WattDB-RS.
+//!
+//! Substitutes the paper's wall-socket power meter: node, drive, and switch
+//! power draws are computed from measured (virtual-time) utilization using
+//! the calibrated model of §3.1, and integrated into Joules by the
+//! [`EnergyMeter`]. Also provides energy-proportionality metrics matching
+//! the paper's motivation (§1).
+
+pub mod meter;
+pub mod power;
+pub mod proportionality;
+
+pub use meter::{EnergyMeter, PowerSample};
+pub use power::{NodeState, PowerModel};
+pub use proportionality::{idle_to_peak_ratio, proportionality_index, UtilPower};

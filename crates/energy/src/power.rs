@@ -1,0 +1,102 @@
+//! Power models for cluster components (§3.1 of the paper).
+//!
+//! The testbed nodes draw 22–26 W when active — linear in utilization — and
+//! 2.5 W in standby; the Gigabit switch draws a constant 20 W and "is
+//! included in all measurements". Drives add their own draw while their
+//! node is powered.
+
+use wattdb_common::config::DiskKind;
+use wattdb_common::{PowerSpec, Watts};
+
+/// Power state of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeState {
+    /// Powered and participating in the cluster.
+    Active,
+    /// Suspended-to-RAM: drawing standby power, not serving.
+    Standby,
+}
+
+/// Computes component power draws from the calibrated [`PowerSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    spec: PowerSpec,
+}
+
+impl PowerModel {
+    /// Model with the given spec.
+    pub fn new(spec: PowerSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &PowerSpec {
+        &self.spec
+    }
+
+    /// Node draw excluding drives: linear between idle and max with CPU
+    /// utilization in [0,1]; standby draw when suspended.
+    pub fn node_power(&self, state: NodeState, utilization: f64) -> Watts {
+        match state {
+            NodeState::Standby => Watts(self.spec.node_standby_w),
+            NodeState::Active => {
+                let u = utilization.clamp(0.0, 1.0);
+                Watts(self.spec.node_idle_w + u * (self.spec.node_max_w - self.spec.node_idle_w))
+            }
+        }
+    }
+
+    /// One drive's draw while its node is active. Drives on standby nodes
+    /// draw nothing (spun down / powered off with the node).
+    pub fn disk_power(&self, kind: DiskKind, node_state: NodeState) -> Watts {
+        match node_state {
+            NodeState::Standby => Watts::ZERO,
+            NodeState::Active => match kind {
+                DiskKind::Hdd => Watts(self.spec.hdd_w),
+                DiskKind::Ssd => Watts(self.spec.ssd_w),
+            },
+        }
+    }
+
+    /// The interconnect switch: always on.
+    pub fn switch_power(&self) -> Watts {
+        Watts(self.spec.switch_w)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::new(PowerSpec::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_power_linear_in_utilization() {
+        let m = PowerModel::default();
+        assert_eq!(m.node_power(NodeState::Active, 0.0), Watts(22.0));
+        assert_eq!(m.node_power(NodeState::Active, 1.0), Watts(26.0));
+        assert_eq!(m.node_power(NodeState::Active, 0.5), Watts(24.0));
+        // Clamped outside [0,1].
+        assert_eq!(m.node_power(NodeState::Active, 7.0), Watts(26.0));
+        assert_eq!(m.node_power(NodeState::Active, -1.0), Watts(22.0));
+    }
+
+    #[test]
+    fn standby_power() {
+        let m = PowerModel::default();
+        assert_eq!(m.node_power(NodeState::Standby, 0.9), Watts(2.5));
+        assert_eq!(m.disk_power(DiskKind::Hdd, NodeState::Standby), Watts::ZERO);
+    }
+
+    #[test]
+    fn drive_and_switch_power() {
+        let m = PowerModel::default();
+        assert_eq!(m.disk_power(DiskKind::Hdd, NodeState::Active), Watts(6.0));
+        assert_eq!(m.disk_power(DiskKind::Ssd, NodeState::Active), Watts(1.5));
+        assert_eq!(m.switch_power(), Watts(20.0));
+    }
+}

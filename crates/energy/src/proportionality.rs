@@ -1,0 +1,105 @@
+//! Energy-proportionality metrics.
+//!
+//! The paper's motivation (§1, citing Barroso & Hölzle) is that single
+//! servers draw ~50 % of peak power at idle and hence are far from energy
+//! proportional. This module quantifies that: given (utilization, power)
+//! observations, it computes how close a system tracks the ideal
+//! `P(u) = u · P(1.0)` line.
+
+use wattdb_common::Watts;
+
+/// One observation: system-level utilization and the power drawn there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilPower {
+    /// Utilization in [0,1].
+    pub utilization: f64,
+    /// Observed power.
+    pub power: Watts,
+}
+
+/// Energy-proportionality index over a set of observations.
+///
+/// Defined as `1 - mean(excess)`, where `excess` at each observation is the
+/// power drawn beyond proportional, normalized by peak power:
+/// `(P(u) - u·P_peak) / P_peak`. A perfectly proportional system scores 1.0;
+/// a system drawing peak power at idle scores ~0.
+pub fn proportionality_index(observations: &[UtilPower]) -> f64 {
+    let peak = observations
+        .iter()
+        .map(|o| o.power.0)
+        .fold(f64::NAN, f64::max);
+    if observations.is_empty() || !peak.is_finite() || peak <= 0.0 {
+        return 0.0;
+    }
+    let mean_excess: f64 = observations
+        .iter()
+        .map(|o| ((o.power.0 - o.utilization.clamp(0.0, 1.0) * peak) / peak).max(0.0))
+        .sum::<f64>()
+        / observations.len() as f64;
+    (1.0 - mean_excess).clamp(0.0, 1.0)
+}
+
+/// The "power range" figure of merit: idle power as a fraction of peak.
+/// Barroso & Hölzle report ~0.5 for the servers that motivated the paper.
+pub fn idle_to_peak_ratio(observations: &[UtilPower]) -> f64 {
+    let peak = observations
+        .iter()
+        .map(|o| o.power.0)
+        .fold(f64::NAN, f64::max);
+    let idle = observations
+        .iter()
+        .filter(|o| o.utilization <= 0.05)
+        .map(|o| o.power.0)
+        .fold(f64::NAN, f64::min);
+    if peak.is_finite() && idle.is_finite() && peak > 0.0 {
+        idle / peak
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pairs: &[(f64, f64)]) -> Vec<UtilPower> {
+        pairs
+            .iter()
+            .map(|&(u, p)| UtilPower {
+                utilization: u,
+                power: Watts(p),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfectly_proportional_scores_one() {
+        let o = obs(&[(0.0, 0.0), (0.25, 25.0), (0.5, 50.0), (1.0, 100.0)]);
+        assert!((proportionality_index(&o) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_power_scores_low() {
+        // Draws peak power regardless of utilization.
+        let o = obs(&[(0.0, 100.0), (0.5, 100.0), (1.0, 100.0)]);
+        let idx = proportionality_index(&o);
+        assert!(idx < 0.6, "flat curve should score poorly, got {idx}");
+    }
+
+    #[test]
+    fn single_server_vs_cluster_shape() {
+        // Single brawny server: 50 % at idle (the paper's motivation).
+        let server = obs(&[(0.0, 50.0), (0.5, 75.0), (1.0, 100.0)]);
+        // Node-deactivating cluster: near-proportional steps.
+        let cluster = obs(&[(0.0, 12.0), (0.5, 55.0), (1.0, 100.0)]);
+        assert!(proportionality_index(&cluster) > proportionality_index(&server));
+        assert!((idle_to_peak_ratio(&server) - 0.5).abs() < 1e-9);
+        assert!(idle_to_peak_ratio(&cluster) < 0.2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(proportionality_index(&[]), 0.0);
+        assert_eq!(idle_to_peak_ratio(&[]), 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-segment primary-key indexes (the "multi-rooted" trees).
+//!
+//! Under physiological partitioning "each segment keeps a primary-key index
+//! for all records within it. [...] Moving a segment from one partition to
+//! another does not invalidate the primary-key index of the segment" (§4.3).
+//! A [`SegmentIndex`] is that per-segment tree: it travels with its segment,
+//! so a move only updates the top indexes of the two partitions involved.
+
+use wattdb_common::{Key, KeyRange, RecordId, SegmentId};
+
+use crate::btree::BPlusTree;
+
+/// Primary-key index over one segment's records.
+#[derive(Debug, Clone)]
+pub struct SegmentIndex {
+    segment: SegmentId,
+    /// Mini-partition bounds: every indexed key must fall inside.
+    range: KeyRange,
+    tree: BPlusTree<RecordId>,
+}
+
+impl SegmentIndex {
+    /// Empty index for `segment` covering `range`.
+    pub fn new(segment: SegmentId, range: KeyRange) -> Self {
+        Self {
+            segment,
+            range,
+            tree: BPlusTree::new(),
+        }
+    }
+
+    /// The segment this index belongs to.
+    pub fn segment(&self) -> SegmentId {
+        self.segment
+    }
+
+    /// The key range this segment is responsible for.
+    pub fn range(&self) -> KeyRange {
+        self.range
+    }
+
+    /// Rebind to a new segment id (used when a move materializes the
+    /// segment under a fresh id on the receiving node; the index content is
+    /// unchanged — the paper's core trick).
+    pub fn rebind(&mut self, segment: SegmentId) {
+        self.segment = segment;
+    }
+
+    /// Narrow/replace the covered range (segment split).
+    pub fn set_range(&mut self, range: KeyRange) {
+        debug_assert!(self
+            .tree
+            .iter()
+            .iter()
+            .all(|(k, _)| range.contains(*k)));
+        self.range = range;
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Tree height (≙ node visits per lookup).
+    pub fn height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Insert a key → record mapping. Panics if the key is outside the
+    /// segment's range (router/top-index bug).
+    pub fn insert(&mut self, key: Key, rid: RecordId) -> Option<RecordId> {
+        assert!(
+            self.range.contains(key),
+            "{key} outside segment range {}",
+            self.range
+        );
+        self.tree.insert(key, rid)
+    }
+
+    /// Point lookup; returns the record id and node visits (for costing).
+    pub fn get(&self, key: Key) -> (Option<RecordId>, usize) {
+        let (v, visits) = self.tree.get(key);
+        (v.copied(), visits)
+    }
+
+    /// Remove a key.
+    pub fn remove(&mut self, key: Key) -> Option<RecordId> {
+        self.tree.remove(key)
+    }
+
+    /// Entries within `range` (ascending).
+    pub fn range_scan(&self, range: KeyRange) -> Vec<(Key, RecordId)> {
+        self.tree
+            .range(range)
+            .into_iter()
+            .map(|(k, v)| (k, *v))
+            .collect()
+    }
+
+    /// All entries (ascending).
+    pub fn entries(&self) -> Vec<(Key, RecordId)> {
+        self.range_scan(KeyRange::all())
+    }
+
+    /// Split helper for segment splits: entries at or above `mid`.
+    pub fn entries_from(&self, mid: Key) -> Vec<(Key, RecordId)> {
+        self.range_scan(KeyRange::new(mid, self.range.end))
+    }
+
+    /// Structural self-check (tests).
+    pub fn check_invariants(&self) {
+        self.tree.check_invariants();
+        for (k, _) in self.tree.iter() {
+            assert!(self.range.contains(k), "{k} outside {}", self.range);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattdb_common::PageId;
+
+    fn rid(n: u32) -> RecordId {
+        RecordId::new(PageId::new(SegmentId(1), n), 0)
+    }
+
+    fn idx() -> SegmentIndex {
+        SegmentIndex::new(SegmentId(1), KeyRange::new(Key(100), Key(200)))
+    }
+
+    #[test]
+    fn insert_get_within_range() {
+        let mut i = idx();
+        i.insert(Key(150), rid(1));
+        assert_eq!(i.get(Key(150)).0, Some(rid(1)));
+        assert_eq!(i.get(Key(151)).0, None);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside segment range")]
+    fn insert_outside_range_panics() {
+        let mut i = idx();
+        i.insert(Key(500), rid(1));
+    }
+
+    #[test]
+    fn range_scan_and_split_helper() {
+        let mut i = idx();
+        for k in (100..200).step_by(10) {
+            i.insert(Key(k), rid(k as u32));
+        }
+        let hi = i.entries_from(Key(150));
+        let keys: Vec<u64> = hi.iter().map(|(k, _)| k.raw()).collect();
+        assert_eq!(keys, vec![150, 160, 170, 180, 190]);
+        let window = i.range_scan(KeyRange::new(Key(120), Key(140)));
+        assert_eq!(window.len(), 2);
+    }
+
+    #[test]
+    fn rebind_preserves_content() {
+        let mut i = idx();
+        i.insert(Key(110), rid(9));
+        i.rebind(SegmentId(42));
+        assert_eq!(i.segment(), SegmentId(42));
+        assert_eq!(i.get(Key(110)).0, Some(rid(9)));
+        i.check_invariants();
+    }
+
+    #[test]
+    fn set_range_narrows() {
+        let mut i = idx();
+        i.insert(Key(150), rid(1));
+        i.set_range(KeyRange::new(Key(150), Key(200)));
+        assert_eq!(i.range(), KeyRange::new(Key(150), Key(200)));
+        i.check_invariants();
+    }
+}

@@ -1,0 +1,195 @@
+//! Partition top indexes.
+//!
+//! "Partitions only contain an index on top, keeping information about key
+//! ranges in the attached segments. This top index is very small compared to
+//! an index containing all records from all segments. [...] To reflect the
+//! changes in the partitioned DB, only an update to both of the top indexes
+//! (of the new and old partition) is required." (§4.3)
+//!
+//! The top index also powers *segment pruning*: "the query optimizer can
+//! perform segment pruning, allowing a query to quickly identify unnecessary
+//! segments, having no interesting data."
+//!
+//! Implemented over `std::collections::BTreeMap` — the top index is pure
+//! metadata with at most a few thousand entries; the record-bearing trees
+//! are this repo's own B+-tree ([`crate::btree`]).
+
+use std::collections::BTreeMap;
+
+use wattdb_common::{Error, Key, KeyRange, Result, SegmentId};
+
+/// Key-range → segment map for one partition.
+#[derive(Debug, Clone, Default)]
+pub struct TopIndex {
+    /// Keyed by range start; ranges never overlap.
+    by_start: BTreeMap<u64, (SegmentId, KeyRange)>,
+}
+
+impl TopIndex {
+    /// Empty top index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of attached segments.
+    pub fn len(&self) -> usize {
+        self.by_start.len()
+    }
+
+    /// True if no segments are attached.
+    pub fn is_empty(&self) -> bool {
+        self.by_start.is_empty()
+    }
+
+    /// Attach a segment covering `range`. Fails on overlap with an existing
+    /// attachment (ranges must tile).
+    pub fn attach(&mut self, segment: SegmentId, range: KeyRange) -> Result<()> {
+        if range.is_empty() {
+            return Err(Error::InvalidState("empty segment range"));
+        }
+        // Check the neighbor below and the first entry at/after start.
+        if let Some((_, (_, r))) = self.by_start.range(..=range.start.raw()).next_back() {
+            if r.overlaps(&range) {
+                return Err(Error::InvalidState("overlapping segment range"));
+            }
+        }
+        if let Some((_, (_, r))) = self.by_start.range(range.start.raw()..).next() {
+            if r.overlaps(&range) {
+                return Err(Error::InvalidState("overlapping segment range"));
+            }
+        }
+        self.by_start.insert(range.start.raw(), (segment, range));
+        Ok(())
+    }
+
+    /// Detach `segment`; returns its range.
+    pub fn detach(&mut self, segment: SegmentId) -> Result<KeyRange> {
+        let start = self
+            .by_start
+            .iter()
+            .find(|(_, (s, _))| *s == segment)
+            .map(|(k, _)| *k)
+            .ok_or(Error::UnknownSegment(segment))?;
+        let (_, range) = self.by_start.remove(&start).expect("present");
+        Ok(range)
+    }
+
+    /// The segment responsible for `key`, if any.
+    pub fn segment_for(&self, key: Key) -> Option<SegmentId> {
+        let (_, (seg, range)) = self.by_start.range(..=key.raw()).next_back()?;
+        range.contains(key).then_some(*seg)
+    }
+
+    /// Segment pruning: segments whose ranges intersect `query`.
+    pub fn prune(&self, query: KeyRange) -> Vec<(SegmentId, KeyRange)> {
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // The entry straddling query.start, if any.
+        if let Some((_, (seg, range))) = self.by_start.range(..query.start.raw()).next_back() {
+            if range.overlaps(&query) {
+                out.push((*seg, *range));
+            }
+        }
+        for (_, (seg, range)) in self.by_start.range(query.start.raw()..query.end.raw()) {
+            if range.overlaps(&query) {
+                out.push((*seg, *range));
+            }
+        }
+        out
+    }
+
+    /// All attachments in key order.
+    pub fn segments(&self) -> Vec<(SegmentId, KeyRange)> {
+        self.by_start.values().copied().collect()
+    }
+
+    /// Union of covered ranges, as `(min start, max end)`; `None` if empty.
+    /// (Coverage may have holes; this is the outer envelope.)
+    pub fn envelope(&self) -> Option<KeyRange> {
+        let first = self.by_start.values().next()?;
+        let last = self.by_start.values().next_back()?;
+        Some(KeyRange::new(first.1.start, last.1.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kr(a: u64, b: u64) -> KeyRange {
+        KeyRange::new(Key(a), Key(b))
+    }
+
+    #[test]
+    fn attach_and_lookup() {
+        let mut t = TopIndex::new();
+        t.attach(SegmentId(1), kr(0, 100)).unwrap();
+        t.attach(SegmentId(2), kr(100, 200)).unwrap();
+        assert_eq!(t.segment_for(Key(0)), Some(SegmentId(1)));
+        assert_eq!(t.segment_for(Key(99)), Some(SegmentId(1)));
+        assert_eq!(t.segment_for(Key(100)), Some(SegmentId(2)));
+        assert_eq!(t.segment_for(Key(200)), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut t = TopIndex::new();
+        t.attach(SegmentId(1), kr(0, 100)).unwrap();
+        assert!(t.attach(SegmentId(2), kr(50, 150)).is_err());
+        assert!(t.attach(SegmentId(3), kr(0, 100)).is_err());
+        // Range fully inside an existing one is also rejected.
+        assert!(t.attach(SegmentId(4), kr(10, 20)).is_err());
+        // Adjacent is fine.
+        t.attach(SegmentId(5), kr(100, 150)).unwrap();
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let mut t = TopIndex::new();
+        assert!(t.attach(SegmentId(1), kr(5, 5)).is_err());
+    }
+
+    #[test]
+    fn detach_then_reattach_elsewhere() {
+        let mut t = TopIndex::new();
+        t.attach(SegmentId(1), kr(0, 100)).unwrap();
+        let r = t.detach(SegmentId(1)).unwrap();
+        assert_eq!(r, kr(0, 100));
+        assert_eq!(t.segment_for(Key(50)), None);
+        assert!(t.detach(SegmentId(1)).is_err());
+        // The hole can be filled by another segment — the §4.3 move:
+        // detach from old partition's top index, attach to the new one.
+        t.attach(SegmentId(9), kr(0, 100)).unwrap();
+        assert_eq!(t.segment_for(Key(50)), Some(SegmentId(9)));
+    }
+
+    #[test]
+    fn pruning_selects_overlapping_only() {
+        let mut t = TopIndex::new();
+        for i in 0..10u64 {
+            t.attach(SegmentId(i), kr(i * 100, (i + 1) * 100)).unwrap();
+        }
+        let hits = t.prune(kr(250, 451));
+        let segs: Vec<u64> = hits.iter().map(|(s, _)| s.raw()).collect();
+        assert_eq!(segs, vec![2, 3, 4]);
+        // Query fully inside one segment.
+        let hits = t.prune(kr(110, 120));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, SegmentId(1));
+        // Disjoint query prunes everything.
+        assert!(t.prune(kr(5000, 6000)).is_empty());
+        assert!(t.prune(kr(7, 7)).is_empty());
+    }
+
+    #[test]
+    fn envelope() {
+        let mut t = TopIndex::new();
+        assert!(t.envelope().is_none());
+        t.attach(SegmentId(1), kr(100, 200)).unwrap();
+        t.attach(SegmentId(2), kr(400, 500)).unwrap();
+        assert_eq!(t.envelope(), Some(kr(100, 500)));
+    }
+}

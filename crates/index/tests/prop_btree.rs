@@ -1,0 +1,80 @@
+//! Property tests: the B+-tree against `std::collections::BTreeMap`.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wattdb_common::{Key, KeyRange};
+use wattdb_index::BPlusTree;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Keys drawn from a small domain so removes/gets hit existing entries.
+    let key = 0u64..5_000;
+    prop_oneof![
+        5 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        3 => key.clone().prop_map(Op::Remove),
+        2 => key.clone().prop_map(Op::Get),
+        1 => (key.clone(), key).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn btree_matches_std_model(ops in proptest::collection::vec(op_strategy(), 1..2_000)) {
+        let mut tree: BPlusTree<u64> = BPlusTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(Key(k), v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(Key(k)), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(Key(k)).0, model.get(&k));
+                }
+                Op::Range(a, b) => {
+                    let got: Vec<(u64, u64)> = tree
+                        .range(KeyRange::new(Key(a), Key(b)))
+                        .into_iter()
+                        .map(|(k, v)| (k.raw(), *v))
+                        .collect();
+                    let want: Vec<(u64, u64)> =
+                        model.range(a..b).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+
+        tree.check_invariants();
+        // Full iteration agrees at the end.
+        let got: Vec<u64> = tree.iter().into_iter().map(|(k, _)| k.raw()).collect();
+        let want: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn btree_survives_heavy_deletion(keys in proptest::collection::btree_set(0u64..100_000, 100..1_500)) {
+        let mut tree: BPlusTree<()> = BPlusTree::new();
+        for &k in &keys {
+            tree.insert(Key(k), ());
+        }
+        tree.check_invariants();
+        for &k in &keys {
+            prop_assert_eq!(tree.remove(Key(k)), Some(()));
+        }
+        prop_assert!(tree.is_empty());
+        tree.check_invariants();
+    }
+}

@@ -1,0 +1,13 @@
+//! Simulated cluster interconnect for WattDB-RS.
+//!
+//! Substitutes the testbed's Gigabit Ethernet switch: per-node full-duplex
+//! NIC queueing resources, a fixed switch hop latency, and request/response
+//! helpers. Reproduces the two effects §3.3 isolates — per-call round-trip
+//! amplification for unvectorized remote operators and bandwidth-limited
+//! bulk segment copies.
+
+pub mod network;
+pub mod rpc;
+
+pub use network::{Network, NicStats};
+pub use rpc::round_trip;

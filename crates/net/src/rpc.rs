@@ -1,0 +1,148 @@
+//! Request/response helpers over the network model.
+//!
+//! A remote volcano `next()` call (§3.3), a routing lookup at the master,
+//! or a lock-release notification are all the same shape: request bytes one
+//! way, server-side work, response bytes back. [`round_trip`] wires the
+//! three stages through the simulator; the per-message CPU overhead from
+//! the [`NetworkSpec`] is charged on top by the caller's CPU accounting.
+//!
+//! [`NetworkSpec`]: wattdb_common::NetworkSpec
+
+use wattdb_common::{ByteSize, NodeId, SimDuration};
+use wattdb_sim::{EventFn, Sim};
+
+use crate::network::Network;
+
+/// Issue a request of `req_bytes` from `client` to `server`, model
+/// `server_time` of processing there, send `resp_bytes` back, then fire
+/// `done` at the client.
+///
+/// `server_time` covers the server-side latency that is not separately
+/// modelled through a resource. For CPU-accurate server work, use
+/// [`Network::send`] directly and submit to the server's CPU resource in
+/// the delivery continuation.
+#[allow(clippy::too_many_arguments)]
+pub fn round_trip(
+    net: &Network,
+    sim: &mut Sim,
+    client: NodeId,
+    server: NodeId,
+    req_bytes: ByteSize,
+    resp_bytes: ByteSize,
+    server_time: SimDuration,
+    done: EventFn,
+) {
+    // The closure chain needs the network at response time; Network lives
+    // inside an Rc in the cluster, but the rpc helper only borrows it.
+    // Capture what the response leg needs by value.
+    let spec = *net.spec();
+    let tx_back = net.tx_resource(server).clone();
+    let rx_back = net.rx_resource(client).clone();
+    net.send(
+        sim,
+        client,
+        server,
+        req_bytes,
+        Box::new(move |sim| {
+            sim.after(server_time, move |sim| {
+                if client == server {
+                    sim.after(SimDuration::ZERO, done);
+                    return;
+                }
+                // Response leg: same dual-occupancy model as Network::send.
+                use std::cell::Cell;
+                use std::rc::Rc;
+                use wattdb_sim::Resource;
+                let wire = resp_bytes.transfer_time(spec.bandwidth);
+                let hop = spec.hop_latency;
+                let remaining = Rc::new(Cell::new(2u8));
+                let done_cell = Rc::new(Cell::new(Some(done)));
+                let mk = || {
+                    let remaining = remaining.clone();
+                    let done_cell = done_cell.clone();
+                    Box::new(move |sim: &mut Sim| {
+                        remaining.set(remaining.get() - 1);
+                        if remaining.get() == 0 {
+                            let d = done_cell.take().expect("once");
+                            sim.after(hop, d);
+                        }
+                    }) as EventFn
+                };
+                Resource::submit(&tx_back, sim, wire, mk());
+                Resource::submit(&rx_back, sim, wire, mk());
+            });
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use wattdb_common::{NetworkSpec, SimTime};
+
+    #[test]
+    fn round_trip_time_is_two_hops_plus_server() {
+        let mut sim = Sim::new();
+        let net = Network::new(2, NetworkSpec::default());
+        let at: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+        let a = at.clone();
+        round_trip(
+            &net,
+            &mut sim,
+            NodeId(0),
+            NodeId(1),
+            ByteSize::bytes(64),
+            ByteSize::bytes(1024),
+            SimDuration::from_micros(100),
+            Box::new(move |sim| *a.borrow_mut() = Some(sim.now())),
+        );
+        sim.run_to_completion();
+        let t = at.borrow().unwrap().as_micros();
+        // 2 × ~450 µs hops + 100 µs server + small wire times.
+        assert!((1000..1100).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn local_round_trip_skips_the_wire() {
+        let mut sim = Sim::new();
+        let net = Network::new(2, NetworkSpec::default());
+        let at: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+        let a = at.clone();
+        round_trip(
+            &net,
+            &mut sim,
+            NodeId(1),
+            NodeId(1),
+            ByteSize::bytes(64),
+            ByteSize::bytes(1024),
+            SimDuration::from_micros(100),
+            Box::new(move |sim| *a.borrow_mut() = Some(sim.now())),
+        );
+        sim.run_to_completion();
+        assert_eq!(at.borrow().unwrap(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn pipelined_round_trips_share_links() {
+        let mut sim = Sim::new();
+        let net = Network::new(2, NetworkSpec::default());
+        let count: Rc<RefCell<u32>> = Rc::new(RefCell::new(0));
+        for _ in 0..10 {
+            let c = count.clone();
+            round_trip(
+                &net,
+                &mut sim,
+                NodeId(0),
+                NodeId(1),
+                ByteSize::bytes(64),
+                ByteSize::bytes(64),
+                SimDuration::ZERO,
+                Box::new(move |_| *c.borrow_mut() += 1),
+            );
+        }
+        sim.run_to_completion();
+        assert_eq!(*count.borrow(), 10);
+    }
+}

@@ -1,0 +1,263 @@
+//! The event loop: a virtual clock plus an ordered queue of continuations.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use wattdb_common::{SimDuration, SimTime};
+
+/// A scheduled continuation. Events own their environment via `move`
+/// closures (typically capturing `Rc<RefCell<...>>` handles to shared
+/// cluster state).
+pub type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The simulation kernel.
+///
+/// ```
+/// use wattdb_sim::Sim;
+/// use wattdb_common::{SimDuration, SimTime};
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let mut sim = Sim::new();
+/// let log = Rc::new(RefCell::new(Vec::new()));
+/// let l = log.clone();
+/// sim.after(SimDuration::from_millis(5), move |sim| {
+///     l.borrow_mut().push(sim.now());
+/// });
+/// sim.run_to_completion();
+/// assert_eq!(log.borrow()[0], SimTime::from_millis(5));
+/// ```
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    executed: u64,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// A simulator at time zero with an empty queue.
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` at absolute time `at`. Scheduling in the past is a logic
+    /// error and panics (it would silently reorder causality otherwise).
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut Sim) + 'static) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` after a relative delay.
+    pub fn after(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim) + 'static) {
+        self.schedule(self.now + delay, f);
+    }
+
+    /// Execute the next event, if any. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(e) => {
+                debug_assert!(e.at >= self.now);
+                self.now = e.at;
+                self.executed += 1;
+                (e.f)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains. Returns events executed by this call.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let before = self.executed;
+        while self.step() {}
+        self.executed - before
+    }
+
+    /// Run all events with `time <= t`, then advance the clock to exactly
+    /// `t` (even if idle). Returns events executed by this call.
+    pub fn run_until(&mut self, t: SimTime) -> u64 {
+        let before = self.executed;
+        while let Some(e) = self.queue.peek() {
+            if e.at > t {
+                break;
+            }
+            self.step();
+        }
+        if t > self.now {
+            self.now = t;
+        }
+        self.executed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type EventLog = Rc<RefCell<Vec<(SimTime, u32)>>>;
+
+    fn recorder() -> (EventLog, impl Fn(u32) -> EventFn) {
+        let log: EventLog = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let mk = move |tag: u32| -> EventFn {
+            let l = l.clone();
+            Box::new(move |sim: &mut Sim| l.borrow_mut().push((sim.now(), tag)))
+        };
+        (log, mk)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        sim.schedule(SimTime::from_millis(30), mk(3));
+        sim.schedule(SimTime::from_millis(10), mk(1));
+        sim.schedule(SimTime::from_millis(20), mk(2));
+        assert_eq!(sim.run_to_completion(), 3);
+        let tags: Vec<u32> = log.borrow().iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn equal_time_events_fifo() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        for i in 0..10 {
+            sim.schedule(SimTime::from_millis(5), mk(i));
+        }
+        sim.run_to_completion();
+        let tags: Vec<u32> = log.borrow().iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        let follow = mk(2);
+        sim.after(SimDuration::from_millis(1), move |sim| {
+            sim.after(SimDuration::from_millis(1), follow);
+        });
+        sim.run_to_completion();
+        assert_eq!(log.borrow()[0], (SimTime::from_millis(2), 2));
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        sim.schedule(SimTime::from_secs(1), mk(1));
+        sim.schedule(SimTime::from_secs(3), mk(3));
+        let n = sim.run_until(SimTime::from_secs(2));
+        assert_eq!(n, 1);
+        assert_eq!(sim.now(), SimTime::from_secs(2), "idle clock advance");
+        assert_eq!(log.borrow().len(), 1);
+        sim.run_to_completion();
+        assert_eq!(log.borrow().len(), 2);
+    }
+
+    #[test]
+    fn run_until_inclusive_of_boundary() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        sim.schedule(SimTime::from_secs(2), mk(1));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(log.borrow().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new();
+        sim.schedule(SimTime::from_secs(5), |_| {});
+        sim.run_to_completion();
+        sim.schedule(SimTime::from_secs(1), |_| {});
+    }
+
+    #[test]
+    fn zero_delay_event_runs_at_same_time() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        let e = mk(7);
+        sim.after(SimDuration::from_millis(4), move |sim| {
+            sim.after(SimDuration::ZERO, e);
+        });
+        sim.run_to_completion();
+        assert_eq!(log.borrow()[0], (SimTime::from_millis(4), 7));
+    }
+
+    #[test]
+    fn counters() {
+        let mut sim = Sim::new();
+        sim.after(SimDuration::from_millis(1), |_| {});
+        sim.after(SimDuration::from_millis(2), |_| {});
+        assert_eq!(sim.pending(), 2);
+        sim.run_to_completion();
+        assert_eq!(sim.events_executed(), 2);
+        assert_eq!(sim.pending(), 0);
+    }
+}

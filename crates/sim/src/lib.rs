@@ -1,0 +1,25 @@
+//! Discrete-event simulation kernel for WattDB-RS.
+//!
+//! The paper's experiments run on a physical 10-node cluster; this crate is
+//! the substitute substrate: a deterministic, single-threaded discrete-event
+//! simulator. Simulated hardware components (CPU cores, disks, NICs) are
+//! [`Resource`] servers with FIFO queues; everything that takes time in the
+//! real system becomes a resource request plus a continuation closure.
+//!
+//! Determinism: the event queue orders by `(time, sequence)`, so equal-time
+//! events fire in submission order, and all randomness elsewhere comes from
+//! seeded generators. Two runs of the same experiment produce bit-identical
+//! metric series.
+//!
+//! The engine's *state* (pages, B-trees, versions, locks) is real — see the
+//! storage/index/txn crates; only *time* is virtual.
+
+pub mod kernel;
+pub mod probe;
+pub mod profile;
+pub mod resource;
+
+pub use kernel::{EventFn, Sim};
+pub use probe::{Repeater, UtilizationProbe};
+pub use profile::{CostCategory, CostProfile};
+pub use resource::{Resource, ResourceHandle, ResourceStats};

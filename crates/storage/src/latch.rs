@@ -1,0 +1,257 @@
+//! Page latches with explicit waiter queues.
+//!
+//! Latches are the short-term physical synchronization below transactional
+//! locks. Because the engine runs under a deterministic event loop rather
+//! than OS threads, the latch table is written in "request / grant token"
+//! style: an acquire either succeeds immediately or queues a caller-supplied
+//! waiter token; releases return the tokens that are now granted, and the
+//! caller (the cluster executor) resumes those continuations. The same table
+//! doubles as a conventional blocking latch through the facade in
+//! `wattdb-txn`.
+//!
+//! Fairness: FIFO with shared-batch granting — when the head of the queue is
+//! a shared request, all consecutive shared requests at the head are granted
+//! together.
+
+use std::collections::{HashMap, VecDeque};
+
+use wattdb_common::PageId;
+
+/// Latch mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatchMode {
+    /// Multiple readers.
+    Shared,
+    /// Single writer.
+    Exclusive,
+}
+
+/// Result of an acquire attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LatchAcquire {
+    /// Granted immediately.
+    Granted,
+    /// Queued; the token comes back from a later `release`.
+    Queued,
+}
+
+#[derive(Debug)]
+struct LatchState<T> {
+    shared_holders: u32,
+    exclusive: bool,
+    queue: VecDeque<(LatchMode, T)>,
+}
+
+impl<T> LatchState<T> {
+    fn new() -> Self {
+        Self {
+            shared_holders: 0,
+            exclusive: false,
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn is_free(&self) -> bool {
+        self.shared_holders == 0 && !self.exclusive && self.queue.is_empty()
+    }
+}
+
+/// Latch table over pages, generic over the waiter token type.
+#[derive(Debug)]
+pub struct LatchTable<T> {
+    latches: HashMap<PageId, LatchState<T>>,
+    contentions: u64,
+    acquisitions: u64,
+}
+
+impl<T> Default for LatchTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LatchTable<T> {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self {
+            latches: HashMap::new(),
+            contentions: 0,
+            acquisitions: 0,
+        }
+    }
+
+    /// Attempt to latch `page` in `mode`. On conflict the `waiter` token is
+    /// queued FIFO.
+    pub fn acquire(&mut self, page: PageId, mode: LatchMode, waiter: T) -> LatchAcquire {
+        self.acquisitions += 1;
+        let st = self.latches.entry(page).or_insert_with(LatchState::new);
+        let compatible = match mode {
+            LatchMode::Shared => !st.exclusive && st.queue.is_empty(),
+            LatchMode::Exclusive => !st.exclusive && st.shared_holders == 0,
+        };
+        if compatible {
+            match mode {
+                LatchMode::Shared => st.shared_holders += 1,
+                LatchMode::Exclusive => st.exclusive = true,
+            }
+            LatchAcquire::Granted
+        } else {
+            self.contentions += 1;
+            st.queue.push_back((mode, waiter));
+            LatchAcquire::Queued
+        }
+    }
+
+    /// Release a latch held in `mode`. Returns waiters granted now, in grant
+    /// order, each with the mode it now holds.
+    pub fn release(&mut self, page: PageId, mode: LatchMode) -> Vec<(LatchMode, T)> {
+        let st = self
+            .latches
+            .get_mut(&page)
+            .expect("release of unlatched page");
+        match mode {
+            LatchMode::Shared => {
+                assert!(st.shared_holders > 0, "shared release without holder");
+                st.shared_holders -= 1;
+            }
+            LatchMode::Exclusive => {
+                assert!(st.exclusive, "exclusive release without holder");
+                st.exclusive = false;
+            }
+        }
+        let mut granted = Vec::new();
+        // Grant from the head while compatible.
+        while let Some((m, _)) = st.queue.front() {
+            let ok = match m {
+                LatchMode::Shared => !st.exclusive,
+                LatchMode::Exclusive => !st.exclusive && st.shared_holders == 0,
+            };
+            if !ok {
+                break;
+            }
+            let (m, tok) = st.queue.pop_front().expect("non-empty");
+            match m {
+                LatchMode::Shared => st.shared_holders += 1,
+                LatchMode::Exclusive => st.exclusive = true,
+            }
+            let stop_after = m == LatchMode::Exclusive;
+            granted.push((m, tok));
+            if stop_after {
+                break;
+            }
+        }
+        if st.is_free() {
+            self.latches.remove(&page);
+        }
+        granted
+    }
+
+    /// Number of pages with an active latch entry.
+    pub fn active(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Conflicted acquisitions (waited).
+    pub fn contentions(&self) -> u64 {
+        self.contentions
+    }
+
+    /// Total acquisitions attempted.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattdb_common::SegmentId;
+
+    fn pid(no: u32) -> PageId {
+        PageId::new(SegmentId(1), no)
+    }
+
+    #[test]
+    fn shared_latches_coexist() {
+        let mut t: LatchTable<u32> = LatchTable::new();
+        assert_eq!(t.acquire(pid(0), LatchMode::Shared, 1), LatchAcquire::Granted);
+        assert_eq!(t.acquire(pid(0), LatchMode::Shared, 2), LatchAcquire::Granted);
+        assert_eq!(t.contentions(), 0);
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut t: LatchTable<u32> = LatchTable::new();
+        assert_eq!(
+            t.acquire(pid(0), LatchMode::Exclusive, 1),
+            LatchAcquire::Granted
+        );
+        assert_eq!(t.acquire(pid(0), LatchMode::Shared, 2), LatchAcquire::Queued);
+        assert_eq!(
+            t.acquire(pid(0), LatchMode::Exclusive, 3),
+            LatchAcquire::Queued
+        );
+        let granted = t.release(pid(0), LatchMode::Exclusive);
+        // Shared waiter 2 granted; exclusive 3 still waits behind it.
+        assert_eq!(granted, vec![(LatchMode::Shared, 2)]);
+        let granted = t.release(pid(0), LatchMode::Shared);
+        assert_eq!(granted, vec![(LatchMode::Exclusive, 3)]);
+    }
+
+    #[test]
+    fn shared_batch_granted_together() {
+        let mut t: LatchTable<u32> = LatchTable::new();
+        t.acquire(pid(0), LatchMode::Exclusive, 1);
+        t.acquire(pid(0), LatchMode::Shared, 2);
+        t.acquire(pid(0), LatchMode::Shared, 3);
+        t.acquire(pid(0), LatchMode::Exclusive, 4);
+        let granted = t.release(pid(0), LatchMode::Exclusive);
+        assert_eq!(
+            granted,
+            vec![(LatchMode::Shared, 2), (LatchMode::Shared, 3)]
+        );
+    }
+
+    #[test]
+    fn writer_not_starved_by_late_readers() {
+        let mut t: LatchTable<u32> = LatchTable::new();
+        t.acquire(pid(0), LatchMode::Shared, 1);
+        t.acquire(pid(0), LatchMode::Exclusive, 2);
+        // A new shared request queues behind the waiting writer instead of
+        // barging (queue non-empty ⇒ shared must wait).
+        assert_eq!(t.acquire(pid(0), LatchMode::Shared, 3), LatchAcquire::Queued);
+        let granted = t.release(pid(0), LatchMode::Shared);
+        assert_eq!(granted, vec![(LatchMode::Exclusive, 2)]);
+        let granted = t.release(pid(0), LatchMode::Exclusive);
+        assert_eq!(granted, vec![(LatchMode::Shared, 3)]);
+    }
+
+    #[test]
+    fn table_cleans_up_free_latches() {
+        let mut t: LatchTable<u32> = LatchTable::new();
+        t.acquire(pid(0), LatchMode::Shared, 1);
+        assert_eq!(t.active(), 1);
+        t.release(pid(0), LatchMode::Shared);
+        assert_eq!(t.active(), 0);
+    }
+
+    #[test]
+    fn independent_pages_do_not_conflict() {
+        let mut t: LatchTable<u32> = LatchTable::new();
+        assert_eq!(
+            t.acquire(pid(0), LatchMode::Exclusive, 1),
+            LatchAcquire::Granted
+        );
+        assert_eq!(
+            t.acquire(pid(1), LatchMode::Exclusive, 2),
+            LatchAcquire::Granted
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "release of unlatched page")]
+    fn release_without_acquire_panics() {
+        let mut t: LatchTable<u32> = LatchTable::new();
+        t.release(pid(0), LatchMode::Shared);
+    }
+}

@@ -1,0 +1,181 @@
+//! Thread-blocking facade over the lock manager.
+//!
+//! The engine proper runs under the deterministic event loop and uses the
+//! token-based [`LockManager`] directly. Library users embedding the
+//! engine in a threaded application get this facade instead: `acquire`
+//! blocks the calling thread until the lock is granted (or a deadlock
+//! makes it the victim), and `release_all` wakes whoever became grantable.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use wattdb_common::TxnId;
+
+use crate::locks::{LockAcquire, LockManager, LockMode, LockTarget};
+
+/// Outcome of a blocking acquire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingAcquire {
+    /// Lock held.
+    Granted,
+    /// The request closed a wait-for cycle; the caller must abort.
+    Deadlock,
+}
+
+struct Inner {
+    locks: Mutex<LockManager>,
+    granted: Condvar,
+}
+
+/// A shareable, thread-safe lock manager.
+#[derive(Clone)]
+pub struct BlockingLockManager {
+    inner: Arc<Inner>,
+}
+
+impl Default for BlockingLockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockingLockManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                locks: Mutex::new(LockManager::new()),
+                granted: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Acquire `target` in `mode` for `txn`, blocking until granted.
+    pub fn acquire(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> BlockingAcquire {
+        let mut lm = self.inner.locks.lock();
+        match lm.acquire(txn, target, mode) {
+            LockAcquire::Granted => BlockingAcquire::Granted,
+            LockAcquire::Deadlock => BlockingAcquire::Deadlock,
+            LockAcquire::Waiting => {
+                // Park until a release grants us the mode we asked for.
+                loop {
+                    self.inner.granted.wait(&mut lm);
+                    if lm
+                        .held_mode(txn, target)
+                        .map(|m| m.covers(mode))
+                        .unwrap_or(false)
+                    {
+                        return BlockingAcquire::Granted;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Release everything `txn` holds and wake newly granted waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        let granted = {
+            let mut lm = self.inner.locks.lock();
+            lm.release_all(txn)
+        };
+        if !granted.is_empty() {
+            self.inner.granted.notify_all();
+        }
+    }
+
+    /// Deadlocks detected so far.
+    pub fn deadlock_count(&self) -> u64 {
+        self.inner.locks.lock().deadlock_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use wattdb_common::{Key, TableId};
+
+    fn rec(k: u64) -> LockTarget {
+        LockTarget::Record(TableId(1), Key(k))
+    }
+
+    #[test]
+    fn uncontended_grant() {
+        let lm = BlockingLockManager::new();
+        assert_eq!(
+            lm.acquire(TxnId(1), rec(1), LockMode::X),
+            BlockingAcquire::Granted
+        );
+        lm.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn writer_blocks_until_reader_releases() {
+        let lm = BlockingLockManager::new();
+        assert_eq!(
+            lm.acquire(TxnId(1), rec(1), LockMode::S),
+            BlockingAcquire::Granted
+        );
+        let lm2 = lm.clone();
+        let t = std::thread::spawn(move || {
+            // Blocks until the main thread releases.
+            let r = lm2.acquire(TxnId(2), rec(1), LockMode::X);
+            lm2.release_all(TxnId(2));
+            r
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        lm.release_all(TxnId(1));
+        assert_eq!(t.join().unwrap(), BlockingAcquire::Granted);
+    }
+
+    #[test]
+    fn many_threads_serialize_on_one_record() {
+        let lm = BlockingLockManager::new();
+        let counter = std::sync::Arc::new(Mutex::new(0u32));
+        crossbeam::scope(|scope| {
+            for i in 0..16u64 {
+                let lm = lm.clone();
+                let counter = counter.clone();
+                scope.spawn(move |_| {
+                    let txn = TxnId(i + 1);
+                    assert_eq!(
+                        lm.acquire(txn, rec(7), LockMode::X),
+                        BlockingAcquire::Granted
+                    );
+                    // Critical section: X holders are exclusive.
+                    {
+                        let mut c = counter.lock();
+                        *c += 1;
+                    }
+                    lm.release_all(txn);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(*counter.lock(), 16);
+    }
+
+    #[test]
+    fn deadlock_reported_to_the_victim() {
+        let lm = BlockingLockManager::new();
+        lm.acquire(TxnId(1), rec(1), LockMode::X);
+        let lm2 = lm.clone();
+        let t = std::thread::spawn(move || {
+            lm2.acquire(TxnId(2), rec(2), LockMode::X);
+            // 2 waits for 1's record...
+            let r = lm2.acquire(TxnId(2), rec(1), LockMode::X);
+            if r == BlockingAcquire::Granted {
+                lm2.release_all(TxnId(2));
+            }
+            r
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // ...and 1 closing the cycle must be told it's a deadlock.
+        let r = lm.acquire(TxnId(1), rec(2), LockMode::X);
+        assert_eq!(r, BlockingAcquire::Deadlock);
+        // Victim aborts, releasing its locks; thread 2 proceeds.
+        lm.release_all(TxnId(1));
+        assert_eq!(t.join().unwrap(), BlockingAcquire::Granted);
+        assert_eq!(lm.deadlock_count(), 1);
+    }
+}

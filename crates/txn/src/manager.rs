@@ -1,0 +1,564 @@
+//! Transaction manager: lifecycle, snapshots, and the two concurrency
+//! control modes the paper compares (Fig. 3).
+//!
+//! * [`CcMode::Mvcc`] — snapshot reads over version chains; writers take X
+//!   record locks (write-write serialization) but never block readers.
+//! * [`CcMode::LockingRx`] — classical MGL-RX: readers take S record locks,
+//!   writers X, updates happen in place with before-images retained for
+//!   undo. The before-image list is the "additional storage space to hold a
+//!   list of pending changes" the paper attributes to the locking variant.
+//!
+//! The manager also mints *system transactions* (§3.5) used by the
+//! migration engine to serialize record movement against user work.
+
+use std::collections::HashMap;
+
+use wattdb_common::error::AbortReason;
+
+use wattdb_common::{Error, Key, Result, SegmentId, TxnId};
+use wattdb_index::SegmentIndex;
+use wattdb_storage::{PageStore, Record, TS_INFINITY};
+
+use crate::locks::{LockManager, LockMode, LockTarget};
+use crate::mvcc::{self, Snapshot, WriteOp};
+
+/// The canonical container for a node's segment indexes, as consumed by
+/// [`TxnManager::abort`]: undo must touch every segment a transaction
+/// wrote, so the caller lends the whole map.
+pub type IndexMap = HashMap<SegmentId, SegmentIndex>;
+
+/// Concurrency-control mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcMode {
+    /// Multiversion concurrency control.
+    Mvcc,
+    /// Multi-granularity locking with R/X record locks, in-place updates.
+    LockingRx,
+}
+
+/// Why this transaction exists (user work vs. internal movement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Client transaction.
+    User,
+    /// System transaction protecting record/segment movement.
+    System,
+}
+
+/// A before-image retained by the locking mode for undo.
+#[derive(Debug, Clone)]
+struct BeforeImage {
+    segment: SegmentId,
+    key: Key,
+    rid: wattdb_common::RecordId,
+    /// `None` for inserts (undo = delete).
+    prior: Option<Record>,
+}
+
+/// Live transaction state.
+#[derive(Debug)]
+pub struct TxnState {
+    /// Transaction id.
+    pub id: TxnId,
+    /// Snapshot (MVCC mode).
+    pub snapshot: Snapshot,
+    /// Kind (user/system).
+    pub kind: TxnKind,
+    writes: Vec<WriteOp>,
+    before_images: Vec<BeforeImage>,
+}
+
+impl TxnState {
+    /// MVCC write set (for WAL redo records).
+    pub fn write_set(&self) -> &[WriteOp] {
+        &self.writes
+    }
+
+    /// Bytes of pending-change state held for undo (locking mode).
+    pub fn before_image_bytes(&self) -> usize {
+        self.before_images
+            .iter()
+            .map(|b| b.prior.as_ref().map_or(0, |r| r.encode().len()))
+            .sum()
+    }
+}
+
+/// The transaction manager.
+#[derive(Debug)]
+pub struct TxnManager {
+    mode: CcMode,
+    next_txn: u64,
+    /// Logical commit clock; begins hand out the current value, commits
+    /// increment it.
+    clock: u64,
+    active: HashMap<TxnId, TxnState>,
+    /// The lock manager (shared by both modes).
+    pub locks: LockManager,
+    commits: u64,
+    aborts: u64,
+}
+
+impl TxnManager {
+    /// Manager in the given CC mode.
+    pub fn new(mode: CcMode) -> Self {
+        Self {
+            mode,
+            next_txn: 1,
+            clock: 1,
+            active: HashMap::new(),
+            locks: LockManager::new(),
+            commits: 0,
+            aborts: 0,
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> CcMode {
+        self.mode
+    }
+
+    /// Commits so far.
+    pub fn commit_count(&self) -> u64 {
+        self.commits
+    }
+
+    /// Aborts so far.
+    pub fn abort_count(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Number of in-flight transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&mut self, kind: TxnKind) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let snapshot = Snapshot {
+            ts: self.clock,
+            txn: id,
+        };
+        self.active.insert(
+            id,
+            TxnState {
+                id,
+                snapshot,
+                kind,
+                writes: Vec::new(),
+                before_images: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Access a live transaction.
+    pub fn state(&self, txn: TxnId) -> Result<&TxnState> {
+        self.active
+            .get(&txn)
+            .ok_or(Error::InvalidState("unknown or finished transaction"))
+    }
+
+    /// The snapshot of a live transaction.
+    pub fn snapshot(&self, txn: TxnId) -> Result<Snapshot> {
+        Ok(self.state(txn)?.snapshot)
+    }
+
+    /// Oldest snapshot timestamp among live transactions (vacuum horizon);
+    /// the current clock when idle.
+    pub fn gc_horizon(&self) -> u64 {
+        self.active
+            .values()
+            .map(|t| t.snapshot.ts)
+            .min()
+            .unwrap_or(self.clock)
+    }
+
+    /// Read `key`. MVCC: snapshot read, no lock needed (caller acquires S
+    /// only in LockingRx mode). Locking: reads the in-place current record.
+    pub fn read(
+        &self,
+        txn: TxnId,
+        index: &SegmentIndex,
+        store: &PageStore,
+        key: Key,
+    ) -> Result<Option<Record>> {
+        let st = self.state(txn)?;
+        match self.mode {
+            CcMode::Mvcc => Ok(mvcc::read(index, store, key, st.snapshot)?.0),
+            CcMode::LockingRx => {
+                let (rid, _) = index.get(key);
+                match rid {
+                    None => Ok(None),
+                    Some(rid) => {
+                        let r = store.read_record(rid)?;
+                        Ok(if r.is_tombstone() { None } else { Some(r) })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert `key`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &mut self,
+        txn: TxnId,
+        index: &mut SegmentIndex,
+        store: &mut PageStore,
+        max_pages: u32,
+        key: Key,
+        logical_width: u32,
+        payload: Vec<u8>,
+    ) -> Result<()> {
+        let snapshot = self.snapshot(txn)?;
+        match self.mode {
+            CcMode::Mvcc => {
+                let w = mvcc::insert(index, store, max_pages, key, logical_width, payload, snapshot)?;
+                self.active.get_mut(&txn).expect("live").writes.push(w);
+            }
+            CcMode::LockingRx => {
+                if index.get(key).0.is_some() {
+                    return Err(Error::DuplicateKey(key));
+                }
+                let rec = Record::new(key, self.clock, logical_width, payload);
+                let (rid, _) = store.insert_record(index.segment(), &rec, max_pages)?;
+                index.insert(key, rid);
+                self.active
+                    .get_mut(&txn)
+                    .expect("live")
+                    .before_images
+                    .push(BeforeImage {
+                        segment: index.segment(),
+                        key,
+                        rid,
+                        prior: None,
+                    });
+            }
+        }
+        Ok(())
+    }
+
+    /// Update `key` in place (locking) or via a new version (MVCC).
+    #[allow(clippy::too_many_arguments)]
+    pub fn update(
+        &mut self,
+        txn: TxnId,
+        index: &mut SegmentIndex,
+        store: &mut PageStore,
+        max_pages: u32,
+        key: Key,
+        logical_width: u32,
+        payload: Vec<u8>,
+    ) -> Result<()> {
+        let snapshot = self.snapshot(txn)?;
+        match self.mode {
+            CcMode::Mvcc => {
+                let w = mvcc::update(index, store, max_pages, key, logical_width, payload, snapshot)?;
+                self.active.get_mut(&txn).expect("live").writes.push(w);
+            }
+            CcMode::LockingRx => {
+                let (rid, _) = index.get(key);
+                let rid = rid.ok_or(Error::KeyNotFound(key))?;
+                let prior = store.read_record(rid)?;
+                if prior.is_tombstone() {
+                    return Err(Error::KeyNotFound(key));
+                }
+                let mut new = prior.clone();
+                new.payload = payload;
+                new.logical_width = logical_width;
+                store.write_record(rid, &new)?;
+                self.active
+                    .get_mut(&txn)
+                    .expect("live")
+                    .before_images
+                    .push(BeforeImage {
+                        segment: index.segment(),
+                        key,
+                        rid,
+                        prior: Some(prior),
+                    });
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete `key`.
+    pub fn delete(
+        &mut self,
+        txn: TxnId,
+        index: &mut SegmentIndex,
+        store: &mut PageStore,
+        max_pages: u32,
+        key: Key,
+    ) -> Result<()> {
+        let snapshot = self.snapshot(txn)?;
+        match self.mode {
+            CcMode::Mvcc => {
+                let w = mvcc::delete(index, store, max_pages, key, snapshot)?;
+                self.active.get_mut(&txn).expect("live").writes.push(w);
+            }
+            CcMode::LockingRx => {
+                let (rid, _) = index.get(key);
+                let rid = rid.ok_or(Error::KeyNotFound(key))?;
+                let prior = store.read_record(rid)?;
+                store.delete_record(rid)?;
+                index.remove(key);
+                self.active
+                    .get_mut(&txn)
+                    .expect("live")
+                    .before_images
+                    .push(BeforeImage {
+                        segment: index.segment(),
+                        key,
+                        rid,
+                        prior: Some(prior),
+                    });
+            }
+        }
+        Ok(())
+    }
+
+    /// Commit: stamps MVCC versions (or drops before-images), bumps the
+    /// clock, releases locks. Returns `(commit_ts, lock grants to resume)`.
+    #[allow(clippy::type_complexity)]
+    pub fn commit(
+        &mut self,
+        txn: TxnId,
+        store: &mut PageStore,
+    ) -> Result<(u64, Vec<(TxnId, LockTarget, LockMode)>)> {
+        let st = self
+            .active
+            .remove(&txn)
+            .ok_or(Error::InvalidState("commit of unknown transaction"))?;
+        self.clock += 1;
+        let commit_ts = self.clock;
+        if self.mode == CcMode::Mvcc {
+            mvcc::commit_writes(store, &st.writes, commit_ts)?;
+        }
+        self.commits += 1;
+        Ok((commit_ts, self.locks.release_all(txn)))
+    }
+
+    /// Abort: undoes writes and releases locks. Returns lock grants.
+    pub fn abort(
+        &mut self,
+        txn: TxnId,
+        indexes: &mut IndexMap,
+        store: &mut PageStore,
+    ) -> Result<Vec<(TxnId, LockTarget, LockMode)>> {
+        let st = self
+            .active
+            .remove(&txn)
+            .ok_or(Error::InvalidState("abort of unknown transaction"))?;
+        match self.mode {
+            CcMode::Mvcc => {
+                // Group by segment so each segment's index is resolved once.
+                let mut by_seg: HashMap<SegmentId, Vec<WriteOp>> = HashMap::new();
+                for w in st.writes {
+                    by_seg.entry(w.segment).or_default().push(w);
+                }
+                for (seg, writes) in by_seg {
+                    let idx = indexes
+                        .get_mut(&seg)
+                        .ok_or(Error::UnknownSegment(seg))?;
+                    mvcc::abort_writes(idx, store, &writes)?;
+                }
+            }
+            CcMode::LockingRx => {
+                for b in st.before_images.into_iter().rev() {
+                    let idx = indexes
+                        .get_mut(&b.segment)
+                        .ok_or(Error::UnknownSegment(b.segment))?;
+                    match b.prior {
+                        Some(prior) => {
+                            if store.read_record(b.rid).is_ok() {
+                                store.write_record(b.rid, &prior)?;
+                            } else {
+                                // Undo of a delete: re-insert the image.
+                                let (rid, _) =
+                                    store.insert_record(b.segment, &prior, u32::MAX)?;
+                                idx.insert(b.key, rid);
+                            }
+                        }
+                        None => {
+                            store.delete_record(b.rid)?;
+                            idx.remove(b.key);
+                        }
+                    }
+                }
+            }
+        }
+        self.aborts += 1;
+        Ok(self.locks.release_all(txn))
+    }
+
+    /// The lock footprint a data operation needs before it may proceed, per
+    /// the configured mode. Hierarchical order: coarse to fine.
+    pub fn required_locks(
+        &self,
+        table: wattdb_common::TableId,
+        partition: wattdb_common::PartitionId,
+        key: Key,
+        write: bool,
+    ) -> Vec<(LockTarget, LockMode)> {
+        let mut v = Vec::with_capacity(3);
+        match (self.mode, write) {
+            (CcMode::Mvcc, false) => {} // snapshot readers don't lock
+            (CcMode::Mvcc, true) | (CcMode::LockingRx, true) => {
+                v.push((LockTarget::Table(table), LockMode::IX));
+                v.push((LockTarget::Partition(partition), LockMode::IX));
+                v.push((LockTarget::Record(table, key), LockMode::X));
+            }
+            (CcMode::LockingRx, false) => {
+                v.push((LockTarget::Table(table), LockMode::IS));
+                v.push((LockTarget::Partition(partition), LockMode::IS));
+                v.push((LockTarget::Record(table, key), LockMode::S));
+            }
+        }
+        v
+    }
+
+    /// Total before-image bytes across live transactions (locking-mode
+    /// storage overhead, Fig. 3).
+    pub fn pending_change_bytes(&self) -> usize {
+        self.active.values().map(|t| t.before_image_bytes()).sum()
+    }
+
+    /// Abort with a specific reason, as an error for the caller.
+    pub fn abort_error(&self, txn: TxnId, reason: AbortReason) -> Error {
+        Error::TxnAborted { txn, reason }
+    }
+}
+
+/// End timestamp sentinel re-export for convenience.
+pub const INFINITY: u64 = TS_INFINITY;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattdb_common::KeyRange;
+
+    fn setup() -> (SegmentIndex, PageStore) {
+        let seg = SegmentId(1);
+        let mut store = PageStore::new();
+        store.add_segment(seg);
+        (SegmentIndex::new(seg, KeyRange::all()), store)
+    }
+
+    #[test]
+    fn mvcc_commit_visibility_lifecycle() {
+        let (mut idx, mut st) = setup();
+        let mut tm = TxnManager::new(CcMode::Mvcc);
+        let t1 = tm.begin(TxnKind::User);
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        // Another txn doesn't see it yet.
+        let t2 = tm.begin(TxnKind::User);
+        assert!(tm.read(t2, &idx, &st, Key(1)).unwrap().is_none());
+        tm.commit(t1, &mut st).unwrap();
+        // t2's snapshot predates the commit.
+        assert!(tm.read(t2, &idx, &st, Key(1)).unwrap().is_none());
+        let t3 = tm.begin(TxnKind::User);
+        assert!(tm.read(t3, &idx, &st, Key(1)).unwrap().is_some());
+        assert_eq!(tm.commit_count(), 1);
+    }
+
+    #[test]
+    fn mvcc_abort_via_manager() {
+        let (mut idx, mut st) = setup();
+        let mut tm = TxnManager::new(CcMode::Mvcc);
+        let t1 = tm.begin(TxnKind::User);
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        let mut map = IndexMap::new();
+        map.insert(idx.segment(), idx);
+        tm.abort(t1, &mut map, &mut st).unwrap();
+        let idx = map.remove(&SegmentId(1)).unwrap();
+        let t2 = tm.begin(TxnKind::User);
+        assert!(tm.read(t2, &idx, &st, Key(1)).unwrap().is_none());
+        assert_eq!(tm.abort_count(), 1);
+    }
+
+    #[test]
+    fn locking_mode_updates_in_place_with_undo() {
+        let (mut idx, mut st) = setup();
+        let mut tm = TxnManager::new(CcMode::LockingRx);
+        let t1 = tm.begin(TxnKind::User);
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        tm.commit(t1, &mut st).unwrap();
+        let t2 = tm.begin(TxnKind::User);
+        tm.update(t2, &mut idx, &mut st, 64, Key(1), 64, vec![2]).unwrap();
+        // In-place: even an unrelated reader sees the new value (that's why
+        // locking mode needs the S/X protocol).
+        let t3 = tm.begin(TxnKind::User);
+        assert_eq!(tm.read(t3, &idx, &st, Key(1)).unwrap().unwrap().payload, vec![2]);
+        assert!(tm.pending_change_bytes() > 0, "before-image retained");
+        // Abort restores the old image.
+        let mut map = IndexMap::new();
+        map.insert(idx.segment(), idx);
+        tm.abort(t2, &mut map, &mut st).unwrap();
+        let idx = map.remove(&SegmentId(1)).unwrap();
+        assert_eq!(tm.read(t3, &idx, &st, Key(1)).unwrap().unwrap().payload, vec![1]);
+    }
+
+    #[test]
+    fn locking_mode_delete_undo() {
+        let (mut idx, mut st) = setup();
+        let mut tm = TxnManager::new(CcMode::LockingRx);
+        let t1 = tm.begin(TxnKind::User);
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        tm.commit(t1, &mut st).unwrap();
+        let t2 = tm.begin(TxnKind::User);
+        tm.delete(t2, &mut idx, &mut st, 64, Key(1)).unwrap();
+        assert!(tm.read(t2, &idx, &st, Key(1)).unwrap().is_none());
+        let mut map = IndexMap::new();
+        map.insert(idx.segment(), idx);
+        tm.abort(t2, &mut map, &mut st).unwrap();
+        let idx = map.remove(&SegmentId(1)).unwrap();
+        let t3 = tm.begin(TxnKind::User);
+        assert_eq!(tm.read(t3, &idx, &st, Key(1)).unwrap().unwrap().payload, vec![1]);
+    }
+
+    #[test]
+    fn required_locks_follow_mode() {
+        use wattdb_common::{PartitionId, TableId};
+        let tm = TxnManager::new(CcMode::Mvcc);
+        assert!(tm
+            .required_locks(TableId(1), PartitionId(1), Key(1), false)
+            .is_empty());
+        let w = tm.required_locks(TableId(1), PartitionId(1), Key(1), true);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[2].1, LockMode::X);
+        let tm = TxnManager::new(CcMode::LockingRx);
+        let r = tm.required_locks(TableId(1), PartitionId(1), Key(1), false);
+        assert_eq!(r[2].1, LockMode::S);
+        assert_eq!(r[0], (LockTarget::Table(TableId(1)), LockMode::IS));
+    }
+
+    #[test]
+    fn gc_horizon_tracks_oldest_snapshot() {
+        let (mut idx, mut st) = setup();
+        let mut tm = TxnManager::new(CcMode::Mvcc);
+        let t1 = tm.begin(TxnKind::User);
+        let h1 = tm.gc_horizon();
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        tm.commit(t1, &mut st).unwrap();
+        // Idle: horizon advances with the clock.
+        assert!(tm.gc_horizon() > h1);
+        let _t2 = tm.begin(TxnKind::User);
+        let held = tm.gc_horizon();
+        let t3 = tm.begin(TxnKind::User);
+        tm.insert(t3, &mut idx, &mut st, 64, Key(2), 64, vec![2]).unwrap();
+        tm.commit(t3, &mut st).unwrap();
+        // Horizon pinned by t2's snapshot.
+        assert_eq!(tm.gc_horizon(), held);
+    }
+
+    #[test]
+    fn system_transactions_tracked() {
+        let mut tm = TxnManager::new(CcMode::Mvcc);
+        let t = tm.begin(TxnKind::System);
+        assert_eq!(tm.state(t).unwrap().kind, TxnKind::System);
+        assert_eq!(tm.active_count(), 1);
+    }
+}

@@ -1,0 +1,520 @@
+//! Multiversion concurrency control over the storage layer.
+//!
+//! §3.5: "Multiversion Concurrency Control allows multiple versions of DB
+//! objects to exist; modifying a record creates a new version of it without
+//! deleting the old one immediately. Hence, readers can still access old
+//! versions [...] This property is especially useful for dynamic
+//! partitioning techniques, where records are frequently moved."
+//!
+//! Versions live in pages as [`Record`]s chained newest-first through their
+//! `prev` pointers; the segment's PK index always points at the newest
+//! version. Uncommitted timestamps are *provisional*: the creating
+//! transaction's id with the high bit set. Commit stamps them with the
+//! commit timestamp; abort unlinks the provisional version.
+//!
+//! Write-write conflicts: a transaction that finds the newest version
+//! provisionally owned by another in-flight transaction aborts
+//! (first-updater-wins between concurrent writers). Writes against versions
+//! committed *after* the writer's snapshot are allowed once the record's X
+//! lock is held — read-committed write semantics, the standard engine
+//! behaviour that keeps TPC-C's hot counter rows (W_YTD, D_NEXT_O_ID) from
+//! aborting every concurrent increment. Snapshot reads are unaffected.
+
+use wattdb_common::{Error, Key, Result, SegmentId, TxnId};
+use wattdb_index::SegmentIndex;
+use wattdb_storage::{PageStore, Record, TS_INFINITY};
+
+/// High bit marking a provisional (uncommitted) timestamp.
+pub const TXN_MARK: u64 = 1 << 63;
+
+/// Provisional timestamp for `txn`.
+pub fn provisional(txn: TxnId) -> u64 {
+    TXN_MARK | txn.raw()
+}
+
+/// True for provisional timestamps (excluding the `TS_INFINITY` sentinel).
+pub fn is_provisional(ts: u64) -> bool {
+    ts >= TXN_MARK && ts != TS_INFINITY
+}
+
+/// Owner of a provisional timestamp.
+pub fn owner(ts: u64) -> TxnId {
+    debug_assert!(is_provisional(ts));
+    TxnId(ts & !TXN_MARK)
+}
+
+/// A transaction's view: its start timestamp plus its own id (own
+/// uncommitted writes are visible to itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Sees versions committed at or before this timestamp.
+    pub ts: u64,
+    /// Owning transaction.
+    pub txn: TxnId,
+}
+
+/// Is `rec` visible to `snap`?
+pub fn visible(rec: &Record, snap: Snapshot) -> bool {
+    let begin_ok = if is_provisional(rec.begin) {
+        owner(rec.begin) == snap.txn
+    } else {
+        rec.begin <= snap.ts
+    };
+    let end_ok = if rec.end == TS_INFINITY {
+        true
+    } else if is_provisional(rec.end) {
+        // Superseded only provisionally: still visible to everyone except
+        // the superseding transaction itself.
+        owner(rec.end) != snap.txn
+    } else {
+        rec.end > snap.ts
+    };
+    begin_ok && end_ok
+}
+
+/// One entry of a transaction's write set, needed to stamp or undo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOp {
+    /// Segment the key lives in.
+    pub segment: SegmentId,
+    /// The key written.
+    pub key: Key,
+    /// The provisional new version.
+    pub new_rid: wattdb_common::RecordId,
+    /// The superseded version, if the key existed.
+    pub old_rid: Option<wattdb_common::RecordId>,
+}
+
+/// Read the newest version of `key` visible to `snap`. Returns `None` for
+/// unknown keys and for keys whose visible version is a tombstone. Also
+/// reports the number of versions inspected (cost model).
+pub fn read(
+    index: &SegmentIndex,
+    store: &PageStore,
+    key: Key,
+    snap: Snapshot,
+) -> Result<(Option<Record>, usize)> {
+    let (rid, _) = index.get(key);
+    let Some(mut rid) = rid else {
+        return Ok((None, 0));
+    };
+    let mut inspected = 0;
+    loop {
+        let rec = store.read_record(rid)?;
+        inspected += 1;
+        if visible(&rec, snap) {
+            let out = if rec.is_tombstone() { None } else { Some(rec) };
+            return Ok((out, inspected));
+        }
+        match rec.prev {
+            Some(prev) => rid = prev,
+            None => return Ok((None, inspected)),
+        }
+    }
+}
+
+fn check_write_conflict(newest: &Record, snap: Snapshot) -> Result<()> {
+    // Another transaction's uncommitted version heads the chain.
+    if is_provisional(newest.begin) && owner(newest.begin) != snap.txn {
+        return Err(Error::TxnAborted {
+            txn: snap.txn,
+            reason: wattdb_common::error::AbortReason::WriteConflict,
+        });
+    }
+    // Another transaction provisionally superseded it.
+    if is_provisional(newest.end) && newest.end != TS_INFINITY && owner(newest.end) != snap.txn {
+        return Err(Error::TxnAborted {
+            txn: snap.txn,
+            reason: wattdb_common::error::AbortReason::WriteConflict,
+        });
+    }
+    Ok(())
+}
+
+/// Insert a new key. Fails with [`Error::DuplicateKey`] if a visible
+/// version exists.
+#[allow(clippy::too_many_arguments)]
+pub fn insert(
+    index: &mut SegmentIndex,
+    store: &mut PageStore,
+    max_pages: u32,
+    key: Key,
+    logical_width: u32,
+    payload: Vec<u8>,
+    snap: Snapshot,
+) -> Result<WriteOp> {
+    let (existing_rid, _) = index.get(key);
+    let prev = match existing_rid {
+        Some(rid) => {
+            let newest = store.read_record(rid)?;
+            check_write_conflict(&newest, snap)?;
+            if !newest.is_tombstone() {
+                return Err(Error::DuplicateKey(key));
+            }
+            // Re-insert over a tombstone: chain through it.
+            Some(rid)
+        }
+        None => None,
+    };
+    let mut rec = Record::new(key, provisional(snap.txn), logical_width, payload);
+    rec.prev = prev;
+    let segment = index.segment();
+    let (new_rid, _) = store.insert_record(segment, &rec, max_pages)?;
+    if let Some(old_rid) = prev {
+        let mut old = store.read_record(old_rid)?;
+        old.end = provisional(snap.txn);
+        store.write_record(old_rid, &old)?;
+    }
+    index.insert(key, new_rid);
+    Ok(WriteOp {
+        segment,
+        key,
+        new_rid,
+        old_rid: prev,
+    })
+}
+
+/// Update an existing key with a new payload (creates a version).
+#[allow(clippy::too_many_arguments)]
+pub fn update(
+    index: &mut SegmentIndex,
+    store: &mut PageStore,
+    max_pages: u32,
+    key: Key,
+    logical_width: u32,
+    payload: Vec<u8>,
+    snap: Snapshot,
+) -> Result<WriteOp> {
+    write_version(index, store, max_pages, key, snap, |prev_rid| {
+        let mut r = Record::new(key, provisional(snap.txn), logical_width, payload.clone());
+        r.prev = Some(prev_rid);
+        r
+    })
+}
+
+/// Delete an existing key (creates a tombstone version).
+pub fn delete(
+    index: &mut SegmentIndex,
+    store: &mut PageStore,
+    max_pages: u32,
+    key: Key,
+    snap: Snapshot,
+) -> Result<WriteOp> {
+    write_version(index, store, max_pages, key, snap, |prev_rid| {
+        let mut t = Record::tombstone(key, provisional(snap.txn));
+        t.prev = Some(prev_rid);
+        t
+    })
+}
+
+fn write_version(
+    index: &mut SegmentIndex,
+    store: &mut PageStore,
+    max_pages: u32,
+    key: Key,
+    snap: Snapshot,
+    make: impl Fn(wattdb_common::RecordId) -> Record,
+) -> Result<WriteOp> {
+    let (rid, _) = index.get(key);
+    let old_rid = rid.ok_or(Error::KeyNotFound(key))?;
+    let mut newest = store.read_record(old_rid)?;
+    check_write_conflict(&newest, snap)?;
+    if newest.is_tombstone() {
+        return Err(Error::KeyNotFound(key));
+    }
+    let segment = index.segment();
+    let rec = make(old_rid);
+    let (new_rid, _) = store.insert_record(segment, &rec, max_pages)?;
+    newest.end = provisional(snap.txn);
+    store.write_record(old_rid, &newest)?;
+    index.insert(key, new_rid);
+    Ok(WriteOp {
+        segment,
+        key,
+        new_rid,
+        old_rid: Some(old_rid),
+    })
+}
+
+/// Stamp a transaction's write set at commit time.
+pub fn commit_writes(store: &mut PageStore, writes: &[WriteOp], commit_ts: u64) -> Result<()> {
+    for w in writes {
+        let mut new = store.read_record(w.new_rid)?;
+        if is_provisional(new.begin) {
+            new.begin = commit_ts;
+            store.write_record(w.new_rid, &new)?;
+        }
+        if let Some(old_rid) = w.old_rid {
+            let mut old = store.read_record(old_rid)?;
+            if is_provisional(old.end) && old.end != TS_INFINITY {
+                old.end = commit_ts;
+                store.write_record(old_rid, &old)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Undo a transaction's write set at abort: unlink provisional versions and
+/// restore index pointers and end timestamps.
+pub fn abort_writes(
+    index: &mut SegmentIndex,
+    store: &mut PageStore,
+    writes: &[WriteOp],
+) -> Result<()> {
+    // Undo in reverse so repeated writes to one key restore correctly.
+    for w in writes.iter().rev() {
+        store.delete_record(w.new_rid)?;
+        match w.old_rid {
+            Some(old_rid) => {
+                let mut old = store.read_record(old_rid)?;
+                if is_provisional(old.end) {
+                    old.end = TS_INFINITY;
+                    store.write_record(old_rid, &old)?;
+                }
+                index.insert(w.key, old_rid);
+            }
+            None => {
+                index.remove(w.key);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Garbage-collect versions no snapshot at or after `horizon` can see:
+/// committed versions with `end <= horizon`, plus tombstone heads older
+/// than the horizon. Returns versions reclaimed.
+pub fn vacuum(
+    index: &mut SegmentIndex,
+    store: &mut PageStore,
+    horizon: u64,
+) -> Result<usize> {
+    let mut reclaimed = 0;
+    for (key, head_rid) in index.entries() {
+        // Walk the chain, keeping the head; cut the first link whose target
+        // is invisible to every active snapshot.
+        let mut cur_rid = head_rid;
+        loop {
+            let cur = store.read_record(cur_rid)?;
+            let Some(prev_rid) = cur.prev else {
+                break;
+            };
+            let prev = store.read_record(prev_rid)?;
+            if !is_provisional(prev.end) && prev.end != TS_INFINITY && prev.end <= horizon {
+                // Unlink and reclaim the whole tail from prev down.
+                let mut cut = cur;
+                cut.prev = None;
+                store.write_record(cur_rid, &cut)?;
+                let mut tail = Some(prev_rid);
+                while let Some(rid) = tail {
+                    let r = store.read_record(rid)?;
+                    tail = r.prev;
+                    store.delete_record(rid)?;
+                    reclaimed += 1;
+                }
+                break;
+            }
+            cur_rid = prev_rid;
+        }
+        // Drop fully-dead tombstone heads (no chain, committed, old).
+        let head = store.read_record(head_rid)?;
+        if head.is_tombstone()
+            && head.prev.is_none()
+            && !is_provisional(head.begin)
+            && head.begin <= horizon
+        {
+            store.delete_record(head_rid)?;
+            index.remove(key);
+            reclaimed += 1;
+        }
+    }
+    Ok(reclaimed)
+}
+
+/// Count stored versions per live key: (versions, live keys). The paper's
+/// Fig. 3 storage-space line is `versions / live keys`.
+pub fn version_stats(index: &SegmentIndex, store: &PageStore) -> Result<(usize, usize)> {
+    let mut versions = 0;
+    let live = index.len();
+    for (_, head) in index.entries() {
+        let mut rid = Some(head);
+        while let Some(r) = rid {
+            let rec = store.read_record(r)?;
+            versions += 1;
+            rid = rec.prev;
+        }
+    }
+    Ok((versions, live))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattdb_common::KeyRange;
+
+    const MAX_PAGES: u32 = 1024;
+
+    fn setup() -> (SegmentIndex, PageStore) {
+        let seg = SegmentId(1);
+        let mut store = PageStore::new();
+        store.add_segment(seg);
+        let index = SegmentIndex::new(seg, KeyRange::all());
+        (index, store)
+    }
+
+    fn snap(ts: u64, txn: u64) -> Snapshot {
+        Snapshot {
+            ts,
+            txn: TxnId(txn),
+        }
+    }
+
+    fn commit(store: &mut PageStore, writes: &[WriteOp], ts: u64) {
+        commit_writes(store, writes, ts).unwrap();
+    }
+
+    #[test]
+    fn insert_commit_read() {
+        let (mut idx, mut st) = setup();
+        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![7], snap(10, 1)).unwrap();
+        // Own uncommitted write is visible to self, invisible to others.
+        assert!(read(&idx, &st, Key(1), snap(10, 1)).unwrap().0.is_some());
+        assert!(read(&idx, &st, Key(1), snap(10, 2)).unwrap().0.is_none());
+        commit(&mut st, &[w], 20);
+        // Visible to snapshots at/after 20, invisible before.
+        assert!(read(&idx, &st, Key(1), snap(20, 2)).unwrap().0.is_some());
+        assert!(read(&idx, &st, Key(1), snap(19, 2)).unwrap().0.is_none());
+    }
+
+    #[test]
+    fn update_preserves_old_version_for_readers() {
+        let (mut idx, mut st) = setup();
+        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        commit(&mut st, &[w], 10);
+        // Updater at ts 20.
+        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        commit(&mut st, &[w2], 30);
+        // A reader whose snapshot predates the update still sees v1 —
+        // the paper's key property while records are on the move.
+        let old = read(&idx, &st, Key(1), snap(25, 3)).unwrap().0.unwrap();
+        assert_eq!(old.payload, vec![1]);
+        let new = read(&idx, &st, Key(1), snap(30, 3)).unwrap().0.unwrap();
+        assert_eq!(new.payload, vec![2]);
+    }
+
+    #[test]
+    fn delete_leaves_tombstone_until_vacuum() {
+        let (mut idx, mut st) = setup();
+        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        commit(&mut st, &[w], 10);
+        let w2 = delete(&mut idx, &mut st, MAX_PAGES, Key(1), snap(15, 2)).unwrap();
+        commit(&mut st, &[w2], 20);
+        assert!(read(&idx, &st, Key(1), snap(15, 3)).unwrap().0.is_some());
+        assert!(read(&idx, &st, Key(1), snap(20, 3)).unwrap().0.is_none());
+        // Vacuum past the tombstone: key disappears entirely.
+        let reclaimed = vacuum(&mut idx, &mut st, 50).unwrap();
+        assert!(reclaimed >= 2, "old version + tombstone, got {reclaimed}");
+        assert_eq!(idx.get(Key(1)).0, None);
+    }
+
+    #[test]
+    fn write_write_conflict_aborts_second_writer() {
+        let (mut idx, mut st) = setup();
+        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        commit(&mut st, &[w], 10);
+        let _w1 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        // Txn 3 tries to update the same record while txn 2 is in flight.
+        let err = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![3], snap(20, 3));
+        assert!(matches!(err, Err(Error::TxnAborted { .. })));
+    }
+
+    #[test]
+    fn read_committed_writes_chain_after_commit() {
+        let (mut idx, mut st) = setup();
+        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        commit(&mut st, &[w], 10);
+        // Txn 2 and 3 both start at ts 20. Txn 2 updates and commits at 30.
+        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        commit(&mut st, &[w2], 30);
+        // Txn 3's snapshot (20) predates that commit, but with the record's
+        // X lock serializing writers, its update applies on top of txn 2's
+        // committed version (read-committed write semantics) instead of
+        // aborting — hot TPC-C counters depend on this.
+        let w3 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![3], snap(20, 3)).unwrap();
+        commit(&mut st, &[w3], 40);
+        let r = read(&idx, &st, Key(1), snap(40, 9)).unwrap().0.unwrap();
+        assert_eq!(r.payload, vec![3]);
+        // An old snapshot still sees the pre-churn version.
+        let r = read(&idx, &st, Key(1), snap(15, 9)).unwrap().0.unwrap();
+        assert_eq!(r.payload, vec![1]);
+    }
+
+    #[test]
+    fn abort_restores_previous_state() {
+        let (mut idx, mut st) = setup();
+        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        commit(&mut st, &[w], 10);
+        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        abort_writes(&mut idx, &mut st, &[w2]).unwrap();
+        let r = read(&idx, &st, Key(1), snap(20, 3)).unwrap().0.unwrap();
+        assert_eq!(r.payload, vec![1]);
+        assert_eq!(r.end, TS_INFINITY);
+        // A fresh insert that aborts leaves no key behind.
+        let w3 = insert(&mut idx, &mut st, MAX_PAGES, Key(9), 64, vec![9], snap(20, 4)).unwrap();
+        abort_writes(&mut idx, &mut st, &[w3]).unwrap();
+        assert_eq!(idx.get(Key(9)).0, None);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected_reinsert_over_tombstone_ok() {
+        let (mut idx, mut st) = setup();
+        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        commit(&mut st, &[w], 10);
+        assert!(matches!(
+            insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)),
+            Err(Error::DuplicateKey(_))
+        ));
+        let w2 = delete(&mut idx, &mut st, MAX_PAGES, Key(1), snap(20, 2)).unwrap();
+        commit(&mut st, &[w2], 30);
+        let w3 = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![3], snap(40, 3)).unwrap();
+        commit(&mut st, &[w3], 50);
+        let r = read(&idx, &st, Key(1), snap(50, 4)).unwrap().0.unwrap();
+        assert_eq!(r.payload, vec![3]);
+    }
+
+    #[test]
+    fn vacuum_respects_active_snapshots() {
+        let (mut idx, mut st) = setup();
+        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        commit(&mut st, &[w], 10);
+        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        commit(&mut st, &[w2], 30);
+        // Horizon 25: the old version (end=30) may still be needed.
+        assert_eq!(vacuum(&mut idx, &mut st, 25).unwrap(), 0);
+        let (versions, live) = version_stats(&idx, &st).unwrap();
+        assert_eq!((versions, live), (2, 1));
+        // Horizon 30: old version reclaimable.
+        assert_eq!(vacuum(&mut idx, &mut st, 30).unwrap(), 1);
+        let (versions, live) = version_stats(&idx, &st).unwrap();
+        assert_eq!((versions, live), (1, 1));
+        // Reader at a current snapshot still sees v2.
+        let r = read(&idx, &st, Key(1), snap(40, 9)).unwrap().0.unwrap();
+        assert_eq!(r.payload, vec![2]);
+    }
+
+    #[test]
+    fn own_double_update_chains() {
+        let (mut idx, mut st) = setup();
+        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        commit(&mut st, &[w], 10);
+        let w1 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![3], snap(20, 2)).unwrap();
+        // Own snapshot sees the latest own write.
+        let r = read(&idx, &st, Key(1), snap(20, 2)).unwrap().0.unwrap();
+        assert_eq!(r.payload, vec![3]);
+        commit(&mut st, &[w1, w2], 30);
+        let r = read(&idx, &st, Key(1), snap(30, 5)).unwrap().0.unwrap();
+        assert_eq!(r.payload, vec![3]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Write-ahead logging, recovery, and log shipping for WattDB-RS.
+//!
+//! Implements the durability story of §4.3: per-node logical WAL with group
+//! commit, ARIES-style analysis/redo recovery from checkpoint images (the
+//! read-locked segment move doubles as a checkpoint), log truncation after
+//! moves, and log shipping to helper nodes for the improved rebalancing
+//! experiment (Fig. 8).
+
+pub mod log;
+pub mod record;
+pub mod recovery;
+pub mod shipping;
+
+pub use log::LogManager;
+pub use record::{LogPayload, LogRecord, LOG_HEADER_BYTES};
+pub use recovery::{
+    check_consistency, delete_payload, insert_payload, recover, update_payload, RecoveryReport,
+};
+pub use shipping::LogShipper;

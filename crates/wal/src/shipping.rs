@@ -1,0 +1,149 @@
+//! Log shipping to helper nodes.
+//!
+//! In the paper's improved physiological experiment (Fig. 8), helper nodes
+//! are "used for log shipping and provision of additional buffer space":
+//! instead of competing with rebalancing I/O for the local disks, the
+//! loaded node streams its log tail to a helper, which persists it. The
+//! [`LogShipper`] tracks, per follower, how far the log has been shipped
+//! and acknowledged; the cluster layer charges the network costs.
+
+use std::collections::HashMap;
+
+use wattdb_common::{Lsn, NodeId};
+
+use crate::log::LogManager;
+use crate::record::LogRecord;
+
+/// Per-follower shipping cursor over one node's log.
+#[derive(Debug, Default)]
+pub struct LogShipper {
+    /// follower → (shipped up to, acknowledged up to).
+    followers: HashMap<NodeId, (Lsn, Lsn)>,
+    shipped_bytes: u64,
+}
+
+impl LogShipper {
+    /// No followers attached.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a follower starting from the log's current end (it does not
+    /// need history — shipping covers new traffic only).
+    pub fn attach(&mut self, follower: NodeId, log: &LogManager) {
+        self.followers
+            .entry(follower)
+            .or_insert((log.last_lsn(), log.last_lsn()));
+    }
+
+    /// Detach a follower (helper powered down after rebalancing).
+    pub fn detach(&mut self, follower: NodeId) {
+        self.followers.remove(&follower);
+    }
+
+    /// Whether any follower is attached (enables shipping mode).
+    pub fn active(&self) -> bool {
+        !self.followers.is_empty()
+    }
+
+    /// Attached followers.
+    pub fn followers(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.followers.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Records not yet shipped to `follower`, with their total byte size.
+    /// Marks them shipped (in flight).
+    pub fn take_batch<'a>(
+        &mut self,
+        follower: NodeId,
+        log: &'a LogManager,
+    ) -> Option<(&'a [LogRecord], usize)> {
+        let (shipped, _) = self.followers.get_mut(&follower)?;
+        let batch = log.records_after(*shipped);
+        if batch.is_empty() {
+            return None;
+        }
+        *shipped = batch.last().expect("non-empty").lsn;
+        let bytes: usize = batch.iter().map(|r| r.encoded_len()).sum();
+        self.shipped_bytes += bytes as u64;
+        Some((batch, bytes))
+    }
+
+    /// Follower confirmed persistence up to `lsn`. Returns the new minimum
+    /// acknowledged LSN across followers — records up to it are remotely
+    /// durable.
+    pub fn acknowledge(&mut self, follower: NodeId, lsn: Lsn) -> Option<Lsn> {
+        let (_, acked) = self.followers.get_mut(&follower)?;
+        if lsn > *acked {
+            *acked = lsn;
+        }
+        self.followers.values().map(|(_, a)| *a).min()
+    }
+
+    /// Total bytes shipped.
+    pub fn shipped_bytes(&self) -> u64 {
+        self.shipped_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LogPayload;
+    use wattdb_common::TxnId;
+
+    #[test]
+    fn ship_and_acknowledge() {
+        let mut log = LogManager::new();
+        let mut shipper = LogShipper::new();
+        let helper = NodeId(5);
+        shipper.attach(helper, &log);
+        assert!(shipper.active());
+        // New traffic arrives.
+        for t in 1..=3u64 {
+            log.append(TxnId(t), LogPayload::Commit);
+        }
+        let (batch, bytes) = shipper.take_batch(helper, &log).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(bytes > 0);
+        // Nothing more to ship until new appends.
+        assert!(shipper.take_batch(helper, &log).is_none());
+        let durable = shipper.acknowledge(helper, Lsn(3)).unwrap();
+        assert_eq!(durable, Lsn(3));
+    }
+
+    #[test]
+    fn attach_skips_history() {
+        let mut log = LogManager::new();
+        for t in 1..=10u64 {
+            log.append(TxnId(t), LogPayload::Commit);
+        }
+        let mut shipper = LogShipper::new();
+        shipper.attach(NodeId(5), &log);
+        assert!(shipper.take_batch(NodeId(5), &log).is_none());
+        log.append(TxnId(11), LogPayload::Commit);
+        let (batch, _) = shipper.take_batch(NodeId(5), &log).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].txn, TxnId(11));
+    }
+
+    #[test]
+    fn min_ack_across_followers() {
+        let mut log = LogManager::new();
+        let mut shipper = LogShipper::new();
+        shipper.attach(NodeId(5), &log);
+        shipper.attach(NodeId(6), &log);
+        for t in 1..=4u64 {
+            log.append(TxnId(t), LogPayload::Commit);
+        }
+        shipper.take_batch(NodeId(5), &log);
+        shipper.take_batch(NodeId(6), &log);
+        assert_eq!(shipper.acknowledge(NodeId(5), Lsn(4)), Some(Lsn::ZERO));
+        assert_eq!(shipper.acknowledge(NodeId(6), Lsn(2)), Some(Lsn(2)));
+        shipper.detach(NodeId(6));
+        assert_eq!(shipper.acknowledge(NodeId(5), Lsn(4)), Some(Lsn(4)));
+        assert_eq!(shipper.followers(), vec![NodeId(5)]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property test: random rebalance plans never lose records, for every
+//! scheme, fraction, and topology drawn.
+
+use proptest::prelude::*;
+use wattdb_common::{NodeId, SimDuration};
+use wattdb_core::api::WattDb;
+use wattdb_core::cluster::Scheme;
+
+fn live_keys(db: &WattDb) -> usize {
+    let c = db.cluster.borrow();
+    c.indexes.values().map(|i| i.len()).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_rebalance_preserves_the_key_population(
+        seed in 0u64..1000,
+        scheme_pick in 0u8..3,
+        fraction in 0.2f64..0.8,
+        targets_n in 1usize..3,
+    ) {
+        let scheme = match scheme_pick {
+            0 => Scheme::Physical,
+            1 => Scheme::Logical,
+            _ => Scheme::Physiological,
+        };
+        let mut db = WattDb::builder()
+            .nodes(6)
+            .scheme(scheme)
+            .warehouses(2)
+            .density(0.005)
+            .segment_pages(8)
+            .seed(seed)
+            .initial_data_nodes(&[NodeId(0), NodeId(1)])
+            .build();
+        let before = live_keys(&db);
+        let targets: Vec<NodeId> = (2..2 + targets_n as u16).map(NodeId).collect();
+        db.rebalance(fraction, &[NodeId(0), NodeId(1)], &targets);
+        for _ in 0..120 {
+            db.run_for(SimDuration::from_secs(5));
+            if !db.rebalancing() {
+                break;
+            }
+        }
+        prop_assert!(!db.rebalancing(), "move must terminate");
+        // Logical moves tombstone their sources; vacuum reclaims them
+        // before comparing populations.
+        db.cluster.borrow_mut().vacuum_all();
+        prop_assert_eq!(live_keys(&db), before, "population preserved");
+        // Routing still resolves a sample of keys for every table.
+        let c = db.cluster.borrow();
+        for t in wattdb_tpcc::TpccTable::ALL {
+            for w in 0..2u32 {
+                let key = wattdb_tpcc::keys::district(w, 3);
+                let r = c.router.route(t.table_id(), key);
+                prop_assert!(r.is_ok(), "{:?} w{} unroutable after move", t, w);
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration: the §3.4 scale-in protocol — "the master will distribute
+//! the data (processing) to fewer nodes and shutdown the nodes currently
+//! not needed".
+
+use wattdb_common::{NodeId, SimDuration};
+use wattdb_core::api::WattDb;
+use wattdb_core::cluster::Scheme;
+use wattdb_core::policy::{apply, suspend_empty_nodes, Decision};
+use wattdb_energy::NodeState;
+
+fn build() -> WattDb {
+    WattDb::builder()
+        .nodes(6)
+        .scheme(Scheme::Physiological)
+        .warehouses(6)
+        .density(0.01)
+        .segment_pages(8)
+        .seed(9)
+        .initial_data_nodes(&[NodeId(0), NodeId(1), NodeId(2)])
+        .build()
+}
+
+#[test]
+fn draining_a_node_moves_everything_and_powers_it_down() {
+    let mut db = build();
+    let before_keys: usize = {
+        let c = db.cluster.borrow();
+        c.indexes.values().map(|i| i.len()).sum()
+    };
+    // The policy decided node 2 should drain (e.g. after a quiet period).
+    let decision = Decision::ScaleIn {
+        drain: vec![NodeId(2)],
+    };
+    apply(&db.cluster, &mut db.sim, &decision, 1.0);
+    for _ in 0..120 {
+        db.run_for(SimDuration::from_secs(5));
+        if !db.rebalancing() {
+            break;
+        }
+    }
+    assert!(!db.rebalancing(), "drain finished");
+    {
+        let mut c = db.cluster.borrow_mut();
+        c.vacuum_all();
+        assert_eq!(
+            c.seg_dir.on_node(NodeId(2)).count(),
+            0,
+            "node 2 holds no segments after draining"
+        );
+        let after: usize = c.indexes.values().map(|i| i.len()).sum();
+        assert_eq!(after, before_keys, "population preserved across drain");
+    }
+    // Now the empty node can be suspended.
+    let off = suspend_empty_nodes(&db.cluster);
+    assert!(off.contains(&NodeId(2)), "drained node suspended: {off:?}");
+    let c = db.cluster.borrow();
+    assert_eq!(c.nodes[2].state, NodeState::Standby);
+    // The survivors still serve: every warehouse's keys route somewhere.
+    for w in 0..6u32 {
+        let key = wattdb_tpcc::keys::warehouse(w);
+        let r = c
+            .router
+            .route(wattdb_tpcc::TpccTable::Warehouse.table_id(), key)
+            .unwrap();
+        assert_ne!(r.primary.node, NodeId(2), "nothing routes to the drained node");
+    }
+}
+
+#[test]
+fn suspend_refuses_nodes_that_still_hold_data() {
+    let db = build();
+    let off = suspend_empty_nodes(&db.cluster);
+    // Nodes 1 and 2 hold data; only never-used actives (none here besides
+    // data holders) may suspend. The master (node 0) is never suspended.
+    assert!(!off.contains(&NodeId(1)));
+    assert!(!off.contains(&NodeId(2)));
+    let c = db.cluster.borrow();
+    assert_eq!(c.nodes[0].state, NodeState::Active, "master stays up");
+    assert_eq!(c.nodes[1].state, NodeState::Active);
+}
+
+#[test]
+fn scale_in_lowers_cluster_power() {
+    let mut db = build();
+    let p_before = db.power_now();
+    apply(
+        &db.cluster,
+        &mut db.sim,
+        &Decision::ScaleIn {
+            drain: vec![NodeId(2)],
+        },
+        1.0,
+    );
+    for _ in 0..120 {
+        db.run_for(SimDuration::from_secs(5));
+        if !db.rebalancing() {
+            break;
+        }
+    }
+    suspend_empty_nodes(&db.cluster);
+    db.run_for(SimDuration::from_secs(2));
+    let p_after = db.power_now();
+    // One node from active (~22 W + drives ~9 W) to standby (2.5 W).
+    assert!(
+        p_before - p_after > 20.0,
+        "power drop after scale-in: {p_before} -> {p_after}"
+    );
+}

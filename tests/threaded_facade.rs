@@ -1,0 +1,100 @@
+//! Integration: the thread-blocking lock facade carrying a real
+//! multi-threaded workload over the engine stack (embedded-library usage,
+//! outside the deterministic event loop).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use wattdb_common::{Key, KeyRange, SegmentId, TableId, TxnId};
+use wattdb_index::SegmentIndex;
+use wattdb_storage::{PageStore, Record};
+use wattdb_txn::{BlockingAcquire, BlockingLockManager, LockMode, LockTarget};
+
+#[test]
+fn concurrent_increments_are_serialized_by_x_locks() {
+    let locks = BlockingLockManager::new();
+    let seg = SegmentId(1);
+    let engine = Arc::new(Mutex::new({
+        let mut store = PageStore::new();
+        store.add_segment(seg);
+        let mut idx = SegmentIndex::new(seg, KeyRange::all());
+        let rec = Record::new(Key(1), 1, 64, vec![0]);
+        let (rid, _) = store.insert_record(seg, &rec, u32::MAX).unwrap();
+        idx.insert(Key(1), rid);
+        (idx, store)
+    }));
+
+    const THREADS: u64 = 8;
+    const INCREMENTS: u64 = 25;
+    crossbeam::scope(|scope| {
+        for t in 0..THREADS {
+            let locks = locks.clone();
+            let engine = engine.clone();
+            scope.spawn(move |_| {
+                for i in 0..INCREMENTS {
+                    let txn = TxnId(1 + t * INCREMENTS + i);
+                    let target = LockTarget::Record(TableId(1), Key(1));
+                    assert_eq!(
+                        locks.acquire(txn, target, LockMode::X),
+                        BlockingAcquire::Granted
+                    );
+                    // Critical section: read-modify-write the record.
+                    {
+                        let mut guard = engine.lock();
+                        let (idx, store) = &mut *guard;
+                        let (rid, _) = idx.get(Key(1));
+                        let rid = rid.unwrap();
+                        let mut rec = store.read_record(rid).unwrap();
+                        rec.payload[0] = rec.payload[0].wrapping_add(1);
+                        store.write_record(rid, &rec).unwrap();
+                    }
+                    locks.release_all(txn);
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let guard = engine.lock();
+    let (idx, store) = &*guard;
+    let (rid, _) = idx.get(Key(1));
+    let rec = store.read_record(rid.unwrap()).unwrap();
+    assert_eq!(
+        rec.payload[0],
+        (THREADS * INCREMENTS) as u8,
+        "every increment applied exactly once"
+    );
+}
+
+#[test]
+fn readers_share_while_writer_waits() {
+    let locks = BlockingLockManager::new();
+    let target = LockTarget::Record(TableId(1), Key(9));
+    let barrier = Arc::new(std::sync::Barrier::new(4));
+    crossbeam::scope(|scope| {
+        // Three readers hold S concurrently.
+        for t in 0..3u64 {
+            let locks = locks.clone();
+            let barrier = barrier.clone();
+            scope.spawn(move |_| {
+                let txn = TxnId(t + 1);
+                assert_eq!(
+                    locks.acquire(txn, target, LockMode::S),
+                    BlockingAcquire::Granted
+                );
+                barrier.wait(); // all three held at once
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                locks.release_all(txn);
+            });
+        }
+        barrier.wait();
+        // A writer queued behind them gets through after release.
+        let txn = TxnId(99);
+        assert_eq!(
+            locks.acquire(txn, target, LockMode::X),
+            BlockingAcquire::Granted
+        );
+        locks.release_all(txn);
+    })
+    .unwrap();
+}
