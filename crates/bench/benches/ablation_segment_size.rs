@@ -2,7 +2,7 @@
 //!
 //! The paper fixes segments at 32 MB / 4096 pages. Smaller segments give
 //! finer-grained moves (shorter per-segment write stalls) but more of
-//! them, plus larger top indexes (DESIGN.md design-choice #2).
+//! them, plus larger top indexes.
 
 use wattdb_common::{NodeId, SimDuration};
 use wattdb_core::api::WattDb;
@@ -27,7 +27,7 @@ fn main() {
             .build();
         db.start_oltp(8, SimDuration::from_millis(100));
         db.run_for(SimDuration::from_secs(10));
-        let segments = db.cluster.borrow().seg_dir.len();
+        let segments = db.segment_count();
         db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
         for _ in 0..200 {
             db.run_for(SimDuration::from_secs(5));
@@ -36,14 +36,17 @@ fn main() {
             }
         }
         db.stop_clients();
-        let report = db.cluster.borrow().last_rebalance;
+        let report = db.last_rebalance();
         match report {
             Some(r) => println!(
                 "{pages:>14} {segments:>10} {:>14} {:>16.1}",
                 r.segments_moved,
                 r.finished.since(r.started).as_secs_f64()
             ),
-            None => println!("{pages:>14} {segments:>10} {:>14} {:>16}", "-", "unfinished"),
+            None => println!(
+                "{pages:>14} {segments:>10} {:>14} {:>16}",
+                "-", "unfinished"
+            ),
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! §3.3 argues vectorization rescues remote placement; this sweep shows
 //! the diminishing returns curve from single-record to 4096-record calls
-//! (DESIGN.md design-choice #1).
+//!.
 
 use wattdb_bench::{fig1_throughput, Fig1Config};
 

@@ -65,7 +65,11 @@ fn bench_locks(c: &mut Criterion) {
             t += 1;
             let txn = TxnId(t);
             lm.acquire(txn, LockTarget::Table(TableId(1)), LockMode::IX);
-            lm.acquire(txn, LockTarget::Record(TableId(1), Key(t % 1000)), LockMode::X);
+            lm.acquire(
+                txn,
+                LockTarget::Record(TableId(1), Key(t % 1000)),
+                LockMode::X,
+            );
             lm.release_all(txn)
         })
     });

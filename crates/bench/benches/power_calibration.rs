@@ -25,7 +25,10 @@ fn cluster_power(active: u16, utilization_hint: &str) -> f64 {
 
 fn main() {
     println!("Power calibration — §3.1 anchors");
-    println!("{:<42} {:>10} {:>14}", "configuration", "model W", "paper W");
+    println!(
+        "{:<42} {:>10} {:>14}",
+        "configuration", "model W", "paper W"
+    );
     let minimal = cluster_power(1, "idle");
     println!(
         "{:<42} {:>10.1} {:>14}",

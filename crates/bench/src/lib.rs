@@ -2,7 +2,7 @@
 //!
 //! Each `cargo bench -p wattdb-bench --bench figN_*` target prints the
 //! same rows/series the corresponding figure reports. Absolute numbers come
-//! from the simulated substrate (see DESIGN.md §1); the comparisons —
+//! from the simulated substrate; the comparisons —
 //! which scheme wins, where the crossovers fall — are the reproduction
 //! target. EXPERIMENTS.md records paper-vs-measured for each figure.
 
@@ -54,7 +54,7 @@ pub struct SchemeExperiment {
     pub warehouses: u32,
     /// Cardinality density.
     pub density: f64,
-    /// Bulk-I/O scale (DESIGN.md).
+    /// Bulk-I/O scale (see `WattDbBuilder::io_scale`).
     pub io_scale: u64,
     /// Multiplier on per-operation CPU costs: models the full SQL-layer
     /// work per record op on the wimpy Atom cores, putting the two initial
@@ -134,9 +134,7 @@ pub fn run_scheme_experiment(cfg: SchemeExperiment) -> SchemeRun {
     db.run_for(cfg.window);
     db.stop_clients();
     let rebalance_secs = db
-        .cluster
-        .borrow()
-        .last_rebalance
+        .last_rebalance()
         .map(|r| r.finished.since(r.started).as_secs_f64());
     let series = db
         .timeseries()
@@ -183,8 +181,7 @@ pub fn print_series(label: &str, run: &SchemeRun) {
 
 /// Fig. 7: per-phase mean query-cost breakdown in ms.
 pub fn print_breakdown(label: &str, db: &WattDb, phase: Phase) {
-    let c = db.cluster.borrow();
-    let Some(profile) = c.metrics.mean_profile(phase) else {
+    let Some(profile) = db.with_cluster(|c| c.metrics.mean_profile(phase)) else {
         println!("{label:<24} (no samples)");
         return;
     };
@@ -378,8 +375,7 @@ pub fn fig3_run(update_pct: u32, mode: CcMode) -> Fig3Point {
         .initial_data_nodes(&[NodeId(0), NodeId(1)])
         .build();
     // Spawn clients; a custom driver loop submits the fixed mix.
-    {
-        let mut c = db.cluster.borrow_mut();
+    db.with_cluster_mut(|c| {
         c.auto_resubmit = false;
         c.cfg.migration_batch = 64;
         c.spawn_clients(
@@ -389,18 +385,18 @@ pub fn fig3_run(update_pct: u32, mode: CcMode) -> Fig3Point {
                 ..Default::default()
             },
         );
-    }
-    start_mixed_clients(&db.cluster, &mut db.sim, update_pct);
+    });
+    db.with_runtime(|cl, sim| start_mixed_clients(cl, sim, update_pct));
     db.run_for(SimDuration::from_secs(10));
     let move_start = db.now();
     let completed_before = db.completed();
     db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
     // Track peak storage overhead during the move.
     let peak: Rc<RefCell<f64>> = Rc::new(RefCell::new(1.0));
-    {
-        let cl = db.cluster.clone();
+    db.with_runtime(|cl, sim| {
+        let cl = cl.clone();
         let peak = peak.clone();
-        wattdb_sim::Repeater::every(&mut db.sim, SimDuration::from_secs(2), move |_| {
+        wattdb_sim::Repeater::every(sim, SimDuration::from_secs(2), move |_| {
             let c = cl.borrow();
             let (versions, live) = c.version_stats();
             let mut ratio = if live > 0 {
@@ -419,7 +415,7 @@ pub fn fig3_run(update_pct: u32, mode: CcMode) -> Fig3Point {
             }
             c.mover.is_some()
         });
-    }
+    });
     // Run until the move finishes (bounded; MGL-RX may stall on its
     // pending-change locks — that *is* the measured effect).
     for _ in 0..60 {

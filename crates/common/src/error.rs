@@ -99,7 +99,9 @@ impl Error {
         matches!(
             self,
             Error::TxnAborted {
-                reason: AbortReason::Deadlock | AbortReason::WriteConflict | AbortReason::LockTimeout,
+                reason: AbortReason::Deadlock
+                    | AbortReason::WriteConflict
+                    | AbortReason::LockTimeout,
                 ..
             }
         )

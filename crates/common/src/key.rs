@@ -96,10 +96,7 @@ impl KeyRange {
     /// boundary would produce an empty half.
     pub fn split_at(&self, mid: Key) -> Option<(KeyRange, KeyRange)> {
         if mid > self.start && mid < self.end {
-            Some((
-                KeyRange::new(self.start, mid),
-                KeyRange::new(mid, self.end),
-            ))
+            Some((KeyRange::new(self.start, mid), KeyRange::new(mid, self.end)))
         } else {
             None
         }

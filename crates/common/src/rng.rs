@@ -145,7 +145,10 @@ mod tests {
         let n = 20_000;
         let sum: u64 = (0..n).map(|_| r.exp_micros(1000.0)).sum();
         let mean = sum as f64 / n as f64;
-        assert!((mean - 1000.0).abs() < 50.0, "mean {mean} too far from 1000");
+        assert!(
+            (mean - 1000.0).abs() < 50.0,
+            "mean {mean} too far from 1000"
+        );
     }
 
     #[test]

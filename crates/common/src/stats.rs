@@ -292,9 +292,10 @@ impl TimeBuckets {
 
     /// Iterate `(bucket_start_time, count, sum)` over all buckets.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, u64, f64)> + '_ {
-        self.buckets.iter().enumerate().map(move |(i, &(c, s))| {
-            (self.origin + self.width * i as u64, c, s)
-        })
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &(c, s))| (self.origin + self.width * i as u64, c, s))
     }
 
     /// Count in the bucket containing `t` (0 if none).

@@ -1,5 +1,12 @@
-//! The high-level WattDB facade: build a cluster, drive a workload,
-//! rebalance, read out the experiment series.
+//! The high-level WattDB facade: build a cluster, drive a workload, let
+//! the autopilot resize it, read out the experiment series.
+//!
+//! The facade owns the simulator and the cluster outright. Everyday
+//! operation goes through typed methods — [`WattDb::status`],
+//! [`WattDb::events`], [`WattDb::timeseries`], [`WattDb::rebalance`] —
+//! and research code that needs the raw engine state borrows it through
+//! the scoped [`WattDb::with_cluster`] family instead of reaching into
+//! `Rc<RefCell<…>>` internals.
 //!
 //! ```
 //! use wattdb_core::api::WattDb;
@@ -12,26 +19,35 @@
 //!     .warehouses(2)
 //!     .density(0.01)
 //!     .initial_data_nodes(&[NodeId(0), NodeId(1)])
+//!     .autopilot(true)
 //!     .build();
 //! db.start_oltp(8, SimDuration::from_millis(100));
 //! db.run_for(SimDuration::from_secs(5));
 //! assert!(db.completed() > 0);
+//! let status = db.status();
+//! assert_eq!(status.nodes.len(), 4);
 //! ```
 
-use wattdb_common::{NodeId, SimDuration, SimTime};
-use wattdb_sim::Sim;
+use wattdb_common::{NodeId, SimDuration, SimTime, Watts};
+use wattdb_energy::NodeState;
+use wattdb_sim::{Sim, UtilizationProbe};
 use wattdb_tpcc::{ClientConfig, TpccConfig};
 use wattdb_txn::CcMode;
 
+use crate::autopilot::{AutoPilot, AutoPilotConfig, ControlEvent};
 use crate::cluster::{Cluster, ClusterConfig, ClusterRc, Scheme};
 use crate::executor;
-use crate::migration;
+use crate::migration::{self, RebalanceReport};
+use crate::policy::PolicyConfig;
 
 /// Builder for a ready-to-run WattDB deployment.
 pub struct WattDbBuilder {
     cfg: ClusterConfig,
     tpcc: TpccConfig,
     initial: Vec<NodeId>,
+    policy: PolicyConfig,
+    monitoring: SimDuration,
+    autopilot: bool,
 }
 
 impl Default for WattDbBuilder {
@@ -40,6 +56,9 @@ impl Default for WattDbBuilder {
             cfg: ClusterConfig::default(),
             tpcc: TpccConfig::default(),
             initial: vec![NodeId(0), NodeId(1)],
+            policy: PolicyConfig::default(),
+            monitoring: SimDuration::from_secs(5),
+            autopilot: false,
         }
     }
 }
@@ -75,7 +94,11 @@ impl WattDbBuilder {
         self
     }
 
-    /// Bulk-I/O scale multiplier (see DESIGN.md).
+    /// Bulk-I/O scale multiplier. Segment copies and migration scans
+    /// charge `bytes × io_scale`, so a memory-friendly scaled-down dataset
+    /// still produces the transfer times of the paper's 100 GB deployment;
+    /// leave at 1 for functional tests, raise into the hundreds to
+    /// reproduce Fig. 6-class rebalance durations.
     pub fn io_scale(mut self, s: u64) -> Self {
         self.cfg.io_scale = s;
         self
@@ -119,7 +142,30 @@ impl WattDbBuilder {
         self
     }
 
-    /// Build, load TPC-C, and start the power sampler.
+    /// Elasticity thresholds the autopilot enforces (§3.4; the paper's
+    /// 80 % CPU ceiling by default).
+    pub fn policy(mut self, p: PolicyConfig) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Monitoring cadence: how often nodes report utilization to the
+    /// master (paper: "every few seconds"; default 5 s).
+    pub fn monitoring(mut self, period: SimDuration) -> Self {
+        self.monitoring = period;
+        self
+    }
+
+    /// Engage the elasticity autopilot at build time: the cluster then
+    /// monitors itself and powers nodes up/down autonomously, logging
+    /// every decision to [`WattDb::events`].
+    pub fn autopilot(mut self, enabled: bool) -> Self {
+        self.autopilot = enabled;
+        self
+    }
+
+    /// Build, load TPC-C, start the power sampler, and — when requested —
+    /// engage the autopilot.
     pub fn build(self) -> WattDb {
         let cluster = Cluster::new(self.cfg, &self.initial);
         let mut sim = Sim::new();
@@ -129,16 +175,61 @@ impl WattDbBuilder {
                 .expect("dataset loads");
         }
         Cluster::start_power_sampler(&cluster, &mut sim);
-        WattDb { sim, cluster }
+        let autopilot = self.autopilot.then(|| {
+            AutoPilot::engage(
+                &cluster,
+                &mut sim,
+                AutoPilotConfig {
+                    policy: self.policy,
+                    period: self.monitoring,
+                },
+            )
+        });
+        WattDb {
+            sim,
+            cluster,
+            autopilot,
+        }
     }
+}
+
+/// One node's line in a [`ClusterStatus`].
+#[derive(Debug, Clone)]
+pub struct NodeStatus {
+    /// Node id.
+    pub node: NodeId,
+    /// Power state.
+    pub state: NodeState,
+    /// CPU utilization since the previous `status()` call, in [0,1].
+    pub cpu: f64,
+    /// Segments stored on the node.
+    pub segments: usize,
+    /// Node power draw (CPU-proportional plus drives).
+    pub power: Watts,
+}
+
+/// Point-in-time snapshot of the whole deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterStatus {
+    /// Virtual time of the snapshot.
+    pub at: SimTime,
+    /// Per-node state, indexed by `NodeId::raw()`.
+    pub nodes: Vec<NodeStatus>,
+    /// Total cluster power including the interconnect switch.
+    pub total_power: Watts,
+    /// Nodes currently active.
+    pub active_nodes: usize,
+    /// Segments across the cluster.
+    pub segments: usize,
+    /// Is a rebalance in flight?
+    pub rebalancing: bool,
 }
 
 /// A running WattDB deployment under simulation.
 pub struct WattDb {
-    /// The event loop.
-    pub sim: Sim,
-    /// The cluster state.
-    pub cluster: ClusterRc,
+    sim: Sim,
+    cluster: ClusterRc,
+    autopilot: Option<AutoPilot>,
 }
 
 impl WattDb {
@@ -146,6 +237,8 @@ impl WattDb {
     pub fn builder() -> WattDbBuilder {
         WattDbBuilder::default()
     }
+
+    // ------------------------------------------------------------ workload
 
     /// Spawn `n` closed-loop clients with the given mean think time and
     /// start them.
@@ -179,7 +272,38 @@ impl WattDb {
         self.sim.now()
     }
 
-    /// Kick off a rebalance moving `fraction` of each source's data.
+    /// Stop clients from submitting further transactions.
+    pub fn stop_clients(&mut self) {
+        self.cluster.borrow_mut().stopped = true;
+    }
+
+    // ---------------------------------------------------------- elasticity
+
+    /// The autopilot handle, when engaged.
+    pub fn autopilot(&self) -> Option<&AutoPilot> {
+        self.autopilot.as_ref()
+    }
+
+    /// Engage the elasticity control loop on a running deployment.
+    /// Replaces (and disengages) any previous loop.
+    pub fn engage_autopilot(&mut self, config: AutoPilotConfig) {
+        if let Some(old) = self.autopilot.take() {
+            old.disengage();
+        }
+        self.autopilot = Some(AutoPilot::engage(&self.cluster, &mut self.sim, config));
+    }
+
+    /// The controller's decision log (empty when no autopilot ran).
+    pub fn events(&self) -> Vec<ControlEvent> {
+        self.autopilot
+            .as_ref()
+            .map(|a| a.events())
+            .unwrap_or_default()
+    }
+
+    /// Kick off a manual rebalance moving `fraction` of each source's
+    /// data. (The autopilot issues the same call on its own; this remains
+    /// for scripted experiments.)
     pub fn rebalance(&mut self, fraction: f64, sources: &[NodeId], targets: &[NodeId]) {
         migration::start_rebalance(&self.cluster, &mut self.sim, fraction, sources, targets);
     }
@@ -201,10 +325,12 @@ impl WattDb {
         self.cluster.borrow().mover.is_some()
     }
 
-    /// Stop clients from submitting further transactions.
-    pub fn stop_clients(&mut self) {
-        self.cluster.borrow_mut().stopped = true;
+    /// Summary of the last completed rebalance, manual or autopiloted.
+    pub fn last_rebalance(&self) -> Option<RebalanceReport> {
+        self.cluster.borrow().last_rebalance
     }
+
+    // ------------------------------------------------------------- readout
 
     /// Completed transactions so far.
     pub fn completed(&self) -> u64 {
@@ -214,6 +340,75 @@ impl WattDb {
     /// Aborted transaction attempts so far.
     pub fn aborted(&self) -> u64 {
         self.cluster.borrow().metrics.aborted
+    }
+
+    /// Nodes currently active.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.cluster.borrow().active_nodes()
+    }
+
+    /// Segments stored on `node`.
+    pub fn segments_on(&self, node: NodeId) -> usize {
+        self.cluster.borrow().seg_dir.on_node(node).count()
+    }
+
+    /// Segments across the cluster.
+    pub fn segment_count(&self) -> usize {
+        self.cluster.borrow().seg_dir.len()
+    }
+
+    /// Live record keys across every segment index.
+    pub fn live_records(&self) -> usize {
+        self.cluster
+            .borrow()
+            .indexes
+            .values()
+            .map(|i| i.len())
+            .sum()
+    }
+
+    /// Vacuum every segment at the current GC horizon; returns versions
+    /// reclaimed.
+    pub fn vacuum(&mut self) -> usize {
+        self.cluster.borrow_mut().vacuum_all()
+    }
+
+    /// Per-node state/CPU/segments/power snapshot. CPU utilizations are
+    /// measured over the window since the previous `status()` call, on a
+    /// probe independent of the monitoring loop's.
+    pub fn status(&mut self) -> ClusterStatus {
+        let now = self.sim.now();
+        let mut c = self.cluster.borrow_mut();
+        let c = &mut *c;
+        let mut nodes = Vec::with_capacity(c.nodes.len());
+        let mut total = c.power_model.switch_power();
+        for n in &mut c.nodes {
+            let cpu_res = n.cpu.clone();
+            let cpu = n.status_probe.sample(&cpu_res, now);
+            let mut power = c.power_model.node_power(n.state, cpu);
+            for d in &n.disks {
+                power += c.power_model.disk_power(d.kind(), n.state);
+            }
+            total += power;
+            nodes.push(NodeStatus {
+                node: n.id,
+                state: n.state,
+                cpu,
+                segments: c.seg_dir.on_node(n.id).count(),
+                power,
+            });
+        }
+        ClusterStatus {
+            at: now,
+            active_nodes: nodes
+                .iter()
+                .filter(|n| n.state == NodeState::Active)
+                .count(),
+            segments: c.seg_dir.len(),
+            rebalancing: c.mover.is_some(),
+            nodes,
+            total_power: total,
+        }
     }
 
     /// The experiment time series, resolved against the power meter:
@@ -257,12 +452,37 @@ impl WattDb {
             .collect()
     }
 
-    /// Current total cluster power (fresh sample).
+    /// Current total cluster power (fresh sample on the power probe).
     pub fn power_now(&mut self) -> f64 {
         let now = self.sim.now();
         self.cluster.borrow_mut().sample_power(now).0
     }
+
+    // ------------------------------------------------------- escape hatch
+
+    /// Scoped read access to the engine state, for assertions and
+    /// analyses the typed surface does not cover.
+    pub fn with_cluster<R>(&self, f: impl FnOnce(&Cluster) -> R) -> R {
+        f(&self.cluster.borrow())
+    }
+
+    /// Scoped mutable access to the engine state.
+    pub fn with_cluster_mut<R>(&mut self, f: impl FnOnce(&mut Cluster) -> R) -> R {
+        f(&mut self.cluster.borrow_mut())
+    }
+
+    /// Scoped access to the shared cluster handle *and* the simulator, for
+    /// research drivers that schedule their own events (custom workload
+    /// loops, probes, repeaters). The closure must not hold the handle
+    /// beyond its own scope.
+    pub fn with_runtime<R>(&mut self, f: impl FnOnce(&ClusterRc, &mut Sim) -> R) -> R {
+        f(&self.cluster, &mut self.sim)
+    }
 }
+
+/// Probe re-export so facade users can build custom samplers without
+/// importing `wattdb_sim` directly.
+pub type StatusProbe = UtilizationProbe;
 
 #[cfg(test)]
 mod tests {
@@ -286,10 +506,11 @@ mod tests {
         db.start_oltp(4, SimDuration::from_millis(50));
         db.run_for(SimDuration::from_secs(10));
         assert!(db.completed() > 50, "completed {}", db.completed());
-        let c = db.cluster.borrow();
-        assert!(c.txn.commit_count() > 0);
-        // All completions attributed to the normal phase.
-        assert!(c.metrics.mean_profile(Phase::Normal).is_some());
+        db.with_cluster(|c| {
+            assert!(c.txn.commit_count() > 0);
+            // All completions attributed to the normal phase.
+            assert!(c.metrics.mean_profile(Phase::Normal).is_some());
+        });
     }
 
     #[test]
@@ -297,18 +518,12 @@ mod tests {
         let mut db = small();
         db.start_oltp(4, SimDuration::from_millis(50));
         db.run_for(SimDuration::from_secs(5));
-        let before: u64 = {
-            let c = db.cluster.borrow();
-            c.seg_dir.on_node(NodeId(2)).count() as u64
-        };
-        assert_eq!(before, 0);
+        assert_eq!(db.segments_on(NodeId(2)), 0);
         db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
         db.run_for(SimDuration::from_secs(120));
         assert!(!db.rebalancing(), "rebalance finished");
-        let c = db.cluster.borrow();
-        assert!(c.seg_dir.on_node(NodeId(2)).count() > 0, "segments arrived");
-        assert!(c.last_rebalance.is_some());
-        let r = c.last_rebalance.unwrap();
+        assert!(db.segments_on(NodeId(2)) > 0, "segments arrived");
+        let r = db.last_rebalance().expect("report recorded");
         assert!(r.segments_moved > 0);
     }
 
@@ -316,15 +531,11 @@ mod tests {
     fn no_records_lost_across_physiological_move() {
         let mut db = small();
         // No OLTP load: the record population must be identical.
-        let count_all = |db: &WattDb| -> usize {
-            let c = db.cluster.borrow();
-            c.indexes.values().map(|i| i.len()).sum()
-        };
-        let before = count_all(&db);
+        let before = db.live_records();
         db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
         db.run_for(SimDuration::from_secs(120));
         assert!(!db.rebalancing());
-        assert_eq!(count_all(&db), before, "no records lost or duplicated");
+        assert_eq!(db.live_records(), before, "no records lost or duplicated");
     }
 
     #[test]
@@ -350,5 +561,44 @@ mod tests {
         let after = db.completed();
         // In-flight work may finish but no flood of new transactions.
         assert!(after - at_stop < 20, "drained: {at_stop} -> {after}");
+    }
+
+    #[test]
+    fn status_reports_states_and_power() {
+        let mut db = small();
+        db.start_oltp(4, SimDuration::from_millis(50));
+        db.run_for(SimDuration::from_secs(10));
+        let s = db.status();
+        assert_eq!(s.nodes.len(), 4);
+        assert_eq!(s.active_nodes, 2, "initial data nodes active");
+        assert_eq!(s.nodes[0].state, NodeState::Active);
+        assert_eq!(s.nodes[3].state, NodeState::Standby);
+        assert!(s.nodes[0].cpu > 0.0, "loaded node shows CPU use");
+        assert!(s.nodes[0].segments > 0);
+        assert_eq!(s.nodes[3].segments, 0);
+        assert!(s.total_power.0 > 40.0, "real power: {}", s.total_power.0);
+        assert!(!s.rebalancing);
+        assert_eq!(
+            s.segments,
+            s.nodes.iter().map(|n| n.segments).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn events_empty_without_autopilot() {
+        let mut db = small();
+        db.run_for(SimDuration::from_secs(10));
+        assert!(db.autopilot().is_none());
+        assert!(db.events().is_empty());
+    }
+
+    #[test]
+    fn engage_autopilot_after_build() {
+        let mut db = small();
+        assert!(db.autopilot().is_none());
+        db.engage_autopilot(AutoPilotConfig::default());
+        assert!(db.autopilot().is_some());
+        db.run_for(SimDuration::from_secs(20));
+        assert!(db.autopilot().unwrap().is_engaged());
     }
 }

@@ -1,0 +1,330 @@
+//! The elasticity autopilot: §3.4's master control loop as a first-class
+//! subsystem.
+//!
+//! The paper's cluster is *self*-resizing: every node reports utilization
+//! to the master every few seconds, the master compares the reports to
+//! thresholds (80 % CPU bound), powers nodes up or down, and repartitions
+//! online. [`AutoPilot`] packages that loop — monitoring
+//! ([`crate::monitor`]), the threshold policy ([`crate::policy`]),
+//! decision application, and post-drain node suspension — behind one
+//! handle, and keeps a queryable [`ControlEvent`] log so Fig. 6-style
+//! timeseries can be annotated with the exact moments the cluster decided
+//! to change size.
+//!
+//! Engage it through the facade:
+//!
+//! ```
+//! use wattdb_common::{NodeId, SimDuration};
+//! use wattdb_core::api::WattDb;
+//!
+//! let mut db = WattDb::builder()
+//!     .nodes(4)
+//!     .warehouses(2)
+//!     .density(0.01)
+//!     .initial_data_nodes(&[NodeId(0)])
+//!     .autopilot(true)
+//!     .build();
+//! db.run_for(SimDuration::from_secs(30));
+//! // Nothing overloaded: the controller held steady.
+//! assert!(db.events().is_empty());
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wattdb_common::{NodeId, SimDuration, SimTime};
+use wattdb_energy::NodeState;
+use wattdb_sim::Sim;
+
+use crate::cluster::ClusterRc;
+use crate::monitor::{self, ClusterView};
+use crate::policy::{self, Decision, ElasticityPolicy, PolicyConfig};
+
+/// Controller configuration: the policy thresholds plus the monitoring
+/// cadence ("the nodes send their monitoring data every few seconds").
+#[derive(Debug, Clone, Copy)]
+pub struct AutoPilotConfig {
+    /// Elasticity thresholds (§3.4; 80 % CPU ceiling by default).
+    pub policy: PolicyConfig,
+    /// Monitoring window length.
+    pub period: SimDuration,
+}
+
+impl Default for AutoPilotConfig {
+    fn default() -> Self {
+        Self {
+            policy: PolicyConfig::default(),
+            period: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Compact snapshot of the monitoring view a decision was based on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewSummary {
+    /// Mean CPU utilization across active nodes.
+    pub mean_active_cpu: f64,
+    /// Hottest active node's CPU utilization.
+    pub max_cpu: f64,
+    /// Active nodes at the time.
+    pub active_nodes: usize,
+    /// Standby nodes at the time.
+    pub standby_nodes: usize,
+}
+
+impl ViewSummary {
+    fn of(view: &ClusterView) -> Self {
+        let active: Vec<_> = view.reports.iter().filter(|r| r.active).collect();
+        Self {
+            mean_active_cpu: view.mean_active_cpu(),
+            max_cpu: active.iter().map(|r| r.cpu).fold(0.0, f64::max),
+            active_nodes: active.len(),
+            standby_nodes: view.reports.len() - active.len(),
+        }
+    }
+}
+
+/// What became of a policy decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The decision was applied: nodes powered, a rebalance started.
+    Applied,
+    /// The decision could not be acted on this window.
+    Deferred {
+        /// Why it was deferred (e.g. a rebalance already in flight).
+        reason: &'static str,
+    },
+    /// A completed drain let the controller power nodes down to standby.
+    Suspended {
+        /// Nodes returned to standby.
+        nodes: Vec<NodeId>,
+    },
+}
+
+/// One entry of the controller's decision log.
+#[derive(Debug, Clone)]
+pub struct ControlEvent {
+    /// Virtual time of the monitoring window.
+    pub at: SimTime,
+    /// The view the decision was based on.
+    pub view: ViewSummary,
+    /// What the policy decided.
+    pub decision: Decision,
+    /// What the controller did about it.
+    pub outcome: Outcome,
+}
+
+struct Shared {
+    events: Vec<ControlEvent>,
+    /// Nodes being drained by an in-flight scale-in; suspended once the
+    /// drain's rebalance completes.
+    draining: Vec<NodeId>,
+    engaged: bool,
+}
+
+/// Handle to a running elasticity control loop.
+///
+/// Cloning shares the underlying state; the loop itself lives inside the
+/// simulator's event queue and keeps running until [`disengage`]d.
+///
+/// [`disengage`]: AutoPilot::disengage
+#[derive(Clone)]
+pub struct AutoPilot {
+    config: AutoPilotConfig,
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl AutoPilot {
+    /// Start the control loop on `cl`: every `config.period` the master
+    /// assembles a [`ClusterView`], evaluates the [`ElasticityPolicy`],
+    /// applies scale-out/scale-in decisions, and suspends drained nodes.
+    pub fn engage(cl: &ClusterRc, sim: &mut Sim, config: AutoPilotConfig) -> AutoPilot {
+        let mut policy = ElasticityPolicy::new(config.policy);
+        let move_fraction = config.policy.move_fraction;
+        let shared = Rc::new(RefCell::new(Shared {
+            events: Vec::new(),
+            draining: Vec::new(),
+            engaged: true,
+        }));
+        let handle = shared.clone();
+        monitor::start_monitoring(cl, sim, config.period, move |cl, sim, view| {
+            let mut sh = handle.borrow_mut();
+            if !sh.engaged {
+                return false;
+            }
+            let at = sim.now();
+            let summary = ViewSummary::of(view);
+            let rebalancing = cl.borrow().mover.is_some();
+            // A scale-in's drain finished since the last window: §3.4's
+            // "shutdown the nodes currently not needed".
+            if !rebalancing && !sh.draining.is_empty() {
+                let drained = std::mem::take(&mut sh.draining);
+                let off = policy::suspend_empty_nodes(cl);
+                sh.events.push(ControlEvent {
+                    at,
+                    view: summary,
+                    decision: Decision::ScaleIn { drain: drained },
+                    outcome: Outcome::Suspended { nodes: off },
+                });
+            }
+            // Observe *after* any suspension, so a node just returned to
+            // standby is immediately available as a scale-out target.
+            let (standby, with_data) = observe(cl);
+            let decision = policy.evaluate(view, &standby, &with_data);
+            if decision != Decision::Hold {
+                if rebalancing {
+                    sh.events.push(ControlEvent {
+                        at,
+                        view: summary,
+                        decision,
+                        outcome: Outcome::Deferred {
+                            reason: "rebalance in flight",
+                        },
+                    });
+                } else {
+                    if let Decision::ScaleIn { drain } = &decision {
+                        sh.draining = drain.clone();
+                    }
+                    policy::apply(cl, sim, &decision, move_fraction);
+                    sh.events.push(ControlEvent {
+                        at,
+                        view: summary,
+                        decision,
+                        outcome: Outcome::Applied,
+                    });
+                }
+            }
+            true
+        });
+        AutoPilot { config, shared }
+    }
+
+    /// The configuration the loop runs with.
+    pub fn config(&self) -> AutoPilotConfig {
+        self.config
+    }
+
+    /// Snapshot of the decision log so far.
+    pub fn events(&self) -> Vec<ControlEvent> {
+        self.shared.borrow().events.clone()
+    }
+
+    /// Is the loop still scheduled?
+    pub fn is_engaged(&self) -> bool {
+        self.shared.borrow().engaged
+    }
+
+    /// Stop the loop at the next monitoring window; the event log stays
+    /// readable.
+    pub fn disengage(&self) {
+        self.shared.borrow_mut().engaged = false;
+    }
+}
+
+/// What the master needs beyond the utilization view: which nodes could
+/// power on and which hold data.
+fn observe(cl: &ClusterRc) -> (Vec<NodeId>, Vec<NodeId>) {
+    let c = cl.borrow();
+    let standby: Vec<NodeId> = c
+        .nodes
+        .iter()
+        .filter(|n| n.state == NodeState::Standby)
+        .map(|n| n.id)
+        .collect();
+    let mut with_data: Vec<NodeId> = c
+        .nodes
+        .iter()
+        .filter(|n| c.seg_dir.on_node(n.id).next().is_some())
+        .map(|n| n.id)
+        .collect();
+    with_data.sort_unstable();
+    (standby, with_data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::WattDb;
+    use wattdb_common::NodeId;
+
+    fn quiet_db() -> WattDb {
+        WattDb::builder()
+            .nodes(4)
+            .warehouses(2)
+            .density(0.01)
+            .segment_pages(8)
+            .seed(11)
+            .initial_data_nodes(&[NodeId(0), NodeId(1)])
+            .autopilot(true)
+            .build()
+    }
+
+    #[test]
+    fn idle_cluster_never_scales_out() {
+        let mut db = quiet_db();
+        db.run_for(SimDuration::from_secs(60));
+        // No load at all: CPUs idle below both bounds, but scale-in needs
+        // >1 data node *and* actives under the low bound — which holds, so
+        // the only permissible decisions are scale-ins, never scale-outs.
+        for e in db.events() {
+            assert!(
+                !matches!(e.decision, Decision::ScaleOut { .. }),
+                "unexpected scale-out: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn disengage_stops_the_log() {
+        let mut db = quiet_db();
+        db.run_for(SimDuration::from_secs(30));
+        let pilot = db.autopilot().expect("engaged").clone();
+        pilot.disengage();
+        db.run_for(SimDuration::from_secs(60));
+        let frozen = db.events().len();
+        db.run_for(SimDuration::from_secs(60));
+        assert_eq!(db.events().len(), frozen, "no decisions after disengage");
+        assert!(!pilot.is_engaged());
+    }
+
+    #[test]
+    fn view_summary_aggregates() {
+        use crate::monitor::NodeReport;
+        let view = ClusterView {
+            reports: vec![
+                NodeReport {
+                    node: NodeId(0),
+                    at: SimTime::ZERO,
+                    cpu: 0.9,
+                    disk: 0.0,
+                    net_tx: 0.0,
+                    buffer_hit_ratio: 0.0,
+                    active: true,
+                },
+                NodeReport {
+                    node: NodeId(1),
+                    at: SimTime::ZERO,
+                    cpu: 0.1,
+                    disk: 0.0,
+                    net_tx: 0.0,
+                    buffer_hit_ratio: 0.0,
+                    active: true,
+                },
+                NodeReport {
+                    node: NodeId(2),
+                    at: SimTime::ZERO,
+                    cpu: 0.0,
+                    disk: 0.0,
+                    net_tx: 0.0,
+                    buffer_hit_ratio: 0.0,
+                    active: false,
+                },
+            ],
+        };
+        let s = ViewSummary::of(&view);
+        assert!((s.mean_active_cpu - 0.5).abs() < 1e-9);
+        assert!((s.max_cpu - 0.9).abs() < 1e-9);
+        assert_eq!(s.active_nodes, 2);
+        assert_eq!(s.standby_nodes, 1);
+    }
+}

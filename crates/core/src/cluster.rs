@@ -76,7 +76,8 @@ pub struct ClusterConfig {
     pub buffer_pages: usize,
     /// Bulk-I/O scale: segment copies and migration scans charge
     /// `bytes × io_scale` so a memory-friendly dataset produces the I/O
-    /// volume of the paper's 100 GB deployment (documented in DESIGN.md).
+    /// volume of the paper's 100 GB deployment (see
+    /// [`crate::api::WattDbBuilder::io_scale`]).
     pub io_scale: u64,
     /// Records per logical-partitioning move batch.
     pub migration_batch: usize,
@@ -131,6 +132,9 @@ pub struct NodeRuntime {
     pub power_probe: UtilizationProbe,
     /// Probe for monitoring windows (independent of power sampling).
     pub monitor_probe: UtilizationProbe,
+    /// Probe for facade status snapshots (independent of both, so
+    /// [`crate::api::WattDb::status`] never disturbs the control loop).
+    pub status_probe: UtilizationProbe,
 }
 
 impl NodeRuntime {
@@ -151,6 +155,7 @@ impl NodeRuntime {
             helper: None,
             power_probe: UtilizationProbe::new(),
             monitor_probe: UtilizationProbe::new(),
+            status_probe: UtilizationProbe::new(),
         }
     }
 }
@@ -362,7 +367,11 @@ impl Cluster {
 
     /// Bulk-load a generated TPC-C row into the right partition/segment,
     /// creating segments that tile each partition's key range on the fly.
-    fn load_row(&mut self, row: &GenRow, loaded_segments: &mut HashMap<(TableId, NodeId), SegmentId>) -> Result<()> {
+    fn load_row(
+        &mut self,
+        row: &GenRow,
+        loaded_segments: &mut HashMap<(TableId, NodeId), SegmentId>,
+    ) -> Result<()> {
         let table = row.table.table_id();
         let route = self.router.route(table, row.key)?;
         let node = route.primary.node;
@@ -381,7 +390,12 @@ impl Cluster {
                     Some(_) => row.key,
                     None => part_range.start,
                 };
-                let seg = self.open_segment(table, node, partition, KeyRange::new(start, part_range.end))?;
+                let seg = self.open_segment(
+                    table,
+                    node,
+                    partition,
+                    KeyRange::new(start, part_range.end),
+                )?;
                 loaded_segments.insert(seg_key, seg);
                 seg
             }
@@ -416,7 +430,9 @@ impl Cluster {
     }
 
     fn partition_entry_range(&self, table: TableId, key: Key) -> Result<KeyRange> {
-        let entries = self.router.prune(table, KeyRange::new(key, Key(key.raw() + 1)))?;
+        let entries = self
+            .router
+            .prune(table, KeyRange::new(key, Key(key.raw() + 1)))?;
         Ok(entries
             .first()
             .map(|e| e.range)
@@ -629,8 +645,14 @@ mod tests {
         // Every table routes every warehouse's keys.
         for t in TpccTable::ALL {
             let table = t.table_id();
-            let r0 = c.router.route(table, wattdb_tpcc::keys::warehouse(0)).unwrap();
-            let r3 = c.router.route(table, wattdb_tpcc::keys::warehouse(3)).unwrap();
+            let r0 = c
+                .router
+                .route(table, wattdb_tpcc::keys::warehouse(0))
+                .unwrap();
+            let r3 = c
+                .router
+                .route(table, wattdb_tpcc::keys::warehouse(3))
+                .unwrap();
             assert_eq!(r0.primary.node, NodeId(0));
             assert_eq!(r3.primary.node, NodeId(1));
         }

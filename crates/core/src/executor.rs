@@ -399,19 +399,33 @@ impl Cluster {
                 let r = match op.kind {
                     OpKind::Read => self.txn.read(txn, idx, &self.store, op.key).map(|_| ()),
                     OpKind::Update => {
-                        match self
-                            .txn
-                            .update(txn, idx, &mut self.store, max_pages, op.key, width, payload)
-                        {
+                        match self.txn.update(
+                            txn,
+                            idx,
+                            &mut self.store,
+                            max_pages,
+                            op.key,
+                            width,
+                            payload,
+                        ) {
                             Err(Error::KeyNotFound(_)) => Ok(()), // racing delete
                             other => other,
                         }
                     }
-                    OpKind::Insert => self
-                        .txn
-                        .insert(txn, idx, &mut self.store, max_pages, op.key, width, payload),
+                    OpKind::Insert => self.txn.insert(
+                        txn,
+                        idx,
+                        &mut self.store,
+                        max_pages,
+                        op.key,
+                        width,
+                        payload,
+                    ),
                     OpKind::Delete => {
-                        match self.txn.delete(txn, idx, &mut self.store, max_pages, op.key) {
+                        match self
+                            .txn
+                            .delete(txn, idx, &mut self.store, max_pages, op.key)
+                        {
                             Err(Error::KeyNotFound(_)) => Ok(()),
                             other => other,
                         }
@@ -703,12 +717,7 @@ fn flush_node_log(cl: &ClusterRc, sim: &mut Sim, node: NodeId) {
         c.flush_scheduled.remove(&node);
         let jobs = c.commit_queues.remove(&node).unwrap_or_default();
         let n = &c.nodes[node.raw() as usize];
-        (
-            jobs,
-            n.log.pending_bytes(),
-            n.log.last_lsn(),
-            n.helper,
-        )
+        (jobs, n.log.pending_bytes(), n.log.last_lsn(), n.helper)
     };
     if jobs.is_empty() {
         return;
@@ -834,11 +843,7 @@ fn abort_and_retry(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
 }
 
 /// Resume lock waiters granted by a release.
-pub fn resume_grants(
-    cl: &ClusterRc,
-    sim: &mut Sim,
-    grants: Vec<(TxnId, LockTarget, LockMode)>,
-) {
+pub fn resume_grants(cl: &ClusterRc, sim: &mut Sim, grants: Vec<(TxnId, LockTarget, LockMode)>) {
     for (txn, _, _) in grants {
         let waiter = {
             let mut c = cl.borrow_mut();

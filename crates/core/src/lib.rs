@@ -13,6 +13,9 @@
 //!   dual pointers, segment read locks, and helper nodes (Fig. 8);
 //! * [`monitor`] / [`policy`] — utilization monitoring and the 80 %-CPU
 //!   threshold elasticity policy (§3.4);
+//! * [`autopilot`] — the master's control loop tying monitor and policy
+//!   together: autonomous scale-out/scale-in with a queryable decision
+//!   log;
 //! * [`replay`] — analytic query execution over shared resources
 //!   (Figs. 1–2);
 //! * [`metrics`] — throughput / response-time / power / energy series
@@ -20,6 +23,7 @@
 //! * [`api`] — the [`api::WattDb`] facade used by examples and benches.
 
 pub mod api;
+pub mod autopilot;
 pub mod cluster;
 pub mod executor;
 pub mod metrics;
@@ -28,7 +32,8 @@ pub mod monitor;
 pub mod policy;
 pub mod replay;
 
-pub use api::{WattDb, WattDbBuilder};
+pub use api::{ClusterStatus, NodeStatus, WattDb, WattDbBuilder};
+pub use autopilot::{AutoPilot, AutoPilotConfig, ControlEvent, Outcome, ViewSummary};
 pub use cluster::{Cluster, ClusterConfig, ClusterRc, NodeRuntime, Partition, Scheme};
 pub use metrics::{Metrics, Phase};
 pub use migration::{MoveController, RebalanceReport};

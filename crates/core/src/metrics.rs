@@ -63,7 +63,10 @@ impl Metrics {
         self.qps.record(now, 1.0);
         self.response.record(now, response.as_millis_f64());
         self.response_hist.record(response);
-        let slot = self.profiles.entry(phase).or_insert((0, CostProfile::new()));
+        let slot = self
+            .profiles
+            .entry(phase)
+            .or_insert((0, CostProfile::new()));
         slot.0 += 1;
         slot.1 += profile;
     }
@@ -117,7 +120,12 @@ mod tests {
         let mut slow = CostProfile::new();
         slow.record(CostCategory::DiskIo, SimDuration::from_millis(30));
         slow.record(CostCategory::Locking, SimDuration::from_millis(10));
-        m.record_completion(SimTime::ZERO, SimDuration::from_millis(2), Phase::Normal, fast);
+        m.record_completion(
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            Phase::Normal,
+            fast,
+        );
         m.record_completion(
             SimTime::ZERO,
             SimDuration::from_millis(45),

@@ -19,7 +19,7 @@
 //!
 //! Bulk I/O volumes are multiplied by `cfg.io_scale` so the scaled-down
 //! dataset produces the paper's 100 GB-class transfer times (see
-//! DESIGN.md).
+//! [`crate::api::WattDbBuilder::io_scale`]).
 
 use std::collections::VecDeque;
 
@@ -337,7 +337,10 @@ fn next_segment_move(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
             LockAcquire::Deadlock => {
                 // Movers only hold one lock; a deadlock here means a user
                 // upgrade cycle — retry shortly.
-                let grants = c.txn.abort(txn, &mut c.indexes, &mut c.store).unwrap_or_default();
+                let grants = c
+                    .txn
+                    .abort(txn, &mut c.indexes, &mut c.store)
+                    .unwrap_or_default();
                 let m = c.mover.as_mut().expect("mover active");
                 m.chains[chain as usize].segments.push_front(mv);
                 m.chains[chain as usize].txn = None;
@@ -365,7 +368,10 @@ fn segment_lock_granted(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
         let m = c.mover.as_mut().expect("mover active");
         let mv = m.chains[chain as usize].current.expect("current move");
         let meta = c.seg_dir.get(mv.seg).expect("segment meta");
-        let footprint = meta.disk_footprint().as_u64().max(wattdb_storage::PAGE_SIZE as u64);
+        let footprint = meta
+            .disk_footprint()
+            .as_u64()
+            .max(wattdb_storage::PAGE_SIZE as u64);
         let bytes = footprint * c.cfg.io_scale;
         m.bytes_moved += bytes;
         // Log the move bracket on the source's WAL.
@@ -457,9 +463,17 @@ fn segment_copy_done(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
                 // Storage follows ownership (shared nothing): place on the
                 // target's SSD.
                 let n_disks = c.nodes[mv.to.raw() as usize].disks.len();
-                let disk_idx = if n_disks > 1 { 1 + (mv.seg.raw() as usize % (n_disks - 1)) } else { 0 };
+                let disk_idx = if n_disks > 1 {
+                    1 + (mv.seg.raw() as usize % (n_disks - 1))
+                } else {
+                    0
+                };
                 c.seg_dir
-                    .relocate(mv.seg, mv.to, wattdb_common::DiskId::new(mv.to, disk_idx as u8))
+                    .relocate(
+                        mv.seg,
+                        mv.to,
+                        wattdb_common::DiskId::new(mv.to, disk_idx as u8),
+                    )
                     .expect("relocate");
                 c.router
                     .complete_move(mv.table, mv.range)
@@ -471,18 +485,25 @@ fn segment_copy_done(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
                 // §4.1: only the physical placement changes; ownership and
                 // routing stay at the source. Future accesses pay the wire.
                 let n_disks = c.nodes[mv.to.raw() as usize].disks.len();
-                let disk_idx = if n_disks > 1 { 1 + (mv.seg.raw() as usize % (n_disks - 1)) } else { 0 };
+                let disk_idx = if n_disks > 1 {
+                    1 + (mv.seg.raw() as usize % (n_disks - 1))
+                } else {
+                    0
+                };
                 c.seg_dir
-                    .relocate(mv.seg, mv.to, wattdb_common::DiskId::new(mv.to, disk_idx as u8))
+                    .relocate(
+                        mv.seg,
+                        mv.to,
+                        wattdb_common::DiskId::new(mv.to, disk_idx as u8),
+                    )
                     .expect("relocate");
                 c.nodes[mv.from.raw() as usize].buffer.evict_segment(mv.seg);
             }
             Scheme::Logical => unreachable!("segment moves not used logically"),
         }
-        c.nodes[mv.from.raw() as usize].log.append(
-            TxnId::NONE,
-            LogPayload::SegmentMoveEnd { segment: mv.seg },
-        );
+        c.nodes[mv.from.raw() as usize]
+            .log
+            .append(TxnId::NONE, LogPayload::SegmentMoveEnd { segment: mv.seg });
         // Release the segment lock: queued writers resume, redirected to
         // the new owner by routing on their next op.
         let (_, grants) = c.txn.commit(txn, &mut c.store).expect("system commit");
@@ -643,7 +664,10 @@ fn logical_acquire_locks(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
         }
         match out {
             Outcome::Deadlock => {
-                let grants = c.txn.abort(txn, &mut c.indexes, &mut c.store).unwrap_or_default();
+                let grants = c
+                    .txn
+                    .abort(txn, &mut c.indexes, &mut c.store)
+                    .unwrap_or_default();
                 c.lock_waiters.remove(&txn);
                 // Rewind the batch: routing + cursor.
                 let m = c.mover.as_mut().expect("mover");
@@ -680,8 +704,7 @@ fn logical_copy_records(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
         // Pages touched while hunting the records (scattered): one page per
         // record, scaled.
         let pages = keys.len() as u64;
-        let scan_bytes =
-            pages * wattdb_storage::PAGE_SIZE as u64 * c.cfg.io_scale / 8;
+        let scan_bytes = pages * wattdb_storage::PAGE_SIZE as u64 * c.cfg.io_scale / 8;
         let width: u64 = 128; // mixed-table average row image
         let ship_bytes = keys.len() as u64 * width * c.cfg.io_scale;
         let cpu = c.cfg.costs.scan_per_record * keys.len() as u64 * 2;

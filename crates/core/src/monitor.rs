@@ -99,21 +99,20 @@ impl ClusterView {
 }
 
 /// Start periodic monitoring: every `period`, all nodes report to the
-/// master and `on_view` sees the assembled view (policy hook).
+/// master and `on_view` sees the assembled view (policy hook). The loop
+/// runs until `on_view` returns `false` — deliberately independent of the
+/// client stop flag, so the master keeps watching (and can scale in) after
+/// the workload drains.
 pub fn start_monitoring(
     cl: &ClusterRc,
     sim: &mut Sim,
     period: SimDuration,
-    mut on_view: impl FnMut(&ClusterRc, &mut Sim, &ClusterView) + 'static,
+    mut on_view: impl FnMut(&ClusterRc, &mut Sim, &ClusterView) -> bool + 'static,
 ) {
     let handle = cl.clone();
     Repeater::every(sim, period, move |sim| {
         let view = {
             let mut c = handle.borrow_mut();
-            let stopped = c.stopped;
-            if stopped {
-                return false;
-            }
             let n = c.nodes.len();
             let mut view = ClusterView::default();
             for i in 0..n {
@@ -122,8 +121,7 @@ pub fn start_monitoring(
             }
             view
         };
-        on_view(&handle, sim, &view);
-        true
+        on_view(&handle, sim, &view)
     });
 }
 

@@ -89,8 +89,7 @@ impl ElasticityPolicy {
             self.low_streak = 0;
             if self.high_streak >= self.cfg.patience {
                 self.high_streak = 0;
-                let targets: Vec<NodeId> =
-                    standby.iter().copied().take(hot.len()).collect();
+                let targets: Vec<NodeId> = standby.iter().copied().take(hot.len()).collect();
                 return Decision::ScaleOut {
                     sources: hot,
                     targets,

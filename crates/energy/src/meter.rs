@@ -24,9 +24,7 @@ impl PowerSample {
         if self.queries == 0 {
             None
         } else {
-            Some(Joules(
-                self.power.over(width).0 / self.queries as f64,
-            ))
+            Some(Joules(self.power.over(width).0 / self.queries as f64))
         }
     }
 }

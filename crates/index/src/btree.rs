@@ -397,12 +397,7 @@ impl<V> BPlusTree<V> {
         let _ = depth;
     }
 
-    fn check_rec(
-        node: &Node<V>,
-        lo: Option<Key>,
-        hi: Option<Key>,
-        is_root: bool,
-    ) -> usize {
+    fn check_rec(node: &Node<V>, lo: Option<Key>, hi: Option<Key>, is_root: bool) -> usize {
         match node {
             Node::L(l) => {
                 assert_eq!(l.keys.len(), l.vals.len(), "parallel vec lengths");

@@ -280,9 +280,7 @@ impl GlobalRouter {
             .tables
             .values()
             .flat_map(|t| t.values())
-            .flat_map(|e| {
-                std::iter::once(e.owner.node).chain(e.moving_to.map(|l| l.node))
-            })
+            .flat_map(|e| std::iter::once(e.owner.node).chain(e.moving_to.map(|l| l.node)))
             .collect();
         nodes.sort_unstable();
         nodes.dedup();
@@ -345,7 +343,8 @@ mod tests {
     #[test]
     fn abort_restores_single_owner() {
         let mut r = router();
-        r.begin_move(T, kr(0, 500), PartitionId(2), NodeId(2)).unwrap();
+        r.begin_move(T, kr(0, 500), PartitionId(2), NodeId(2))
+            .unwrap();
         r.abort_move(T, kr(0, 500)).unwrap();
         let res = r.route(T, Key(100)).unwrap();
         assert_eq!(res.primary, loc(1, 1));
@@ -357,7 +356,8 @@ mod tests {
     #[test]
     fn double_move_rejected() {
         let mut r = router();
-        r.begin_move(T, kr(0, 500), PartitionId(2), NodeId(2)).unwrap();
+        r.begin_move(T, kr(0, 500), PartitionId(2), NodeId(2))
+            .unwrap();
         assert!(r
             .begin_move(T, kr(250, 750), PartitionId(3), NodeId(3))
             .is_err());
@@ -393,7 +393,8 @@ mod tests {
     #[test]
     fn pruning_at_master() {
         let mut r = router();
-        r.assign(T, kr(500, 1000), PartitionId(2), NodeId(2)).unwrap();
+        r.assign(T, kr(500, 1000), PartitionId(2), NodeId(2))
+            .unwrap();
         let hit = r.prune(T, kr(400, 600)).unwrap();
         assert_eq!(hit.len(), 2);
         let hit = r.prune(T, kr(0, 100)).unwrap();
@@ -405,14 +406,16 @@ mod tests {
     fn nodes_with_data_includes_move_target() {
         let mut r = router();
         assert_eq!(r.nodes_with_data(), vec![NodeId(1)]);
-        r.begin_move(T, kr(0, 500), PartitionId(2), NodeId(7)).unwrap();
+        r.begin_move(T, kr(0, 500), PartitionId(2), NodeId(7))
+            .unwrap();
         assert_eq!(r.nodes_with_data(), vec![NodeId(1), NodeId(7)]);
     }
 
     #[test]
     fn assignment_over_move_rejected() {
         let mut r = router();
-        r.begin_move(T, kr(0, 500), PartitionId(2), NodeId(2)).unwrap();
+        r.begin_move(T, kr(0, 500), PartitionId(2), NodeId(2))
+            .unwrap();
         assert!(r.assign(T, kr(0, 250), PartitionId(3), NodeId(3)).is_err());
     }
 }

@@ -48,11 +48,7 @@ impl SegmentIndex {
 
     /// Narrow/replace the covered range (segment split).
     pub fn set_range(&mut self, range: KeyRange) {
-        debug_assert!(self
-            .tree
-            .iter()
-            .iter()
-            .all(|(k, _)| range.contains(*k)));
+        debug_assert!(self.tree.iter().iter().all(|(k, _)| range.contains(*k)));
         self.range = range;
     }
 

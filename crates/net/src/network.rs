@@ -219,7 +219,11 @@ fn send_chunked(
             send_chunked(tx2, rx2, spec, sim, rest, done);
         }
     });
-    let hop = if last { spec.hop_latency } else { SimDuration::ZERO };
+    let hop = if last {
+        spec.hop_latency
+    } else {
+        SimDuration::ZERO
+    };
     send_piece(tx, rx, spec, sim, this, hop, chain);
 }
 
@@ -298,7 +302,10 @@ mod tests {
         let t1 = a1.borrow().unwrap().as_micros();
         let t2 = a2.borrow().unwrap().as_micros();
         assert!(t1 > 150_000, "shared link, not solo speed: {t1}");
-        assert!((180_000..210_000).contains(&t2), "combined volume bound: {t2}");
+        assert!(
+            (180_000..210_000).contains(&t2),
+            "combined volume bound: {t2}"
+        );
     }
 
     #[test]

@@ -229,7 +229,8 @@ fn run(
         PlanNode::GroupAgg { input, func, on } => {
             let rows = run(input, params, cfg, trace, *on, false);
             let n = rows.len() as u64;
-            let mut groups: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+            let mut groups: std::collections::BTreeMap<i64, i64> =
+                std::collections::BTreeMap::new();
             for t in &rows {
                 let g = t.values.get(1).copied().unwrap_or(0);
                 let v = t.values.first().copied().unwrap_or(0);
@@ -405,7 +406,10 @@ mod tests {
         };
         assert_eq!(calls(&t1), 1000);
         assert_eq!(calls(&t128), 8);
-        assert!(t1.total_net_bytes() > t128.total_net_bytes(), "more envelopes");
+        assert!(
+            t1.total_net_bytes() > t128.total_net_bytes(),
+            "more envelopes"
+        );
     }
 
     #[test]
@@ -439,10 +443,15 @@ mod tests {
         };
         let (rows, trace) = execute(&plan, &params(), &ExecConfig::default());
         assert_eq!(rows.len(), 1000);
-        let overlapped = trace
-            .stages
-            .iter()
-            .any(|s| matches!(s.kind, StageKind::NetTransfer { overlapped: true, .. }));
+        let overlapped = trace.stages.iter().any(|s| {
+            matches!(
+                s.kind,
+                StageKind::NetTransfer {
+                    overlapped: true,
+                    ..
+                }
+            )
+        });
         assert!(overlapped);
     }
 

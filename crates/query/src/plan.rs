@@ -82,16 +82,16 @@ impl RowSource for SyntheticTable {
     fn rows(&self) -> Vec<Tuple> {
         let (lo, hi) = match self.range {
             None => (0, self.rows),
-            Some(r) => (
-                r.start.raw().min(self.rows),
-                r.end.raw().min(self.rows),
-            ),
+            Some(r) => (r.start.raw().min(self.rows), r.end.raw().min(self.rows)),
         };
         (lo..hi)
             .map(|i| Tuple {
                 key: Key(i),
                 // Deterministic pseudo-columns: value and a group column.
-                values: vec![(i as i64).wrapping_mul(2_654_435_761) % 1000, (i % 16) as i64],
+                values: vec![
+                    (i as i64).wrapping_mul(2_654_435_761) % 1000,
+                    (i % 16) as i64,
+                ],
                 width: self.width,
             })
             .collect()
@@ -205,8 +205,7 @@ mod tests {
 
     #[test]
     fn pruned_scan() {
-        let t = SyntheticTable::new(100, 200, 10)
-            .with_range(KeyRange::new(Key(20), Key(50)));
+        let t = SyntheticTable::new(100, 200, 10).with_range(KeyRange::new(Key(20), Key(50)));
         assert_eq!(t.row_count(), 30);
         assert_eq!(t.page_count(), 3);
         let rows = t.rows();

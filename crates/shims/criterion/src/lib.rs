@@ -1,0 +1,228 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Each `bench_function` call runs the routine under a small wall-clock
+//! budget (scaled by `measurement_time`) and prints the mean time per
+//! iteration. The point is that `cargo bench` compiles and produces
+//! comparable relative numbers offline; rigorous statistics arrive with
+//! the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    #[allow(dead_code)]
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples (accepted for API compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (iters, elapsed) = run_bench(self.warm_up_time, self.measurement_time, f);
+        report(name, iters, elapsed);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's budgets.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (iters, elapsed) = run_bench(
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            f,
+        );
+        report(&format!("{}/{name}", self.name), iters, elapsed);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(
+    warm_up: Duration,
+    measure: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) -> (u64, Duration) {
+    // Warm-up pass: run without recording.
+    let start = Instant::now();
+    while start.elapsed() < warm_up {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget: warm_up / 4,
+        };
+        f(&mut b);
+    }
+    // Measurement pass: keep invoking the routine until the budget is
+    // spent; the Bencher accumulates per-iteration timing.
+    let mut total_iters = 0u64;
+    let mut total_elapsed = Duration::ZERO;
+    let start = Instant::now();
+    while start.elapsed() < measure {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            budget: measure / 4,
+        };
+        f(&mut b);
+        total_iters += b.iters;
+        total_elapsed += b.elapsed;
+    }
+    (total_iters.max(1), total_elapsed)
+}
+
+fn report(name: &str, iters: u64, elapsed: Duration) {
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("  {name:<40} {ns:>12.1} ns/iter  ({iters} iters)");
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for compatibility;
+/// the shim always re-runs setup per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine output; many iterations per setup batch.
+    SmallInput,
+    /// Large routine output; few iterations per setup batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` in a tight loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let mut n = 1u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..n {
+                std::hint::black_box(routine());
+                self.iters += 1;
+            }
+            if start.elapsed() >= self.budget {
+                break;
+            }
+            n = (n * 2).min(1 << 16);
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

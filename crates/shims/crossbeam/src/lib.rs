@@ -1,0 +1,65 @@
+//! Minimal offline stand-in for `crossbeam`'s scoped threads.
+//!
+//! [`scope`] mirrors `crossbeam::scope`: the closure receives a [`Scope`]
+//! whose `spawn` passes the scope back into each thread closure (so
+//! threads can spawn siblings). Implemented over [`std::thread::scope`],
+//! which provides the same join-before-return guarantee. One behavioural
+//! difference: a panicking child thread propagates at scope exit instead
+//! of surfacing through the returned `Result` — under `cargo test` both
+//! fail the test identically.
+
+/// Spawn handle passed to the [`scope`] closure and to every spawned
+/// thread's closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; it is joined before [`scope`] returns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all threads are joined
+/// before this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn threads_borrow_and_join() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -172,9 +172,15 @@ mod tests {
         b.record(CostCategory::Logging, SimDuration::from_micros(300));
         b.record(CostCategory::Cpu, SimDuration::from_micros(40));
         let sum = a + b;
-        assert_eq!(sum.get(CostCategory::Logging), SimDuration::from_micros(400));
+        assert_eq!(
+            sum.get(CostCategory::Logging),
+            SimDuration::from_micros(400)
+        );
         let mean = sum.scaled_down(2);
-        assert_eq!(mean.get(CostCategory::Logging), SimDuration::from_micros(200));
+        assert_eq!(
+            mean.get(CostCategory::Logging),
+            SimDuration::from_micros(200)
+        );
         assert_eq!(mean.get(CostCategory::Cpu), SimDuration::from_micros(20));
         // scaled_down(0) leaves profile unchanged rather than dividing by 0.
         assert_eq!(sum.scaled_down(0), sum);

@@ -182,7 +182,10 @@ mod tests {
         let mut d = hdd();
         let done_at = Rc::new(RefCell::new(None));
         let da = done_at.clone();
-        d.read_page(&mut sim, Box::new(move |sim| *da.borrow_mut() = Some(sim.now())));
+        d.read_page(
+            &mut sim,
+            Box::new(move |sim| *da.borrow_mut() = Some(sim.now())),
+        );
         sim.run_to_completion();
         let t = done_at.borrow().unwrap();
         // 8 ms seek + 8192B / 100 MB/s ≈ 8.082 ms.

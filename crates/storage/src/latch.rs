@@ -174,8 +174,14 @@ mod tests {
     #[test]
     fn shared_latches_coexist() {
         let mut t: LatchTable<u32> = LatchTable::new();
-        assert_eq!(t.acquire(pid(0), LatchMode::Shared, 1), LatchAcquire::Granted);
-        assert_eq!(t.acquire(pid(0), LatchMode::Shared, 2), LatchAcquire::Granted);
+        assert_eq!(
+            t.acquire(pid(0), LatchMode::Shared, 1),
+            LatchAcquire::Granted
+        );
+        assert_eq!(
+            t.acquire(pid(0), LatchMode::Shared, 2),
+            LatchAcquire::Granted
+        );
         assert_eq!(t.contentions(), 0);
     }
 
@@ -186,7 +192,10 @@ mod tests {
             t.acquire(pid(0), LatchMode::Exclusive, 1),
             LatchAcquire::Granted
         );
-        assert_eq!(t.acquire(pid(0), LatchMode::Shared, 2), LatchAcquire::Queued);
+        assert_eq!(
+            t.acquire(pid(0), LatchMode::Shared, 2),
+            LatchAcquire::Queued
+        );
         assert_eq!(
             t.acquire(pid(0), LatchMode::Exclusive, 3),
             LatchAcquire::Queued
@@ -219,7 +228,10 @@ mod tests {
         t.acquire(pid(0), LatchMode::Exclusive, 2);
         // A new shared request queues behind the waiting writer instead of
         // barging (queue non-empty ⇒ shared must wait).
-        assert_eq!(t.acquire(pid(0), LatchMode::Shared, 3), LatchAcquire::Queued);
+        assert_eq!(
+            t.acquire(pid(0), LatchMode::Shared, 3),
+            LatchAcquire::Queued
+        );
         let granted = t.release(pid(0), LatchMode::Shared);
         assert_eq!(granted, vec![(LatchMode::Exclusive, 2)]);
         let granted = t.release(pid(0), LatchMode::Exclusive);

@@ -25,11 +25,7 @@ pub const SLOT_OVERHEAD: usize = 8;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Slot {
     /// Live record: byte extent in `data` plus its logical width.
-    Live {
-        offset: u32,
-        len: u32,
-        logical: u32,
-    },
+    Live { offset: u32, len: u32, logical: u32 },
     /// Tombstone: slot number retired until compaction.
     Dead,
 }

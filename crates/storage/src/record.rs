@@ -208,10 +208,7 @@ mod tests {
     #[test]
     fn logical_footprint_includes_header() {
         let r = sample();
-        assert_eq!(
-            r.logical_footprint(),
-            306 + RECORD_HEADER_BYTES
-        );
+        assert_eq!(r.logical_footprint(), 306 + RECORD_HEADER_BYTES);
     }
 
     #[test]

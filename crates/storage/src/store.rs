@@ -224,7 +224,10 @@ mod tests {
             allocations += alloc as usize;
         }
         assert_eq!(store.page_count(seg), allocations);
-        assert!(allocations >= 8, "expected several pages, got {allocations}");
+        assert!(
+            allocations >= 8,
+            "expected several pages, got {allocations}"
+        );
     }
 
     #[test]

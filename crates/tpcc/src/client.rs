@@ -69,10 +69,7 @@ impl Client {
 
     /// Exponentially distributed think time before the next submission.
     pub fn think(&mut self) -> SimDuration {
-        SimDuration::from_micros(
-            self.rng
-                .exp_micros(self.cfg.think_time.as_micros() as f64),
-        )
+        SimDuration::from_micros(self.rng.exp_micros(self.cfg.think_time.as_micros() as f64))
     }
 
     /// Backoff before retrying an aborted transaction.
@@ -110,12 +107,7 @@ impl Client {
 }
 
 /// Spawn `n` clients spread round-robin over `warehouses` home warehouses.
-pub fn spawn_clients(
-    n: u32,
-    warehouses: u32,
-    cfg: ClientConfig,
-    root_rng: &DetRng,
-) -> Vec<Client> {
+pub fn spawn_clients(n: u32, warehouses: u32, cfg: ClientConfig, root_rng: &DetRng) -> Vec<Client> {
     (0..n)
         .map(|i| Client::new(ClientId(i), i % warehouses.max(1), cfg, root_rng))
         .collect()

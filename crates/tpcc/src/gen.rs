@@ -70,9 +70,7 @@ impl TpccConfig {
     pub fn logical_dataset_bytes(&self) -> u64 {
         let mut total = self.item_rows() * TpccTable::Item.row_width() as u64;
         for t in TpccTable::ALL {
-            total += self.rows_per_warehouse(t)
-                * t.row_width() as u64
-                * self.warehouses as u64;
+            total += self.rows_per_warehouse(t) * t.row_width() as u64 * self.warehouses as u64;
         }
         total
     }
@@ -190,7 +188,12 @@ mod tests {
         let rows = warehouse_rows(&cfg(), 0);
         let mut seen: HashSet<(TpccTable, Key)> = HashSet::new();
         for r in &rows {
-            assert!(seen.insert((r.table, r.key)), "dup {:?} {:?}", r.table, r.key);
+            assert!(
+                seen.insert((r.table, r.key)),
+                "dup {:?} {:?}",
+                r.table,
+                r.key
+            );
         }
     }
 

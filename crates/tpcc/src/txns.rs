@@ -360,8 +360,7 @@ mod tests {
         let h1 = ops.last().unwrap().key;
         loop {
             let ops2 = w.generate(TxnProfile::Payment, 0, &mut rng);
-            if crate::schema::key_district(ops2[1].key) == crate::schema::key_district(ops[1].key)
-            {
+            if crate::schema::key_district(ops2[1].key) == crate::schema::key_district(ops[1].key) {
                 assert_ne!(ops2.last().unwrap().key, h1);
                 break;
             }

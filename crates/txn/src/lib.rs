@@ -15,6 +15,4 @@ pub mod mvcc;
 pub use blocking::{BlockingAcquire, BlockingLockManager};
 pub use locks::{LockAcquire, LockManager, LockMode, LockTarget};
 pub use manager::{CcMode, IndexMap, TxnKind, TxnManager, TxnState};
-pub use mvcc::{
-    is_provisional, owner, provisional, visible, Snapshot, WriteOp, TXN_MARK,
-};
+pub use mvcc::{is_provisional, owner, provisional, visible, Snapshot, WriteOp, TXN_MARK};

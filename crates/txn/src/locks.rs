@@ -52,9 +52,14 @@ impl LockMode {
         use LockMode::*;
         matches!(
             (self, other),
-            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX)
-                | (IX, IS) | (IX, IX)
-                | (S, IS) | (S, S)
+            (IS, IS)
+                | (IS, IX)
+                | (IS, S)
+                | (IS, SIX)
+                | (IX, IS)
+                | (IX, IX)
+                | (S, IS)
+                | (S, S)
                 | (SIX, IS)
         )
     }
@@ -388,10 +393,7 @@ mod tests {
         assert_eq!(lm.acquire(TxnId(3), rec(1), S), LockAcquire::Waiting);
         let granted = lm.release_all(TxnId(1));
         // Both shared requests granted together, in order.
-        assert_eq!(
-            granted,
-            vec![(TxnId(2), rec(1), S), (TxnId(3), rec(1), S)]
-        );
+        assert_eq!(granted, vec![(TxnId(2), rec(1), S), (TxnId(3), rec(1), S)]);
     }
 
     #[test]

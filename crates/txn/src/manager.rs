@@ -215,7 +215,15 @@ impl TxnManager {
         let snapshot = self.snapshot(txn)?;
         match self.mode {
             CcMode::Mvcc => {
-                let w = mvcc::insert(index, store, max_pages, key, logical_width, payload, snapshot)?;
+                let w = mvcc::insert(
+                    index,
+                    store,
+                    max_pages,
+                    key,
+                    logical_width,
+                    payload,
+                    snapshot,
+                )?;
                 self.active.get_mut(&txn).expect("live").writes.push(w);
             }
             CcMode::LockingRx => {
@@ -255,7 +263,15 @@ impl TxnManager {
         let snapshot = self.snapshot(txn)?;
         match self.mode {
             CcMode::Mvcc => {
-                let w = mvcc::update(index, store, max_pages, key, logical_width, payload, snapshot)?;
+                let w = mvcc::update(
+                    index,
+                    store,
+                    max_pages,
+                    key,
+                    logical_width,
+                    payload,
+                    snapshot,
+                )?;
                 self.active.get_mut(&txn).expect("live").writes.push(w);
             }
             CcMode::LockingRx => {
@@ -360,9 +376,7 @@ impl TxnManager {
                     by_seg.entry(w.segment).or_default().push(w);
                 }
                 for (seg, writes) in by_seg {
-                    let idx = indexes
-                        .get_mut(&seg)
-                        .ok_or(Error::UnknownSegment(seg))?;
+                    let idx = indexes.get_mut(&seg).ok_or(Error::UnknownSegment(seg))?;
                     mvcc::abort_writes(idx, store, &writes)?;
                 }
             }
@@ -377,8 +391,7 @@ impl TxnManager {
                                 store.write_record(b.rid, &prior)?;
                             } else {
                                 // Undo of a delete: re-insert the image.
-                                let (rid, _) =
-                                    store.insert_record(b.segment, &prior, u32::MAX)?;
+                                let (rid, _) = store.insert_record(b.segment, &prior, u32::MAX)?;
                                 idx.insert(b.key, rid);
                             }
                         }
@@ -452,7 +465,8 @@ mod tests {
         let (mut idx, mut st) = setup();
         let mut tm = TxnManager::new(CcMode::Mvcc);
         let t1 = tm.begin(TxnKind::User);
-        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1])
+            .unwrap();
         // Another txn doesn't see it yet.
         let t2 = tm.begin(TxnKind::User);
         assert!(tm.read(t2, &idx, &st, Key(1)).unwrap().is_none());
@@ -469,7 +483,8 @@ mod tests {
         let (mut idx, mut st) = setup();
         let mut tm = TxnManager::new(CcMode::Mvcc);
         let t1 = tm.begin(TxnKind::User);
-        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1])
+            .unwrap();
         let mut map = IndexMap::new();
         map.insert(idx.segment(), idx);
         tm.abort(t1, &mut map, &mut st).unwrap();
@@ -484,21 +499,29 @@ mod tests {
         let (mut idx, mut st) = setup();
         let mut tm = TxnManager::new(CcMode::LockingRx);
         let t1 = tm.begin(TxnKind::User);
-        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1])
+            .unwrap();
         tm.commit(t1, &mut st).unwrap();
         let t2 = tm.begin(TxnKind::User);
-        tm.update(t2, &mut idx, &mut st, 64, Key(1), 64, vec![2]).unwrap();
+        tm.update(t2, &mut idx, &mut st, 64, Key(1), 64, vec![2])
+            .unwrap();
         // In-place: even an unrelated reader sees the new value (that's why
         // locking mode needs the S/X protocol).
         let t3 = tm.begin(TxnKind::User);
-        assert_eq!(tm.read(t3, &idx, &st, Key(1)).unwrap().unwrap().payload, vec![2]);
+        assert_eq!(
+            tm.read(t3, &idx, &st, Key(1)).unwrap().unwrap().payload,
+            vec![2]
+        );
         assert!(tm.pending_change_bytes() > 0, "before-image retained");
         // Abort restores the old image.
         let mut map = IndexMap::new();
         map.insert(idx.segment(), idx);
         tm.abort(t2, &mut map, &mut st).unwrap();
         let idx = map.remove(&SegmentId(1)).unwrap();
-        assert_eq!(tm.read(t3, &idx, &st, Key(1)).unwrap().unwrap().payload, vec![1]);
+        assert_eq!(
+            tm.read(t3, &idx, &st, Key(1)).unwrap().unwrap().payload,
+            vec![1]
+        );
     }
 
     #[test]
@@ -506,7 +529,8 @@ mod tests {
         let (mut idx, mut st) = setup();
         let mut tm = TxnManager::new(CcMode::LockingRx);
         let t1 = tm.begin(TxnKind::User);
-        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1])
+            .unwrap();
         tm.commit(t1, &mut st).unwrap();
         let t2 = tm.begin(TxnKind::User);
         tm.delete(t2, &mut idx, &mut st, 64, Key(1)).unwrap();
@@ -516,7 +540,10 @@ mod tests {
         tm.abort(t2, &mut map, &mut st).unwrap();
         let idx = map.remove(&SegmentId(1)).unwrap();
         let t3 = tm.begin(TxnKind::User);
-        assert_eq!(tm.read(t3, &idx, &st, Key(1)).unwrap().unwrap().payload, vec![1]);
+        assert_eq!(
+            tm.read(t3, &idx, &st, Key(1)).unwrap().unwrap().payload,
+            vec![1]
+        );
     }
 
     #[test]
@@ -541,14 +568,16 @@ mod tests {
         let mut tm = TxnManager::new(CcMode::Mvcc);
         let t1 = tm.begin(TxnKind::User);
         let h1 = tm.gc_horizon();
-        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1]).unwrap();
+        tm.insert(t1, &mut idx, &mut st, 64, Key(1), 64, vec![1])
+            .unwrap();
         tm.commit(t1, &mut st).unwrap();
         // Idle: horizon advances with the clock.
         assert!(tm.gc_horizon() > h1);
         let _t2 = tm.begin(TxnKind::User);
         let held = tm.gc_horizon();
         let t3 = tm.begin(TxnKind::User);
-        tm.insert(t3, &mut idx, &mut st, 64, Key(2), 64, vec![2]).unwrap();
+        tm.insert(t3, &mut idx, &mut st, 64, Key(2), 64, vec![2])
+            .unwrap();
         tm.commit(t3, &mut st).unwrap();
         // Horizon pinned by t2's snapshot.
         assert_eq!(tm.gc_horizon(), held);

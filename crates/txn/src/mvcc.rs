@@ -285,11 +285,7 @@ pub fn abort_writes(
 /// Garbage-collect versions no snapshot at or after `horizon` can see:
 /// committed versions with `end <= horizon`, plus tombstone heads older
 /// than the horizon. Returns versions reclaimed.
-pub fn vacuum(
-    index: &mut SegmentIndex,
-    store: &mut PageStore,
-    horizon: u64,
-) -> Result<usize> {
+pub fn vacuum(index: &mut SegmentIndex, store: &mut PageStore, horizon: u64) -> Result<usize> {
     let mut reclaimed = 0;
     for (key, head_rid) in index.entries() {
         // Walk the chain, keeping the head; cut the first link whose target
@@ -377,7 +373,16 @@ mod tests {
     #[test]
     fn insert_commit_read() {
         let (mut idx, mut st) = setup();
-        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![7], snap(10, 1)).unwrap();
+        let w = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![7],
+            snap(10, 1),
+        )
+        .unwrap();
         // Own uncommitted write is visible to self, invisible to others.
         assert!(read(&idx, &st, Key(1), snap(10, 1)).unwrap().0.is_some());
         assert!(read(&idx, &st, Key(1), snap(10, 2)).unwrap().0.is_none());
@@ -390,10 +395,28 @@ mod tests {
     #[test]
     fn update_preserves_old_version_for_readers() {
         let (mut idx, mut st) = setup();
-        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        let w = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![1],
+            snap(0, 1),
+        )
+        .unwrap();
         commit(&mut st, &[w], 10);
         // Updater at ts 20.
-        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        let w2 = update(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![2],
+            snap(20, 2),
+        )
+        .unwrap();
         commit(&mut st, &[w2], 30);
         // A reader whose snapshot predates the update still sees v1 —
         // the paper's key property while records are on the move.
@@ -406,7 +429,16 @@ mod tests {
     #[test]
     fn delete_leaves_tombstone_until_vacuum() {
         let (mut idx, mut st) = setup();
-        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        let w = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![1],
+            snap(0, 1),
+        )
+        .unwrap();
         commit(&mut st, &[w], 10);
         let w2 = delete(&mut idx, &mut st, MAX_PAGES, Key(1), snap(15, 2)).unwrap();
         commit(&mut st, &[w2], 20);
@@ -421,27 +453,80 @@ mod tests {
     #[test]
     fn write_write_conflict_aborts_second_writer() {
         let (mut idx, mut st) = setup();
-        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        let w = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![1],
+            snap(0, 1),
+        )
+        .unwrap();
         commit(&mut st, &[w], 10);
-        let _w1 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        let _w1 = update(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![2],
+            snap(20, 2),
+        )
+        .unwrap();
         // Txn 3 tries to update the same record while txn 2 is in flight.
-        let err = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![3], snap(20, 3));
+        let err = update(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![3],
+            snap(20, 3),
+        );
         assert!(matches!(err, Err(Error::TxnAborted { .. })));
     }
 
     #[test]
     fn read_committed_writes_chain_after_commit() {
         let (mut idx, mut st) = setup();
-        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        let w = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![1],
+            snap(0, 1),
+        )
+        .unwrap();
         commit(&mut st, &[w], 10);
         // Txn 2 and 3 both start at ts 20. Txn 2 updates and commits at 30.
-        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        let w2 = update(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![2],
+            snap(20, 2),
+        )
+        .unwrap();
         commit(&mut st, &[w2], 30);
         // Txn 3's snapshot (20) predates that commit, but with the record's
         // X lock serializing writers, its update applies on top of txn 2's
         // committed version (read-committed write semantics) instead of
         // aborting — hot TPC-C counters depend on this.
-        let w3 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![3], snap(20, 3)).unwrap();
+        let w3 = update(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![3],
+            snap(20, 3),
+        )
+        .unwrap();
         commit(&mut st, &[w3], 40);
         let r = read(&idx, &st, Key(1), snap(40, 9)).unwrap().0.unwrap();
         assert_eq!(r.payload, vec![3]);
@@ -453,15 +538,42 @@ mod tests {
     #[test]
     fn abort_restores_previous_state() {
         let (mut idx, mut st) = setup();
-        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        let w = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![1],
+            snap(0, 1),
+        )
+        .unwrap();
         commit(&mut st, &[w], 10);
-        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        let w2 = update(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![2],
+            snap(20, 2),
+        )
+        .unwrap();
         abort_writes(&mut idx, &mut st, &[w2]).unwrap();
         let r = read(&idx, &st, Key(1), snap(20, 3)).unwrap().0.unwrap();
         assert_eq!(r.payload, vec![1]);
         assert_eq!(r.end, TS_INFINITY);
         // A fresh insert that aborts leaves no key behind.
-        let w3 = insert(&mut idx, &mut st, MAX_PAGES, Key(9), 64, vec![9], snap(20, 4)).unwrap();
+        let w3 = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(9),
+            64,
+            vec![9],
+            snap(20, 4),
+        )
+        .unwrap();
         abort_writes(&mut idx, &mut st, &[w3]).unwrap();
         assert_eq!(idx.get(Key(9)).0, None);
     }
@@ -469,15 +581,41 @@ mod tests {
     #[test]
     fn duplicate_insert_rejected_reinsert_over_tombstone_ok() {
         let (mut idx, mut st) = setup();
-        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        let w = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![1],
+            snap(0, 1),
+        )
+        .unwrap();
         commit(&mut st, &[w], 10);
         assert!(matches!(
-            insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)),
+            insert(
+                &mut idx,
+                &mut st,
+                MAX_PAGES,
+                Key(1),
+                64,
+                vec![2],
+                snap(20, 2)
+            ),
             Err(Error::DuplicateKey(_))
         ));
         let w2 = delete(&mut idx, &mut st, MAX_PAGES, Key(1), snap(20, 2)).unwrap();
         commit(&mut st, &[w2], 30);
-        let w3 = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![3], snap(40, 3)).unwrap();
+        let w3 = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![3],
+            snap(40, 3),
+        )
+        .unwrap();
         commit(&mut st, &[w3], 50);
         let r = read(&idx, &st, Key(1), snap(50, 4)).unwrap().0.unwrap();
         assert_eq!(r.payload, vec![3]);
@@ -486,9 +624,27 @@ mod tests {
     #[test]
     fn vacuum_respects_active_snapshots() {
         let (mut idx, mut st) = setup();
-        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        let w = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![1],
+            snap(0, 1),
+        )
+        .unwrap();
         commit(&mut st, &[w], 10);
-        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
+        let w2 = update(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![2],
+            snap(20, 2),
+        )
+        .unwrap();
         commit(&mut st, &[w2], 30);
         // Horizon 25: the old version (end=30) may still be needed.
         assert_eq!(vacuum(&mut idx, &mut st, 25).unwrap(), 0);
@@ -506,10 +662,37 @@ mod tests {
     #[test]
     fn own_double_update_chains() {
         let (mut idx, mut st) = setup();
-        let w = insert(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![1], snap(0, 1)).unwrap();
+        let w = insert(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![1],
+            snap(0, 1),
+        )
+        .unwrap();
         commit(&mut st, &[w], 10);
-        let w1 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![2], snap(20, 2)).unwrap();
-        let w2 = update(&mut idx, &mut st, MAX_PAGES, Key(1), 64, vec![3], snap(20, 2)).unwrap();
+        let w1 = update(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![2],
+            snap(20, 2),
+        )
+        .unwrap();
+        let w2 = update(
+            &mut idx,
+            &mut st,
+            MAX_PAGES,
+            Key(1),
+            64,
+            vec![3],
+            snap(20, 2),
+        )
+        .unwrap();
         // Own snapshot sees the latest own write.
         let r = read(&idx, &st, Key(1), snap(20, 2)).unwrap().0.unwrap();
         assert_eq!(r.payload, vec![3]);

@@ -115,10 +115,7 @@ impl LogManager {
     /// Drop records at or below `lsn` (post-checkpoint truncation; §4.3:
     /// "the old copies and the old log file are no longer required").
     pub fn truncate_through(&mut self, lsn: Lsn) {
-        assert!(
-            lsn <= self.durable,
-            "cannot truncate undurable log records"
-        );
+        assert!(lsn <= self.durable, "cannot truncate undurable log records");
         self.records.retain(|r| r.lsn > lsn);
     }
 

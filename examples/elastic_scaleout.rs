@@ -1,20 +1,16 @@
-//! Elastic scale-out driven by the §3.4 monitoring/policy loop: the
-//! cluster watches its own utilization and powers nodes up when the 80 %
-//! CPU bound is breached, moving data physiologically.
+//! Elastic scale-out driven by the §3.4 control loop: the cluster watches
+//! its own utilization and powers nodes up when the 80 % CPU bound is
+//! breached, moving data physiologically — no manual rebalance calls,
+//! just the autopilot.
 //!
 //! ```sh
 //! cargo run --release --example elastic_scaleout
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use wattdb_common::{CostParams, NodeId, SimDuration};
 use wattdb_core::api::WattDb;
 use wattdb_core::cluster::Scheme;
-use wattdb_core::monitor::start_monitoring;
-use wattdb_core::policy::{apply, Decision, ElasticityPolicy, PolicyConfig};
-use wattdb_energy::NodeState;
+use wattdb_core::policy::PolicyConfig;
 
 fn main() {
     // Heavier per-operation CPU (the full SQL-layer work on wimpy Atom
@@ -25,6 +21,7 @@ fn main() {
     costs.record_write = costs.record_write * 40;
     costs.log_append = costs.log_append * 40;
     costs.buffer_hit = costs.buffer_hit * 40;
+
     let mut db = WattDb::builder()
         .nodes(6)
         .scheme(Scheme::Physiological)
@@ -35,79 +32,47 @@ fn main() {
         .costs(costs)
         .seed(1)
         .initial_data_nodes(&[NodeId(0)])
+        .policy(PolicyConfig {
+            cpu_high: 0.8,
+            cpu_low: 0.2,
+            patience: 2,
+            move_fraction: 0.5,
+        })
+        .monitoring(SimDuration::from_secs(5))
+        .autopilot(true)
         .build();
 
     // One node serves everything; a heavy client load will push its CPU
-    // past the threshold.
+    // past the threshold and the autopilot takes it from there.
     db.start_oltp(48, SimDuration::from_millis(30));
-
-    let policy = Rc::new(RefCell::new(ElasticityPolicy::new(PolicyConfig {
-        cpu_high: 0.8,
-        cpu_low: 0.2,
-        patience: 2,
-        move_fraction: 0.5,
-    })));
-    let decisions: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
-    {
-        let policy = policy.clone();
-        let decisions = decisions.clone();
-        start_monitoring(
-            &db.cluster,
-            &mut db.sim,
-            SimDuration::from_secs(5),
-            move |cl, sim, view| {
-                let (standby, with_data) = {
-                    let c = cl.borrow();
-                    let standby: Vec<NodeId> = c
-                        .nodes
-                        .iter()
-                        .filter(|n| n.state == NodeState::Standby)
-                        .map(|n| n.id)
-                        .collect();
-                    let mut with_data: Vec<NodeId> = c
-                        .nodes
-                        .iter()
-                        .filter(|n| c.seg_dir.on_node(n.id).next().is_some())
-                        .map(|n| n.id)
-                        .collect();
-                    with_data.sort_unstable();
-                    (standby, with_data)
-                };
-                let decision = policy.borrow_mut().evaluate(view, &standby, &with_data);
-                if decision != Decision::Hold {
-                    decisions.borrow_mut().push(format!(
-                        "t={:>4.0}s  mean cpu {:>4.1}%  -> {:?}",
-                        sim.now().as_secs_f64(),
-                        view.mean_active_cpu() * 100.0,
-                        decision
-                    ));
-                    apply(cl, sim, &decision, 0.5);
-                }
-            },
-        );
-    }
-
     db.run_for(SimDuration::from_secs(180));
     db.stop_clients();
 
-    println!("policy decisions:");
-    for d in decisions.borrow().iter() {
-        println!("  {d}");
+    println!("autopilot decisions:");
+    for e in db.events() {
+        println!(
+            "  t={:>4.0}s  mean cpu {:>4.1}%  max {:>4.1}%  {:?} -> {:?}",
+            e.at.as_secs_f64(),
+            e.view.mean_active_cpu * 100.0,
+            e.view.max_cpu * 100.0,
+            e.decision,
+            e.outcome,
+        );
     }
-    let c = db.cluster.borrow();
-    let active = c.active_nodes();
+
+    let status = db.status();
     println!(
-        "\nactive nodes at end: {:?} ({} segments total)",
-        active,
-        c.seg_dir.len()
+        "\nactive nodes at end: {} of {} ({} segments total)",
+        status.active_nodes,
+        status.nodes.len(),
+        status.segments
     );
-    for n in &active {
-        let segs = c.seg_dir.on_node(*n).count();
-        println!("  {n}: {segs} segments");
+    for n in status.nodes.iter().filter(|n| n.segments > 0) {
+        println!("  {}: {} segments ({:?})", n.node, n.segments, n.state);
     }
     assert!(
-        active.len() > 1,
-        "the policy should have scaled out under this load"
+        status.active_nodes > 1,
+        "the autopilot should have scaled out under this load"
     );
     println!("\nscale-out happened autonomously — no manual rebalance call.");
 }

@@ -31,11 +31,12 @@ fn measure(clients: u32, data_nodes: &[NodeId]) -> (f64, f64) {
     }
     db.run_for(SimDuration::from_secs(30));
     db.stop_clients();
-    let c = db.cluster.borrow();
-    let samples = c.meter.series();
-    let mean_w = samples.iter().map(|s| s.power.0).sum::<f64>() / samples.len().max(1) as f64;
-    let qps = c.metrics.completed as f64 / 30.0;
-    (qps, mean_w)
+    db.with_cluster(|c| {
+        let samples = c.meter.series();
+        let mean_w = samples.iter().map(|s| s.power.0).sum::<f64>() / samples.len().max(1) as f64;
+        let qps = c.metrics.completed as f64 / 30.0;
+        (qps, mean_w)
+    })
 }
 
 fn main() {

@@ -40,7 +40,7 @@ fn main() {
     while db.rebalancing() {
         db.run_for(SimDuration::from_secs(10));
     }
-    let report = db.cluster.borrow().last_rebalance.expect("rebalanced");
+    let report = db.last_rebalance().expect("rebalanced");
     println!(
         "rebalanced: {} segments in {:.1} s ({} bytes shipped)",
         report.segments_moved,
@@ -55,7 +55,7 @@ fn main() {
         "final: {} transactions, cluster at {:.1} W across {} active nodes",
         db.completed(),
         db.power_now(),
-        db.cluster.borrow().active_nodes().len()
+        db.active_nodes().len()
     );
 
     // Per-bucket series (the Fig. 6 data for this run).

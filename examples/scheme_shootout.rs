@@ -36,9 +36,7 @@ fn run(scheme: Scheme) -> Outcome {
     db.run_for(SimDuration::from_secs(90));
     db.stop_clients();
     let rebalance_secs = db
-        .cluster
-        .borrow()
-        .last_rebalance
+        .last_rebalance()
         .map(|r| r.finished.since(r.started).as_secs_f64());
     let series = db.timeseries();
     let t0 = trigger.as_secs_f64();

@@ -17,44 +17,42 @@ fn build(scheme: Scheme, seed: u64) -> WattDb {
         .build()
 }
 
-/// Sum of live keys across every segment index.
-fn live_keys(db: &WattDb) -> usize {
-    let c = db.cluster.borrow();
-    c.indexes.values().map(|i| i.len()).sum()
-}
-
 /// Checksum of all (table-agnostic) keys to detect loss/duplication.
 fn key_checksum(db: &WattDb) -> u64 {
-    let c = db.cluster.borrow();
-    let mut sum: u64 = 0;
-    for idx in c.indexes.values() {
-        for (k, _) in idx.entries() {
-            sum = sum.wrapping_add(k.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    db.with_cluster(|c| {
+        let mut sum: u64 = 0;
+        for idx in c.indexes.values() {
+            for (k, _) in idx.entries() {
+                sum = sum.wrapping_add(k.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
         }
-    }
-    sum
+        sum
+    })
 }
 
 #[test]
 fn physiological_move_preserves_every_record() {
     let mut db = build(Scheme::Physiological, 1);
-    let before_keys = live_keys(&db);
+    let before_keys = db.live_records();
     let before_sum = key_checksum(&db);
     db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
     db.run_for(SimDuration::from_secs(200));
     assert!(!db.rebalancing(), "move finished");
-    assert_eq!(live_keys(&db), before_keys, "no record lost or duplicated");
+    assert_eq!(
+        db.live_records(),
+        before_keys,
+        "no record lost or duplicated"
+    );
     assert_eq!(key_checksum(&db), before_sum, "exact key population");
     // Ownership genuinely moved: targets now hold segments.
-    let c = db.cluster.borrow();
-    assert!(c.seg_dir.on_node(NodeId(2)).count() > 0);
-    assert!(c.seg_dir.on_node(NodeId(3)).count() > 0);
+    assert!(db.segments_on(NodeId(2)) > 0);
+    assert!(db.segments_on(NodeId(3)) > 0);
 }
 
 #[test]
 fn logical_move_preserves_every_record() {
     let mut db = build(Scheme::Logical, 2);
-    let before_keys = live_keys(&db);
+    let before_keys = db.live_records();
     db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
     for _ in 0..240 {
         db.run_for(SimDuration::from_secs(5));
@@ -65,28 +63,26 @@ fn logical_move_preserves_every_record() {
     assert!(!db.rebalancing(), "logical move finished");
     // The logical move tombstones source records; vacuum reclaims them,
     // leaving exactly the original key population (now at the targets).
-    db.cluster.borrow_mut().vacuum_all();
-    assert_eq!(live_keys(&db), before_keys);
-    let c = db.cluster.borrow();
-    assert!(c.last_rebalance.unwrap().records_moved > 0);
+    db.vacuum();
+    assert_eq!(db.live_records(), before_keys);
+    assert!(db.last_rebalance().unwrap().records_moved > 0);
 }
 
 #[test]
 fn physical_move_keeps_ownership_but_relocates_storage() {
     let mut db = build(Scheme::Physical, 3);
-    let router_before = {
-        let c = db.cluster.borrow();
-        c.router.nodes_with_data()
-    };
+    let router_before = db.with_cluster(|c| c.router.nodes_with_data());
     db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
     db.run_for(SimDuration::from_secs(200));
     assert!(!db.rebalancing());
-    let c = db.cluster.borrow();
     // Storage moved...
-    assert!(c.seg_dir.on_node(NodeId(2)).count() > 0);
+    assert!(db.segments_on(NodeId(2)) > 0);
     // ...but query ownership did not: the router still names only the
     // original nodes (that is physical partitioning's defect, §4.1/§5.2).
-    assert_eq!(c.router.nodes_with_data(), router_before);
+    assert_eq!(
+        db.with_cluster(|c| c.router.nodes_with_data()),
+        router_before
+    );
 }
 
 #[test]
@@ -113,32 +109,37 @@ fn transactions_started_before_move_read_consistently() {
     let key = wattdb_tpcc::keys::customer(3, 2, 1);
     let table = wattdb_tpcc::TpccTable::Customer.table_id();
     // Start a long transaction before the move.
-    let (snap_txn, seg_before) = {
-        let mut c = db.cluster.borrow_mut();
+    let (snap_txn, seg_before) = db.with_cluster_mut(|c| {
         let txn = c.txn.begin(wattdb_txn::TxnKind::User);
         let route = c.router.route(table, key).unwrap();
         let part = &c.partitions[&route.primary.partition];
         let seg = part.top.segment_for(key).unwrap();
         (txn, seg)
-    };
-    let before_payload = {
-        let c = db.cluster.borrow();
+    });
+    let before_payload = db.with_cluster(|c| {
         let idx = &c.indexes[&seg_before];
-        c.txn.read(snap_txn, idx, &c.store, key).unwrap().unwrap().payload
-    };
+        c.txn
+            .read(snap_txn, idx, &c.store, key)
+            .unwrap()
+            .unwrap()
+            .payload
+    });
     db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
     db.run_for(SimDuration::from_secs(200));
     assert!(!db.rebalancing());
     // The old transaction still reads its snapshot — the segment index
     // moved intact with the segment.
-    let after_payload = {
-        let c = db.cluster.borrow();
+    let after_payload = db.with_cluster(|c| {
         let route = c.router.route(table, key).unwrap();
         let part = &c.partitions[&route.primary.partition];
         let seg = part.top.segment_for(key).unwrap();
         let idx = &c.indexes[&seg];
-        c.txn.read(snap_txn, idx, &c.store, key).unwrap().unwrap().payload
-    };
+        c.txn
+            .read(snap_txn, idx, &c.store, key)
+            .unwrap()
+            .unwrap()
+            .payload
+    });
     assert_eq!(before_payload, after_payload);
 }
 
@@ -148,16 +149,10 @@ fn transactions_after_move_route_to_new_node() {
     let mut db = build(Scheme::Physiological, 6);
     let key = wattdb_tpcc::keys::customer(3, 9, 2);
     let table = wattdb_tpcc::TpccTable::Customer.table_id();
-    let owner_before = {
-        let c = db.cluster.borrow();
-        c.router.route(table, key).unwrap().primary.node
-    };
+    let owner_before = db.with_cluster(|c| c.router.route(table, key).unwrap().primary.node);
     db.rebalance(0.5, &[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
     db.run_for(SimDuration::from_secs(200));
-    let res = {
-        let c = db.cluster.borrow();
-        c.router.route(table, key).unwrap()
-    };
+    let res = db.with_cluster(|c| c.router.route(table, key).unwrap());
     // Warehouse 3 sits in the upper half of node 1's range: it moved.
     assert_ne!(res.primary.node, owner_before, "ownership transferred");
     assert_eq!(res.also, None, "old pointer deleted after the move");

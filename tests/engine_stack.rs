@@ -71,19 +71,22 @@ fn mgl_blocks_writer_during_segment_read_lock() {
     let seg = SegmentId(7);
     let mover = tm.begin(TxnKind::System);
     assert_eq!(
-        tm.locks.acquire(mover, LockTarget::Segment(seg), LockMode::S),
+        tm.locks
+            .acquire(mover, LockTarget::Segment(seg), LockMode::S),
         LockAcquire::Granted
     );
     // Reader intent: compatible.
     let reader = tm.begin(TxnKind::User);
     assert_eq!(
-        tm.locks.acquire(reader, LockTarget::Segment(seg), LockMode::IS),
+        tm.locks
+            .acquire(reader, LockTarget::Segment(seg), LockMode::IS),
         LockAcquire::Granted
     );
     // Writer intent: must wait.
     let writer = tm.begin(TxnKind::User);
     assert_eq!(
-        tm.locks.acquire(writer, LockTarget::Segment(seg), LockMode::IX),
+        tm.locks
+            .acquire(writer, LockTarget::Segment(seg), LockMode::IX),
         LockAcquire::Waiting
     );
     // Mover done: the writer is granted.
@@ -145,9 +148,15 @@ fn locking_mode_reader_writer_interaction() {
     // Reader takes S; writer's X must wait (the MGL-RX cost Fig. 3 shows).
     let reader = tm.begin(TxnKind::User);
     let tgt = LockTarget::Record(wattdb_common::TableId(1), Key(1));
-    assert_eq!(tm.locks.acquire(reader, tgt, LockMode::S), LockAcquire::Granted);
+    assert_eq!(
+        tm.locks.acquire(reader, tgt, LockMode::S),
+        LockAcquire::Granted
+    );
     let writer = tm.begin(TxnKind::User);
-    assert_eq!(tm.locks.acquire(writer, tgt, LockMode::X), LockAcquire::Waiting);
+    assert_eq!(
+        tm.locks.acquire(writer, tgt, LockMode::X),
+        LockAcquire::Waiting
+    );
     let grants = tm.locks.release_all(reader);
     assert_eq!(grants.len(), 1);
 }

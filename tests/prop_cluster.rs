@@ -6,11 +6,6 @@ use wattdb_common::{NodeId, SimDuration};
 use wattdb_core::api::WattDb;
 use wattdb_core::cluster::Scheme;
 
-fn live_keys(db: &WattDb) -> usize {
-    let c = db.cluster.borrow();
-    c.indexes.values().map(|i| i.len()).sum()
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -35,7 +30,7 @@ proptest! {
             .seed(seed)
             .initial_data_nodes(&[NodeId(0), NodeId(1)])
             .build();
-        let before = live_keys(&db);
+        let before = db.live_records();
         let targets: Vec<NodeId> = (2..2 + targets_n as u16).map(NodeId).collect();
         db.rebalance(fraction, &[NodeId(0), NodeId(1)], &targets);
         for _ in 0..120 {
@@ -47,16 +42,17 @@ proptest! {
         prop_assert!(!db.rebalancing(), "move must terminate");
         // Logical moves tombstone their sources; vacuum reclaims them
         // before comparing populations.
-        db.cluster.borrow_mut().vacuum_all();
-        prop_assert_eq!(live_keys(&db), before, "population preserved");
+        db.vacuum();
+        prop_assert_eq!(db.live_records(), before, "population preserved");
         // Routing still resolves a sample of keys for every table.
-        let c = db.cluster.borrow();
-        for t in wattdb_tpcc::TpccTable::ALL {
-            for w in 0..2u32 {
-                let key = wattdb_tpcc::keys::district(w, 3);
-                let r = c.router.route(t.table_id(), key);
-                prop_assert!(r.is_ok(), "{:?} w{} unroutable after move", t, w);
+        db.with_cluster(|c| {
+            for t in wattdb_tpcc::TpccTable::ALL {
+                for w in 0..2u32 {
+                    let key = wattdb_tpcc::keys::district(w, 3);
+                    let r = c.router.route(t.table_id(), key);
+                    assert!(r.is_ok(), "{t:?} w{w} unroutable after move");
+                }
             }
-        }
+        });
     }
 }

@@ -5,7 +5,7 @@
 use wattdb_common::{NodeId, SimDuration};
 use wattdb_core::api::WattDb;
 use wattdb_core::cluster::Scheme;
-use wattdb_core::policy::{apply, suspend_empty_nodes, Decision};
+use wattdb_core::policy::Decision;
 use wattdb_energy::NodeState;
 
 fn build() -> WattDb {
@@ -20,18 +20,27 @@ fn build() -> WattDb {
         .build()
 }
 
+fn apply(db: &mut WattDb, decision: &Decision, fraction: f64) {
+    db.with_runtime(|cl, sim| wattdb_core::policy::apply(cl, sim, decision, fraction));
+}
+
+fn suspend_empty(db: &mut WattDb) -> Vec<NodeId> {
+    db.with_runtime(|cl, _| wattdb_core::policy::suspend_empty_nodes(cl))
+}
+
+fn node_state(db: &WattDb, node: NodeId) -> NodeState {
+    db.with_cluster(|c| c.nodes[node.raw() as usize].state)
+}
+
 #[test]
 fn draining_a_node_moves_everything_and_powers_it_down() {
     let mut db = build();
-    let before_keys: usize = {
-        let c = db.cluster.borrow();
-        c.indexes.values().map(|i| i.len()).sum()
-    };
+    let before_keys = db.live_records();
     // The policy decided node 2 should drain (e.g. after a quiet period).
     let decision = Decision::ScaleIn {
         drain: vec![NodeId(2)],
     };
-    apply(&db.cluster, &mut db.sim, &decision, 1.0);
+    apply(&mut db, &decision, 1.0);
     for _ in 0..120 {
         db.run_for(SimDuration::from_secs(5));
         if !db.rebalancing() {
@@ -39,44 +48,52 @@ fn draining_a_node_moves_everything_and_powers_it_down() {
         }
     }
     assert!(!db.rebalancing(), "drain finished");
-    {
-        let mut c = db.cluster.borrow_mut();
-        c.vacuum_all();
-        assert_eq!(
-            c.seg_dir.on_node(NodeId(2)).count(),
-            0,
-            "node 2 holds no segments after draining"
-        );
-        let after: usize = c.indexes.values().map(|i| i.len()).sum();
-        assert_eq!(after, before_keys, "population preserved across drain");
-    }
+    db.vacuum();
+    assert_eq!(
+        db.segments_on(NodeId(2)),
+        0,
+        "node 2 holds no segments after draining"
+    );
+    assert_eq!(
+        db.live_records(),
+        before_keys,
+        "population preserved across drain"
+    );
     // Now the empty node can be suspended.
-    let off = suspend_empty_nodes(&db.cluster);
+    let off = suspend_empty(&mut db);
     assert!(off.contains(&NodeId(2)), "drained node suspended: {off:?}");
-    let c = db.cluster.borrow();
-    assert_eq!(c.nodes[2].state, NodeState::Standby);
+    assert_eq!(node_state(&db, NodeId(2)), NodeState::Standby);
     // The survivors still serve: every warehouse's keys route somewhere.
-    for w in 0..6u32 {
-        let key = wattdb_tpcc::keys::warehouse(w);
-        let r = c
-            .router
-            .route(wattdb_tpcc::TpccTable::Warehouse.table_id(), key)
-            .unwrap();
-        assert_ne!(r.primary.node, NodeId(2), "nothing routes to the drained node");
-    }
+    db.with_cluster(|c| {
+        for w in 0..6u32 {
+            let key = wattdb_tpcc::keys::warehouse(w);
+            let r = c
+                .router
+                .route(wattdb_tpcc::TpccTable::Warehouse.table_id(), key)
+                .unwrap();
+            assert_ne!(
+                r.primary.node,
+                NodeId(2),
+                "nothing routes to the drained node"
+            );
+        }
+    });
 }
 
 #[test]
 fn suspend_refuses_nodes_that_still_hold_data() {
-    let db = build();
-    let off = suspend_empty_nodes(&db.cluster);
+    let mut db = build();
+    let off = suspend_empty(&mut db);
     // Nodes 1 and 2 hold data; only never-used actives (none here besides
     // data holders) may suspend. The master (node 0) is never suspended.
     assert!(!off.contains(&NodeId(1)));
     assert!(!off.contains(&NodeId(2)));
-    let c = db.cluster.borrow();
-    assert_eq!(c.nodes[0].state, NodeState::Active, "master stays up");
-    assert_eq!(c.nodes[1].state, NodeState::Active);
+    assert_eq!(
+        node_state(&db, NodeId(0)),
+        NodeState::Active,
+        "master stays up"
+    );
+    assert_eq!(node_state(&db, NodeId(1)), NodeState::Active);
 }
 
 #[test]
@@ -84,8 +101,7 @@ fn scale_in_lowers_cluster_power() {
     let mut db = build();
     let p_before = db.power_now();
     apply(
-        &db.cluster,
-        &mut db.sim,
+        &mut db,
         &Decision::ScaleIn {
             drain: vec![NodeId(2)],
         },
@@ -97,7 +113,7 @@ fn scale_in_lowers_cluster_power() {
             break;
         }
     }
-    suspend_empty_nodes(&db.cluster);
+    suspend_empty(&mut db);
     db.run_for(SimDuration::from_secs(2));
     let p_after = db.power_now();
     // One node from active (~22 W + drives ~9 W) to standby (2.5 W).
