@@ -82,6 +82,151 @@ impl Default for SchemeExperiment {
     }
 }
 
+/// Configuration of the planner shootout: a skewed (hot-range) TPC-C run
+/// where the autopilot rebalances with the planner under test.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerShootout {
+    /// Planner the autopilot uses.
+    pub planner: wattdb_core::Planner,
+    /// OLTP clients.
+    pub clients: u32,
+    /// Mean client think time. Long enough that throughput stays
+    /// client-limited after the rebalance, so post-rebalance CPU compares
+    /// balance rather than the extra work a balanced cluster completes.
+    pub think: SimDuration,
+    /// Percentage of Payment (update) transactions in the mix; the rest
+    /// are OrderStatus reads. This stationary mix keeps the hotspot on
+    /// fixed warehouse/district/customer ranges, where access history
+    /// predicts future load (insert-heavy mixes have a *moving* hotspot —
+    /// see the module docs of `wattdb_planner`).
+    pub update_pct: u32,
+    /// Fraction of clients homed on the hot range.
+    pub hot_fraction: f64,
+    /// Warehouses forming the hot range.
+    pub hot_warehouses: u32,
+    /// TPC-C warehouses.
+    pub warehouses: u32,
+    /// Bulk-I/O scale.
+    pub io_scale: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for PlannerShootout {
+    fn default() -> Self {
+        Self {
+            planner: wattdb_core::Planner::HeatAware,
+            clients: 80,
+            think: SimDuration::from_millis(10),
+            update_pct: 20,
+            hot_fraction: 0.85,
+            hot_warehouses: 1,
+            warehouses: 4,
+            io_scale: 10,
+            seed: 3,
+        }
+    }
+}
+
+/// Outcome of one shootout run.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerShootoutRow {
+    /// Planner used.
+    pub planner: wattdb_core::Planner,
+    /// Did a rebalance complete in-window?
+    pub rebalanced: bool,
+    /// Bytes the rebalance shipped.
+    pub bytes_moved: u64,
+    /// Segments relocated.
+    pub segments_moved: u64,
+    /// Heat the plan intended to relocate.
+    pub heat_planned: f64,
+    /// Heat actually relocated.
+    pub heat_moved: f64,
+    /// Max active-node CPU over a settle window after the rebalance.
+    pub post_max_cpu: f64,
+    /// Hottest node's share of total heat after the rebalance.
+    pub post_max_heat_share: f64,
+}
+
+/// Run the planner shootout: one data node, skewed clients (the hot range
+/// sits at the *bottom* of the key space, the worst case for the fraction
+/// heuristic), autopilot engaged with the planner under test, one standby
+/// target.
+pub fn run_planner_shootout(cfg: PlannerShootout) -> PlannerShootoutRow {
+    let mut db = WattDb::builder()
+        .nodes(2)
+        .scheme(Scheme::Physiological)
+        .warehouses(cfg.warehouses)
+        .density(0.02)
+        .segment_pages(16)
+        .io_scale(cfg.io_scale)
+        .costs(scaled_costs(40))
+        .seed(cfg.seed)
+        .initial_data_nodes(&[NodeId(0)])
+        .planner(cfg.planner)
+        .policy(wattdb_core::PolicyConfig {
+            cpu_high: 0.8,
+            cpu_low: 0.02, // no scale-in during the measurement
+            patience: 2,
+            move_fraction: 0.5,
+            planner: cfg.planner,
+            heat_tolerance: 0.1,
+        })
+        .monitoring(SimDuration::from_secs(5))
+        .autopilot(true)
+        .build();
+    db.with_cluster_mut(|c| {
+        c.auto_resubmit = false;
+        c.spawn_clients_skewed(
+            cfg.clients,
+            wattdb_tpcc::ClientConfig {
+                think_time: cfg.think,
+                ..Default::default()
+            },
+            cfg.hot_fraction,
+            cfg.hot_warehouses,
+        );
+    });
+    db.with_runtime(|cl, sim| start_mixed_clients(cl, sim, cfg.update_pct));
+    // Warm up until the autopilot's rebalance completes (bounded window).
+    let mut rebalanced = false;
+    for _ in 0..80 {
+        db.run_for(SimDuration::from_secs(5));
+        if db.last_rebalance().is_some() && !db.rebalancing() {
+            rebalanced = true;
+            break;
+        }
+    }
+    // Settle, then measure post-rebalance CPU over a fresh status window.
+    let _ = db.status();
+    db.run_for(SimDuration::from_secs(30));
+    let status = db.status();
+    let post_max_cpu = status
+        .nodes
+        .iter()
+        .filter(|n| n.state == wattdb_energy::NodeState::Active)
+        .map(|n| n.cpu)
+        .fold(0.0, f64::max);
+    let total_heat: f64 = status.nodes.iter().map(|n| n.heat).sum();
+    let post_max_heat_share = if total_heat > 0.0 {
+        status.nodes.iter().map(|n| n.heat).fold(0.0, f64::max) / total_heat
+    } else {
+        0.0
+    };
+    let report = db.last_rebalance();
+    PlannerShootoutRow {
+        planner: cfg.planner,
+        rebalanced,
+        bytes_moved: report.map(|r| r.bytes_moved).unwrap_or(0),
+        segments_moved: report.map(|r| r.segments_moved).unwrap_or(0),
+        heat_planned: report.map(|r| r.heat_planned).unwrap_or(0.0),
+        heat_moved: report.map(|r| r.heat_moved).unwrap_or(0.0),
+        post_max_cpu,
+        post_max_heat_share,
+    }
+}
+
 fn scaled_costs(scale: u64) -> CostParams {
     let mut c = CostParams::default();
     c.index_node_visit = c.index_node_visit * scale;

@@ -11,6 +11,7 @@
 
 pub mod config;
 pub mod error;
+pub mod heat;
 pub mod ids;
 pub mod key;
 pub mod rng;
@@ -20,6 +21,7 @@ pub mod units;
 
 pub use config::{CostParams, DiskSpec, HardwareSpec, NetworkSpec, PowerSpec};
 pub use error::{Error, Result};
+pub use heat::{Heat, HeatConfig};
 pub use ids::{
     ClientId, DiskId, Lsn, NodeId, PageId, PartitionId, QueryId, RecordId, SegmentId, TableId,
     TxnId,

@@ -162,7 +162,7 @@ impl Histogram {
         }
     }
 
-    /// Estimated percentile (`p` in [0,100]) as a duration.
+    /// Estimated percentile (`p` in \[0,100\]) as a duration.
     pub fn percentile(&self, p: f64) -> SimDuration {
         if self.count == 0 {
             return SimDuration::ZERO;

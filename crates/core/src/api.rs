@@ -28,8 +28,9 @@
 //! assert_eq!(status.nodes.len(), 4);
 //! ```
 
-use wattdb_common::{NodeId, SimDuration, SimTime, Watts};
+use wattdb_common::{HeatConfig, NodeId, SimDuration, SimTime, Watts};
 use wattdb_energy::NodeState;
+use wattdb_planner::{Plan, Planner};
 use wattdb_sim::{Sim, UtilizationProbe};
 use wattdb_tpcc::{ClientConfig, TpccConfig};
 use wattdb_txn::CcMode;
@@ -37,7 +38,8 @@ use wattdb_txn::CcMode;
 use crate::autopilot::{AutoPilot, AutoPilotConfig, ControlEvent};
 use crate::cluster::{Cluster, ClusterConfig, ClusterRc, Scheme};
 use crate::executor;
-use crate::migration::{self, RebalanceReport};
+use crate::heat::{self, SegmentHeatStat};
+use crate::migration::{self, RebalanceReport, SegmentMove};
 use crate::policy::PolicyConfig;
 
 /// Builder for a ready-to-run WattDB deployment.
@@ -129,6 +131,19 @@ impl WattDbBuilder {
         self
     }
 
+    /// Which planner turns elasticity decisions into segment moves
+    /// (default: the heat-aware planner).
+    pub fn planner(mut self, p: Planner) -> Self {
+        self.policy.planner = p;
+        self
+    }
+
+    /// Heat-tracking parameters: decay half-life and per-access weights.
+    pub fn heat_tracking(mut self, h: HeatConfig) -> Self {
+        self.cfg.heat = h;
+        self
+    }
+
     /// Experiment seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.cfg.seed = s;
@@ -189,6 +204,7 @@ impl WattDbBuilder {
             sim,
             cluster,
             autopilot,
+            policy: self.policy,
         }
     }
 }
@@ -200,10 +216,12 @@ pub struct NodeStatus {
     pub node: NodeId,
     /// Power state.
     pub state: NodeState,
-    /// CPU utilization since the previous `status()` call, in [0,1].
+    /// CPU utilization since the previous `status()` call, in \[0,1\].
     pub cpu: f64,
     /// Segments stored on the node.
     pub segments: usize,
+    /// Total decayed access heat of the node's segments.
+    pub heat: f64,
     /// Node power draw (CPU-proportional plus drives).
     pub power: Watts,
 }
@@ -230,6 +248,10 @@ pub struct WattDb {
     sim: Sim,
     cluster: ClusterRc,
     autopilot: Option<AutoPilot>,
+    /// Policy in force — facade-side planning (`plan_scale_out`,
+    /// `plan_drain`) reads its `heat_tolerance` so manual plans match
+    /// what the autopilot would produce.
+    policy: PolicyConfig,
 }
 
 impl WattDb {
@@ -251,6 +273,32 @@ impl WattDb {
                     think_time: think,
                     ..Default::default()
                 },
+            );
+        }
+        executor::start_clients(&self.cluster, &mut self.sim);
+    }
+
+    /// Like [`WattDb::start_oltp`], but with a hot-range skew:
+    /// `hot_fraction` of the clients are homed inside the first
+    /// `hot_warehouses` warehouses, concentrating access heat on the low
+    /// end of the key space.
+    pub fn start_oltp_skewed(
+        &mut self,
+        n: u32,
+        think: SimDuration,
+        hot_fraction: f64,
+        hot_warehouses: u32,
+    ) {
+        {
+            let mut c = self.cluster.borrow_mut();
+            c.spawn_clients_skewed(
+                n,
+                ClientConfig {
+                    think_time: think,
+                    ..Default::default()
+                },
+                hot_fraction,
+                hot_warehouses,
             );
         }
         executor::start_clients(&self.cluster, &mut self.sim);
@@ -285,11 +333,13 @@ impl WattDb {
     }
 
     /// Engage the elasticity control loop on a running deployment.
-    /// Replaces (and disengages) any previous loop.
+    /// Replaces (and disengages) any previous loop; facade-side planning
+    /// follows the new policy from here on.
     pub fn engage_autopilot(&mut self, config: AutoPilotConfig) {
         if let Some(old) = self.autopilot.take() {
             old.disengage();
         }
+        self.policy = config.policy;
         self.autopilot = Some(AutoPilot::engage(&self.cluster, &mut self.sim, config));
     }
 
@@ -320,6 +370,50 @@ impl WattDb {
         migration::start_rebalance(&self.cluster, &mut self.sim, fraction, sources, targets);
     }
 
+    /// Plan (but do not start) a heat-aware scale-out from the current
+    /// heat table, using the configured policy's heat tolerance — the
+    /// same plan the autopilot would produce. Returns the full plan —
+    /// moves, bytes, and the predicted per-node heat — for inspection or
+    /// for [`WattDb::rebalance_planned`].
+    pub fn plan_scale_out(&self, sources: &[NodeId], targets: &[NodeId]) -> Plan {
+        let c = self.cluster.borrow();
+        heat::plan_scale_out(
+            &c,
+            self.sim.now(),
+            self.policy.heat_tolerance,
+            sources,
+            targets,
+        )
+    }
+
+    /// Plan (but do not start) a heat-aware drain of `drain` onto
+    /// `remaining`, using the configured policy's heat tolerance.
+    pub fn plan_drain(&self, drain: &[NodeId], remaining: &[NodeId]) -> Plan {
+        let c = self.cluster.borrow();
+        heat::plan_drain(
+            &c,
+            self.sim.now(),
+            self.policy.heat_tolerance,
+            drain,
+            remaining,
+        )
+    }
+
+    /// Execute an externally produced plan (see [`WattDb::plan_scale_out`]
+    /// / [`WattDb::plan_drain`]): power on `targets` and start the moves.
+    /// Requires a segment scheme (physical/physiological). A no-op when
+    /// the plan is empty or another rebalance is already in flight.
+    pub fn rebalance_planned(&mut self, plan: &Plan, targets: &[NodeId]) {
+        let moves: Vec<SegmentMove> = plan.moves.iter().map(SegmentMove::from).collect();
+        migration::start_rebalance_planned(
+            &self.cluster,
+            &mut self.sim,
+            plan.planner,
+            moves,
+            targets,
+        );
+    }
+
     /// Is a rebalance still running?
     pub fn rebalancing(&self) -> bool {
         self.cluster.borrow().mover.is_some()
@@ -328,6 +422,11 @@ impl WattDb {
     /// Summary of the last completed rebalance, manual or autopiloted.
     pub fn last_rebalance(&self) -> Option<RebalanceReport> {
         self.cluster.borrow().last_rebalance
+    }
+
+    /// Every completed rebalance of the run, in completion order.
+    pub fn rebalance_history(&self) -> Vec<RebalanceReport> {
+        self.cluster.borrow().metrics.rebalances.clone()
     }
 
     // ------------------------------------------------------------- readout
@@ -355,6 +454,19 @@ impl WattDb {
     /// Segments across the cluster.
     pub fn segment_count(&self) -> usize {
         self.cluster.borrow().seg_dir.len()
+    }
+
+    /// Per-segment access-heat snapshot, hottest first: decayed heat,
+    /// lifetime read/write/remote counters, placement, and footprint.
+    pub fn heat(&self) -> Vec<SegmentHeatStat> {
+        let c = self.cluster.borrow();
+        c.heat.snapshot(&c.seg_dir, self.sim.now())
+    }
+
+    /// Total decayed access heat of the segments stored on `node`.
+    pub fn node_heat(&self, node: NodeId) -> f64 {
+        let c = self.cluster.borrow();
+        c.heat.node_heat(&c.seg_dir, node, self.sim.now()).value()
     }
 
     /// Live record keys across every segment index.
@@ -395,6 +507,7 @@ impl WattDb {
                 state: n.state,
                 cpu,
                 segments: c.seg_dir.on_node(n.id).count(),
+                heat: c.heat.node_heat(&c.seg_dir, n.id, now).value(),
                 power,
             });
         }

@@ -112,6 +112,10 @@ pub struct ControlEvent {
     pub decision: Decision,
     /// What the controller did about it.
     pub outcome: Outcome,
+    /// For applied decisions, the planner that actually produced the
+    /// moves (the heat-aware path can fall back to the fraction
+    /// heuristic); otherwise the planner configured at the time.
+    pub planner: wattdb_planner::Planner,
 }
 
 struct Shared {
@@ -140,7 +144,7 @@ impl AutoPilot {
     /// applies scale-out/scale-in decisions, and suspends drained nodes.
     pub fn engage(cl: &ClusterRc, sim: &mut Sim, config: AutoPilotConfig) -> AutoPilot {
         let mut policy = ElasticityPolicy::new(config.policy);
-        let move_fraction = config.policy.move_fraction;
+        let policy_cfg = config.policy;
         let shared = Rc::new(RefCell::new(Shared {
             events: Vec::new(),
             draining: Vec::new(),
@@ -165,6 +169,7 @@ impl AutoPilot {
                     view: summary,
                     decision: Decision::ScaleIn { drain: drained },
                     outcome: Outcome::Suspended { nodes: off },
+                    planner: policy_cfg.planner,
                 });
             }
             // Observe *after* any suspension, so a node just returned to
@@ -180,17 +185,22 @@ impl AutoPilot {
                         outcome: Outcome::Deferred {
                             reason: "rebalance in flight",
                         },
+                        planner: policy_cfg.planner,
                     });
                 } else {
                     if let Decision::ScaleIn { drain } = &decision {
                         sh.draining = drain.clone();
                     }
-                    policy::apply(cl, sim, &decision, move_fraction);
+                    // Record the planner that actually produced the moves —
+                    // the heat-aware path can fall back to the fraction
+                    // heuristic (logical scheme, or no heat recorded).
+                    let used = policy::apply(cl, sim, &decision, &policy_cfg);
                     sh.events.push(ControlEvent {
                         at,
                         view: summary,
                         decision,
                         outcome: Outcome::Applied,
+                        planner: used.unwrap_or(policy_cfg.planner),
                     });
                 }
             }
@@ -299,6 +309,7 @@ mod tests {
                     disk: 0.0,
                     net_tx: 0.0,
                     buffer_hit_ratio: 0.0,
+                    heat: 0.0,
                     active: true,
                 },
                 NodeReport {
@@ -308,6 +319,7 @@ mod tests {
                     disk: 0.0,
                     net_tx: 0.0,
                     buffer_hit_ratio: 0.0,
+                    heat: 0.0,
                     active: true,
                 },
                 NodeReport {
@@ -317,6 +329,7 @@ mod tests {
                     disk: 0.0,
                     net_tx: 0.0,
                     buffer_hit_ratio: 0.0,
+                    heat: 0.0,
                     active: false,
                 },
             ],

@@ -13,8 +13,8 @@ use std::rc::Rc;
 
 use wattdb_common::config::DiskKind;
 use wattdb_common::{
-    ByteSize, CostParams, DetRng, DiskId, HardwareSpec, Key, KeyRange, NetworkSpec, NodeId,
-    PartitionId, PowerSpec, Result, SegmentId, SimDuration, SimTime, TableId, Watts,
+    ByteSize, CostParams, DetRng, DiskId, HardwareSpec, HeatConfig, Key, KeyRange, NetworkSpec,
+    NodeId, PartitionId, PowerSpec, Result, SegmentId, SimDuration, SimTime, TableId, Watts,
 };
 use wattdb_energy::{EnergyMeter, NodeState, PowerModel};
 use wattdb_index::{GlobalRouter, SegmentIndex, TopIndex};
@@ -26,6 +26,7 @@ use wattdb_txn::{CcMode, IndexMap, TxnManager};
 use wattdb_wal::{LogManager, LogShipper};
 
 use crate::executor::TxnJob;
+use crate::heat::HeatTable;
 use crate::metrics::{Metrics, Phase};
 use crate::migration::MoveController;
 
@@ -85,6 +86,8 @@ pub struct ClusterConfig {
     pub group_commit: SimDuration,
     /// Metric bucket width.
     pub bucket: SimDuration,
+    /// Per-segment heat tracking (decay half-life and access weights).
+    pub heat: HeatConfig,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -105,6 +108,7 @@ impl Default for ClusterConfig {
             migration_batch: 64,
             group_commit: SimDuration::from_millis(2),
             bucket: SimDuration::from_secs(10),
+            heat: HeatConfig::default(),
             seed: 42,
         }
     }
@@ -135,10 +139,18 @@ pub struct NodeRuntime {
     /// Probe for facade status snapshots (independent of both, so
     /// [`crate::api::WattDb::status`] never disturbs the control loop).
     pub status_probe: UtilizationProbe,
+    /// Per-drive monitoring probes, persisted across windows so
+    /// [`crate::monitor::sample_node`] reports true windowed disk
+    /// utilization (one probe per entry in `disks`).
+    pub disk_probes: Vec<UtilizationProbe>,
+    /// Persistent monitoring probe for NIC egress, windowed like the CPU
+    /// probe.
+    pub net_probe: UtilizationProbe,
 }
 
 impl NodeRuntime {
     fn new(id: NodeId, hw: &HardwareSpec, buffer_pages: usize) -> Self {
+        let n_disks = hw.disks.len();
         Self {
             id,
             state: NodeState::Standby,
@@ -156,6 +168,8 @@ impl NodeRuntime {
             power_probe: UtilizationProbe::new(),
             monitor_probe: UtilizationProbe::new(),
             status_probe: UtilizationProbe::new(),
+            disk_probes: (0..n_disks).map(|_| UtilizationProbe::new()).collect(),
+            net_probe: UtilizationProbe::new(),
         }
     }
 }
@@ -215,6 +229,8 @@ pub struct Cluster {
     pub pending_logical_keys: Vec<Key>,
     /// Summary of the last completed rebalance.
     pub last_rebalance: Option<crate::migration::RebalanceReport>,
+    /// Per-segment access heat (the planner's workload signal).
+    pub heat: HeatTable,
     /// Metrics.
     pub metrics: Metrics,
     /// Power/energy meter.
@@ -254,6 +270,7 @@ impl Cluster {
         let metrics = Metrics::new(SimTime::ZERO, cfg.bucket);
         let power_model = PowerModel::new(cfg.power);
         let cc = cfg.cc_mode;
+        let heat = HeatTable::new(cfg.heat);
         Rc::new(RefCell::new(Cluster {
             cfg,
             nodes,
@@ -273,6 +290,7 @@ impl Cluster {
             mover: None,
             pending_logical_keys: Vec::new(),
             last_rebalance: None,
+            heat,
             metrics,
             meter: EnergyMeter::new(SimTime::ZERO),
             power_model,
@@ -574,6 +592,30 @@ impl Cluster {
             .map(|wl| wl.config().warehouses)
             .unwrap_or(1);
         self.clients = wattdb_tpcc::spawn_clients(n, w, client_cfg, &self.rng);
+    }
+
+    /// Spawn `n` closed-loop clients with a hot-range skew: `hot_fraction`
+    /// of them homed inside the first `hot_warehouses` warehouses.
+    pub fn spawn_clients_skewed(
+        &mut self,
+        n: u32,
+        client_cfg: ClientConfig,
+        hot_fraction: f64,
+        hot_warehouses: u32,
+    ) {
+        let w = self
+            .workload
+            .as_ref()
+            .map(|wl| wl.config().warehouses)
+            .unwrap_or(1);
+        self.clients = wattdb_tpcc::spawn_clients_skewed(
+            n,
+            w,
+            client_cfg,
+            &self.rng,
+            hot_fraction,
+            hot_warehouses,
+        );
     }
 
     /// Vacuum every segment at the current GC horizon: reclaims committed

@@ -192,7 +192,7 @@ impl Cluster {
         match self.jobs[&job_id].stage {
             OpStage::Start => self.op_start(now, job_id, op),
             OpStage::Cpu => self.op_cpu(job_id, op),
-            OpStage::Io => self.op_io(job_id, op),
+            OpStage::Io => self.op_io(now, job_id, op),
             OpStage::Apply => self.op_apply(now, job_id, op),
         }
     }
@@ -320,7 +320,7 @@ impl Cluster {
         Action::Loop
     }
 
-    fn op_io(&mut self, job_id: u64, op: Op) -> Action {
+    fn op_io(&mut self, now: SimTime, job_id: u64, op: Op) -> Action {
         let Some((_, exec_node, seg)) = self.jobs[&job_id].cur else {
             // ITEM replica read: always buffer-resident.
             let job = self.jobs.get_mut(&job_id).expect("live job");
@@ -367,6 +367,9 @@ impl Cluster {
                 if storage_node == exec_node {
                     Action::DiskRead(storage_node, disk)
                 } else {
+                    // Physical partitioning's penalty — and the strongest
+                    // heat signal for moving the segment to its users.
+                    self.heat.record_remote_fetch(seg, now);
                     Action::RemoteRead {
                         exec: exec_node,
                         storage: storage_node,
@@ -381,6 +384,7 @@ impl Cluster {
                     job.costs
                         .record(CostCategory::Latching, SimDuration::from_micros(20));
                 }
+                self.heat.record_remote_fetch(seg, now);
                 Action::RemoteBufferFetch(exec_node)
             }
         }
@@ -388,6 +392,16 @@ impl Cluster {
 
     fn op_apply(&mut self, now: SimTime, job_id: u64, op: Op) -> Action {
         let table = op.table.table_id();
+        // Feed the heat table here, not in `op_start`: the start stage
+        // re-runs after every hop and lock-wait resume, while the apply
+        // stage executes exactly once per operation attempt. (ITEM
+        // replica reads carry no `cur` and stay heat-free.)
+        if let Some((_, _, seg)) = self.jobs[&job_id].cur {
+            match op.kind {
+                OpKind::Read => self.heat.record_read(seg, now),
+                _ => self.heat.record_write(seg, now),
+            }
+        }
         let result: Result<(), Error> = match self.jobs[&job_id].cur {
             None => Ok(()), // ITEM replica read
             Some((_, node, seg)) => {

@@ -1,0 +1,303 @@
+//! Per-segment access-heat tracking: the data the heat-aware planner
+//! plans from.
+//!
+//! Every executor access resolves to a segment; the [`HeatTable`] charges
+//! that segment a weighted increment (reads, writes, and remote page
+//! fetches weigh differently, see [`HeatConfig`]) on top of an
+//! exponentially decayed running total — an EWMA in simulated time. Decay
+//! is applied lazily at touch/read time, so idle segments cost nothing to
+//! age.
+//!
+//! Heat is keyed by [`SegmentId`] and therefore *travels with the segment*
+//! across physiological moves: after a rebalance the target node's rolled-
+//! up heat immediately reflects its new load, which is exactly what the
+//! next planning round needs.
+
+use std::collections::HashMap;
+
+use wattdb_common::{Heat, HeatConfig, NodeId, SegmentId, SimTime, TableId};
+use wattdb_storage::SegmentDirectory;
+
+/// One segment's tracked heat and raw access counters.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentHeat {
+    /// Decayed heat as of `last_touch`.
+    pub heat: Heat,
+    /// Local + remote read accesses (undecayed lifetime count).
+    pub reads: u64,
+    /// Write accesses (undecayed lifetime count).
+    pub writes: u64,
+    /// Accesses that needed a remote page fetch (undecayed lifetime count).
+    pub remote_fetches: u64,
+    /// When `heat` was last brought current.
+    pub last_touch: SimTime,
+}
+
+/// A per-segment heat snapshot row, joined with catalog placement (what
+/// [`crate::api::WattDb::heat`] returns).
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentHeatStat {
+    /// Segment id.
+    pub seg: SegmentId,
+    /// Owning table.
+    pub table: TableId,
+    /// Node storing the segment.
+    pub node: NodeId,
+    /// Decayed heat at snapshot time.
+    pub heat: f64,
+    /// Lifetime read accesses.
+    pub reads: u64,
+    /// Lifetime write accesses.
+    pub writes: u64,
+    /// Lifetime remote page fetches.
+    pub remote_fetches: u64,
+    /// Disk footprint in bytes (before `io_scale`).
+    pub bytes: u64,
+}
+
+/// The cluster-wide heat table.
+#[derive(Debug)]
+pub struct HeatTable {
+    cfg: HeatConfig,
+    segments: HashMap<SegmentId, SegmentHeat>,
+}
+
+impl HeatTable {
+    /// Empty table with the given decay/weight configuration.
+    pub fn new(cfg: HeatConfig) -> Self {
+        Self {
+            cfg,
+            segments: HashMap::new(),
+        }
+    }
+
+    /// The tracking configuration in force.
+    pub fn config(&self) -> &HeatConfig {
+        &self.cfg
+    }
+
+    fn bump(&mut self, seg: SegmentId, now: SimTime, weight: f64) -> &mut SegmentHeat {
+        let half_life = self.cfg.half_life;
+        let e = self.segments.entry(seg).or_insert(SegmentHeat {
+            heat: Heat::ZERO,
+            reads: 0,
+            writes: 0,
+            remote_fetches: 0,
+            last_touch: now,
+        });
+        e.heat = e.heat.decayed(now.since(e.last_touch), half_life) + Heat(weight);
+        e.last_touch = now;
+        e
+    }
+
+    /// Charge a local read access.
+    pub fn record_read(&mut self, seg: SegmentId, now: SimTime) {
+        let w = self.cfg.read_weight;
+        self.bump(seg, now, w).reads += 1;
+    }
+
+    /// Charge a write access (update/insert/delete).
+    pub fn record_write(&mut self, seg: SegmentId, now: SimTime) {
+        let w = self.cfg.write_weight;
+        self.bump(seg, now, w).writes += 1;
+    }
+
+    /// Charge the remote-fetch surcharge on top of the read/write already
+    /// recorded for the operation.
+    pub fn record_remote_fetch(&mut self, seg: SegmentId, now: SimTime) {
+        let w = self.cfg.remote_weight;
+        self.bump(seg, now, w).remote_fetches += 1;
+    }
+
+    /// The segment's heat decayed to `now` (zero for never-touched
+    /// segments).
+    pub fn heat_of(&self, seg: SegmentId, now: SimTime) -> Heat {
+        match self.segments.get(&seg) {
+            Some(e) => e.heat.decayed(now.since(e.last_touch), self.cfg.half_life),
+            None => Heat::ZERO,
+        }
+    }
+
+    /// Raw tracked state for a segment, if it was ever touched.
+    pub fn stats(&self, seg: SegmentId) -> Option<&SegmentHeat> {
+        self.segments.get(&seg)
+    }
+
+    /// Total heat of the segments stored on `node`, decayed to `now` —
+    /// the per-node signal rolled into monitoring reports.
+    pub fn node_heat(&self, dir: &SegmentDirectory, node: NodeId, now: SimTime) -> Heat {
+        dir.on_node(node)
+            .map(|m| self.heat_of(m.id, now))
+            .fold(Heat::ZERO, |a, b| a + b)
+    }
+
+    /// Joined per-segment snapshot over the whole catalog, hottest first.
+    pub fn snapshot(&self, dir: &SegmentDirectory, now: SimTime) -> Vec<SegmentHeatStat> {
+        let mut rows: Vec<SegmentHeatStat> = dir
+            .iter()
+            .map(|m| {
+                let tracked = self.segments.get(&m.id);
+                SegmentHeatStat {
+                    seg: m.id,
+                    table: m.table,
+                    node: m.node,
+                    heat: self.heat_of(m.id, now).value(),
+                    reads: tracked.map(|t| t.reads).unwrap_or(0),
+                    writes: tracked.map(|t| t.writes).unwrap_or(0),
+                    remote_fetches: tracked.map(|t| t.remote_fetches).unwrap_or(0),
+                    bytes: m.disk_footprint().as_u64(),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.heat
+                .partial_cmp(&a.heat)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.seg.cmp(&b.seg))
+        });
+        rows
+    }
+}
+
+/// Heat-aware scale-out plan over the live cluster state: snapshot
+/// [`segment_stats`] and plan with the given tolerance. The single entry
+/// point shared by `policy::apply` and the facade, so both always
+/// produce the same plan for the same state.
+pub fn plan_scale_out(
+    c: &crate::cluster::Cluster,
+    now: SimTime,
+    tolerance: f64,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> wattdb_planner::Plan {
+    let stats = segment_stats(c, now);
+    wattdb_planner::plan_scale_out(
+        &stats,
+        sources,
+        targets,
+        &wattdb_planner::PlanConfig { tolerance },
+    )
+}
+
+/// Heat-aware drain plan over the live cluster state (see
+/// [`plan_scale_out`]).
+pub fn plan_drain(
+    c: &crate::cluster::Cluster,
+    now: SimTime,
+    tolerance: f64,
+    drain: &[NodeId],
+    remaining: &[NodeId],
+) -> wattdb_planner::Plan {
+    let stats = segment_stats(c, now);
+    wattdb_planner::plan_drain(
+        &stats,
+        drain,
+        remaining,
+        &wattdb_planner::PlanConfig { tolerance },
+    )
+}
+
+/// Planner inputs for the whole catalog: footprint bytes scaled by
+/// `io_scale`, heat decayed to `now`.
+pub fn segment_stats(
+    c: &crate::cluster::Cluster,
+    now: SimTime,
+) -> Vec<wattdb_planner::SegmentStat> {
+    c.seg_dir
+        .iter()
+        .map(|m| wattdb_planner::SegmentStat {
+            seg: m.id,
+            table: m.table,
+            range: m.key_range.unwrap_or_else(wattdb_common::KeyRange::all),
+            node: m.node,
+            bytes: m
+                .disk_footprint()
+                .as_u64()
+                .max(wattdb_storage::PAGE_SIZE as u64)
+                * c.cfg.io_scale,
+            heat: c.heat.heat_of(m.id, now).value(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattdb_common::{DiskId, SimDuration};
+
+    fn table() -> HeatTable {
+        HeatTable::new(HeatConfig {
+            half_life: SimDuration::from_secs(10),
+            read_weight: 1.0,
+            write_weight: 2.0,
+            remote_weight: 0.5,
+        })
+    }
+
+    #[test]
+    fn accesses_accumulate_with_weights() {
+        let mut t = table();
+        let now = SimTime::from_secs(1);
+        t.record_read(SegmentId(1), now);
+        t.record_write(SegmentId(1), now);
+        t.record_remote_fetch(SegmentId(1), now);
+        let h = t.heat_of(SegmentId(1), now).value();
+        assert!((h - 3.5).abs() < 1e-9, "{h}");
+        let s = t.stats(SegmentId(1)).unwrap();
+        assert_eq!((s.reads, s.writes, s.remote_fetches), (1, 1, 1));
+    }
+
+    #[test]
+    fn heat_decays_between_touches() {
+        let mut t = table();
+        t.record_read(SegmentId(1), SimTime::from_secs(0));
+        // One half-life later the original unit read is worth 0.5.
+        let h = t.heat_of(SegmentId(1), SimTime::from_secs(10)).value();
+        assert!((h - 0.5).abs() < 1e-9, "{h}");
+        // Touching applies the decay before adding the new weight.
+        t.record_read(SegmentId(1), SimTime::from_secs(10));
+        let h2 = t.heat_of(SegmentId(1), SimTime::from_secs(10)).value();
+        assert!((h2 - 1.5).abs() < 1e-9, "{h2}");
+    }
+
+    #[test]
+    fn untouched_segments_are_cold() {
+        let t = table();
+        assert_eq!(t.heat_of(SegmentId(9), SimTime::from_secs(5)).value(), 0.0);
+        assert!(t.stats(SegmentId(9)).is_none());
+    }
+
+    #[test]
+    fn node_heat_rolls_up_per_placement() {
+        let mut dir = SegmentDirectory::new();
+        let a = dir.create(TableId(1), NodeId(0), DiskId::new(NodeId(0), 1), None, 16);
+        let b = dir.create(TableId(1), NodeId(1), DiskId::new(NodeId(1), 1), None, 16);
+        let mut t = table();
+        let now = SimTime::from_secs(1);
+        t.record_read(a, now);
+        t.record_read(a, now);
+        t.record_write(b, now);
+        assert!((t.node_heat(&dir, NodeId(0), now).value() - 2.0).abs() < 1e-9);
+        assert!((t.node_heat(&dir, NodeId(1), now).value() - 2.0).abs() < 1e-9);
+        // Heat follows the segment when the catalog relocates it.
+        dir.relocate(a, NodeId(1), DiskId::new(NodeId(1), 1))
+            .unwrap();
+        assert_eq!(t.node_heat(&dir, NodeId(0), now).value(), 0.0);
+        assert!((t.node_heat(&dir, NodeId(1), now).value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_sorts_hottest_first() {
+        let mut dir = SegmentDirectory::new();
+        let a = dir.create(TableId(1), NodeId(0), DiskId::new(NodeId(0), 1), None, 16);
+        let b = dir.create(TableId(1), NodeId(0), DiskId::new(NodeId(0), 1), None, 16);
+        let mut t = table();
+        let now = SimTime::from_secs(1);
+        t.record_read(a, now);
+        t.record_write(b, now);
+        let snap = t.snapshot(&dir, now);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].seg, b, "writes outweigh reads");
+        assert!(snap[0].heat > snap[1].heat);
+    }
+}

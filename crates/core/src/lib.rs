@@ -11,8 +11,12 @@
 //! * [`migration`] — physical / logical / physiological repartitioning
 //!   protocols (§4), including the §4.3 move protocol with master-first
 //!   dual pointers, segment read locks, and helper nodes (Fig. 8);
+//! * [`heat`] — per-segment access-heat tracking (EWMA-decayed in
+//!   sim-time), the workload signal behind `wattdb_planner`'s heat-aware
+//!   rebalance plans;
 //! * [`monitor`] / [`policy`] — utilization monitoring and the 80 %-CPU
-//!   threshold elasticity policy (§3.4);
+//!   threshold elasticity policy (§3.4), with a pluggable rebalance
+//!   planner (legacy fraction vs. heat-aware);
 //! * [`autopilot`] — the master's control loop tying monitor and policy
 //!   together: autonomous scale-out/scale-in with a queryable decision
 //!   log;
@@ -26,6 +30,7 @@ pub mod api;
 pub mod autopilot;
 pub mod cluster;
 pub mod executor;
+pub mod heat;
 pub mod metrics;
 pub mod migration;
 pub mod monitor;
@@ -35,7 +40,9 @@ pub mod replay;
 pub use api::{ClusterStatus, NodeStatus, WattDb, WattDbBuilder};
 pub use autopilot::{AutoPilot, AutoPilotConfig, ControlEvent, Outcome, ViewSummary};
 pub use cluster::{Cluster, ClusterConfig, ClusterRc, NodeRuntime, Partition, Scheme};
+pub use heat::{HeatTable, SegmentHeat, SegmentHeatStat};
 pub use metrics::{Metrics, Phase};
-pub use migration::{MoveController, RebalanceReport};
+pub use migration::{MoveController, RebalanceReport, SegmentMove};
 pub use monitor::{ClusterView, NodeReport};
 pub use policy::{Decision, ElasticityPolicy, PolicyConfig};
+pub use wattdb_planner::{Plan, PlanConfig, PlannedMove, Planner, SegmentStat};

@@ -34,6 +34,9 @@ pub struct Metrics {
     pub aborted: u64,
     /// Completions since the last power sample (J/query accounting).
     pub completions_since_sample: u64,
+    /// Every completed rebalance of the run, in completion order — the
+    /// planned-vs-moved heat record experiments read out.
+    pub rebalances: Vec<crate::migration::RebalanceReport>,
 }
 
 impl Metrics {
@@ -47,6 +50,7 @@ impl Metrics {
             completed: 0,
             aborted: 0,
             completions_since_sample: 0,
+            rebalances: Vec::new(),
         }
     }
 
@@ -74,6 +78,11 @@ impl Metrics {
     /// Record an abort.
     pub fn record_abort(&mut self) {
         self.aborted += 1;
+    }
+
+    /// Record a completed rebalance.
+    pub fn record_rebalance(&mut self, report: crate::migration::RebalanceReport) {
+        self.rebalances.push(report);
     }
 
     /// Mean per-query cost profile for a phase (Fig. 7 bars).

@@ -26,6 +26,7 @@ use std::collections::VecDeque;
 use wattdb_common::{
     ByteSize, Key, KeyRange, NodeId, SegmentId, SimDuration, SimTime, TableId, TxnId,
 };
+use wattdb_planner::Planner;
 use wattdb_sim::{EventFn, Sim};
 use wattdb_tpcc::TpccTable;
 use wattdb_txn::{LockAcquire, LockMode, LockTarget, TxnKind};
@@ -47,6 +48,18 @@ pub struct SegmentMove {
     pub from: NodeId,
     /// Destination node.
     pub to: NodeId,
+}
+
+impl From<&wattdb_planner::PlannedMove> for SegmentMove {
+    fn from(m: &wattdb_planner::PlannedMove) -> Self {
+        SegmentMove {
+            seg: m.seg,
+            table: m.table,
+            range: m.range,
+            from: m.from,
+            to: m.to,
+        }
+    }
 }
 
 /// One planned logical range move (per table, per source).
@@ -84,6 +97,8 @@ pub struct MoverChain {
 pub struct MoveController {
     /// Scheme driving this rebalance.
     pub scheme: Scheme,
+    /// Planner that produced the plan being executed.
+    pub planner: Planner,
     /// Chains by id.
     pub chains: Vec<MoverChain>,
     /// Start time.
@@ -96,6 +111,10 @@ pub struct MoveController {
     pub records_moved: u64,
     /// Bytes shipped (after io_scale).
     pub bytes_moved: u64,
+    /// Access heat the plan intended to relocate (decayed, at plan time).
+    pub heat_planned: f64,
+    /// Access heat actually relocated so far (decayed, at move time).
+    pub heat_moved: f64,
 }
 
 impl MoveController {
@@ -191,8 +210,9 @@ pub fn plan_range_moves(
     moves
 }
 
-/// Start a rebalance moving `fraction` of each source's data to `targets`.
-/// Targets are powered on; copies start after a boot delay.
+/// Start a rebalance moving `fraction` of each source's data to `targets`
+/// using the legacy fraction heuristic. Targets are powered on; copies
+/// start after a boot delay.
 pub fn start_rebalance(
     cl: &ClusterRc,
     sim: &mut Sim,
@@ -200,31 +220,13 @@ pub fn start_rebalance(
     sources: &[NodeId],
     targets: &[NodeId],
 ) {
-    let scheme = {
-        let mut c = cl.borrow_mut();
-        for &t in targets {
-            c.power_on(t);
-        }
-        c.cfg.scheme
-    };
+    let scheme = cl.borrow().cfg.scheme;
     let chains: Vec<MoverChain> = {
         let c = cl.borrow();
         match scheme {
             Scheme::Physical | Scheme::Physiological => {
                 let all = plan_segment_moves(&c, fraction, sources, targets);
-                sources
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &src)| MoverChain {
-                        id: i as u64,
-                        segments: all.iter().filter(|m| m.from == src).copied().collect(),
-                        ranges: VecDeque::new(),
-                        cursor: None,
-                        txn: None,
-                        current: None,
-                        done: false,
-                    })
-                    .collect()
+                chains_for_segments(sources, &all)
             }
             Scheme::Logical => {
                 let all = plan_range_moves(&c, fraction, sources, targets);
@@ -244,17 +246,88 @@ pub fn start_rebalance(
             }
         }
     };
+    launch(cl, sim, Planner::Fraction, chains, targets);
+}
+
+/// Start a rebalance executing externally planned segment moves (the
+/// heat-aware planner's output, or any scripted plan). Requires a segment
+/// scheme — logical repartitioning moves key ranges, not segments.
+pub fn start_rebalance_planned(
+    cl: &ClusterRc,
+    sim: &mut Sim,
+    planner: Planner,
+    moves: Vec<SegmentMove>,
+    targets: &[NodeId],
+) {
+    let scheme = cl.borrow().cfg.scheme;
+    assert!(
+        scheme != Scheme::Logical,
+        "planned segment moves need a segment scheme (physical/physiological)"
+    );
+    let mut sources: Vec<NodeId> = moves.iter().map(|m| m.from).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    let chains = chains_for_segments(&sources, &moves);
+    launch(cl, sim, planner, chains, targets);
+}
+
+/// One mover chain per source, carrying that source's share of the moves.
+fn chains_for_segments(sources: &[NodeId], moves: &[SegmentMove]) -> Vec<MoverChain> {
+    sources
+        .iter()
+        .enumerate()
+        .map(|(i, &src)| MoverChain {
+            id: i as u64,
+            segments: moves.iter().filter(|m| m.from == src).copied().collect(),
+            ranges: VecDeque::new(),
+            cursor: None,
+            txn: None,
+            current: None,
+            done: false,
+        })
+        .collect()
+}
+
+/// Power targets, install the controller, and schedule the chains after
+/// the boot delay. A launch with nothing to move, or while another
+/// rebalance is in flight, is a no-op: installing a chainless controller
+/// would leave `rebalancing()` true forever (no step ever reaches
+/// `maybe_finish`), and overwriting a live controller would let the old
+/// plan's scheduled steps index into the new one's chains.
+fn launch(
+    cl: &ClusterRc,
+    sim: &mut Sim,
+    planner: Planner,
+    chains: Vec<MoverChain>,
+    targets: &[NodeId],
+) {
+    if chains.is_empty() || cl.borrow().mover.is_some() {
+        return;
+    }
     let n = chains.len();
     {
         let mut c = cl.borrow_mut();
+        for &t in targets {
+            c.power_on(t);
+        }
+        let now = sim.now();
+        // What the plan intends to relocate, valued at plan time.
+        let heat_planned: f64 = chains
+            .iter()
+            .flat_map(|ch| ch.segments.iter())
+            .map(|m| c.heat.heat_of(m.seg, now).value())
+            .sum();
         c.mover = Some(MoveController {
-            scheme,
+            scheme: c.cfg.scheme,
+            planner,
             chains,
-            started: sim.now(),
+            started: now,
             finished: None,
             segments_moved: 0,
             records_moved: 0,
             bytes_moved: 0,
+            heat_planned,
+            heat_moved: 0.0,
         });
     }
     // Boot delay for the freshly powered targets.
@@ -431,10 +504,12 @@ fn segment_copy_done(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
         let mut c = cl.borrow_mut();
         let c = &mut *c;
         let scheme = c.cfg.scheme;
+        let now = sim.now();
         let m = c.mover.as_mut().expect("mover active");
         let mv = m.chains[chain as usize].current.take().expect("current");
         let txn = m.chains[chain as usize].txn.take().expect("mover txn");
         m.segments_moved += 1;
+        m.heat_moved += c.heat.heat_of(mv.seg, now).value();
         match scheme {
             Scheme::Physiological => {
                 // §4.3 step 4: ownership switch — detach from the source's
@@ -859,14 +934,19 @@ fn maybe_finish(c: &mut Cluster, now: SimTime) {
         m.finished = Some(now);
     }
     let stats = c.mover.take().expect("mover");
-    c.last_rebalance = Some(RebalanceReport {
+    let report = RebalanceReport {
         scheme: stats.scheme,
+        planner: stats.planner,
         started: stats.started,
         finished: now,
         segments_moved: stats.segments_moved,
         records_moved: stats.records_moved,
         bytes_moved: stats.bytes_moved,
-    });
+        heat_planned: stats.heat_planned,
+        heat_moved: stats.heat_moved,
+    };
+    c.last_rebalance = Some(report);
+    c.metrics.record_rebalance(report);
     // Helpers detach (Fig. 8: "after rebalancing, the additional nodes
     // should be turned off again").
     let helpers = std::mem::take(&mut c.helpers_active);
@@ -887,6 +967,8 @@ fn maybe_finish(c: &mut Cluster, now: SimTime) {
 pub struct RebalanceReport {
     /// Scheme used.
     pub scheme: Scheme,
+    /// Planner that produced the executed plan.
+    pub planner: Planner,
     /// Start time.
     pub started: SimTime,
     /// Completion time.
@@ -897,6 +979,12 @@ pub struct RebalanceReport {
     pub records_moved: u64,
     /// Bytes shipped (post io_scale).
     pub bytes_moved: u64,
+    /// Heat the plan intended to relocate (decayed, valued at plan time;
+    /// zero under logical repartitioning, which moves ranges not
+    /// segments).
+    pub heat_planned: f64,
+    /// Heat actually relocated (decayed, valued as each segment moved).
+    pub heat_moved: f64,
 }
 
 /// Attach helper nodes for the improved physiological run (Fig. 8): each

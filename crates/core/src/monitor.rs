@@ -8,7 +8,7 @@
 
 use wattdb_common::{NodeId, SimDuration, SimTime};
 use wattdb_energy::NodeState;
-use wattdb_sim::{Repeater, Sim, UtilizationProbe};
+use wattdb_sim::{Repeater, Sim};
 
 use crate::cluster::{Cluster, ClusterRc};
 
@@ -19,38 +19,40 @@ pub struct NodeReport {
     pub node: NodeId,
     /// Window end.
     pub at: SimTime,
-    /// CPU utilization in [0,1].
+    /// CPU utilization in \[0,1\].
     pub cpu: f64,
-    /// Disk utilization (max across drives).
+    /// Disk utilization over the window (max across drives).
     pub disk: f64,
-    /// Network egress utilization.
+    /// Network egress utilization over the window.
     pub net_tx: f64,
     /// Buffer-pool hit ratio in the window (cumulative approximation).
     pub buffer_hit_ratio: f64,
+    /// Total decayed access heat of the segments stored on the node
+    /// (the planner's placement signal).
+    pub heat: f64,
     /// Active (vs. standby).
     pub active: bool,
 }
 
 /// Collect a report for one node over the window since the last call.
+/// All utilization signals — CPU, every drive, and NIC egress — come from
+/// probes persisted on the node runtime, so each reports the true
+/// utilization of the window rather than the cumulative-since-t=0 average.
 pub fn sample_node(c: &mut Cluster, node: NodeId, now: SimTime) -> NodeReport {
     let idx = node.raw() as usize;
     let cpu_res = c.nodes[idx].cpu.clone();
     let cpu = c.nodes[idx].monitor_probe.sample(&cpu_res, now);
-    // Disk probes are created fresh per sample window over cumulative
-    // integrals; reuse a lightweight probe from stats instead.
-    let disk = c.nodes[idx]
-        .disks
-        .iter()
-        .map(|d| {
-            let mut probe = UtilizationProbe::new();
-            // Cumulative utilization since t=0 — adequate for a threshold
-            // signal; the CPU probe carries the windowed signal.
-            probe.sample(d.resource(), now)
-        })
-        .fold(0.0, f64::max);
-    let mut tx_probe = UtilizationProbe::new();
-    let net_tx = tx_probe.sample(c.net.tx_resource(node), now);
+    let n_disks = c.nodes[idx].disks.len();
+    let mut disk = 0.0f64;
+    for d in 0..n_disks {
+        let res = c.nodes[idx].disks[d].resource().clone();
+        let u = c.nodes[idx].disk_probes[d].sample(&res, now);
+        disk = disk.max(u);
+    }
+    let tx_res = c.net.tx_resource(node).clone();
+    let net_tx = c.nodes[idx].net_probe.sample(&tx_res, now);
     let stats = c.nodes[idx].buffer.stats();
+    let heat = c.heat.node_heat(&c.seg_dir, node, now).value();
     NodeReport {
         node,
         at: now,
@@ -58,6 +60,7 @@ pub fn sample_node(c: &mut Cluster, node: NodeId, now: SimTime) -> NodeReport {
         disk,
         net_tx,
         buffer_hit_ratio: stats.hit_ratio(),
+        heat,
         active: c.nodes[idx].state == NodeState::Active,
     }
 }
@@ -95,6 +98,34 @@ impl ClusterView {
             .filter(|r| r.active && r.cpu < bound)
             .map(|r| r.node)
             .collect()
+    }
+
+    /// The hottest active node by access heat, if any heat was observed.
+    pub fn hottest(&self) -> Option<(NodeId, f64)> {
+        self.reports
+            .iter()
+            .filter(|r| r.active && r.heat > 0.0)
+            .map(|r| (r.node, r.heat))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Ratio of the hottest active node's heat to the mean active heat
+    /// (1.0 = perfectly balanced; large = skewed). Zero when no heat.
+    pub fn heat_skew(&self) -> f64 {
+        let active: Vec<f64> = self
+            .reports
+            .iter()
+            .filter(|r| r.active)
+            .map(|r| r.heat)
+            .collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        let mean = active.iter().sum::<f64>() / active.len() as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        active.iter().copied().fold(0.0, f64::max) / mean
     }
 }
 
@@ -137,6 +168,7 @@ mod tests {
             disk: 0.0,
             net_tx: 0.0,
             buffer_hit_ratio: 0.0,
+            heat: 0.0,
             active,
         }
     }
@@ -160,5 +192,22 @@ mod tests {
         let view = ClusterView::default();
         assert_eq!(view.mean_active_cpu(), 0.0);
         assert!(view.overloaded(0.8).is_empty());
+        assert_eq!(view.hottest(), None);
+        assert_eq!(view.heat_skew(), 0.0);
+    }
+
+    #[test]
+    fn heat_rollup_helpers() {
+        let mut a = report(0, 0.5, true);
+        a.heat = 9.0;
+        let mut b = report(1, 0.5, true);
+        b.heat = 3.0;
+        let mut standby = report(2, 0.0, false);
+        standby.heat = 100.0; // standby excluded from the active view
+        let view = ClusterView {
+            reports: vec![a, b, standby],
+        };
+        assert_eq!(view.hottest(), Some((NodeId(0), 9.0)));
+        assert!((view.heat_skew() - 1.5).abs() < 1e-9);
     }
 }

@@ -8,10 +8,12 @@
 
 use wattdb_common::NodeId;
 use wattdb_energy::NodeState;
+use wattdb_planner::Planner;
 use wattdb_sim::Sim;
 
-use crate::cluster::ClusterRc;
-use crate::migration::{rebalancing, start_rebalance};
+use crate::cluster::{ClusterRc, Scheme};
+use crate::heat;
+use crate::migration::{rebalancing, start_rebalance, start_rebalance_planned, SegmentMove};
 use crate::monitor::ClusterView;
 
 /// Policy thresholds.
@@ -23,8 +25,14 @@ pub struct PolicyConfig {
     pub cpu_low: f64,
     /// Consecutive breaching windows before acting (hysteresis).
     pub patience: u32,
-    /// Fraction of the hot node's data to offload.
+    /// Fraction of the hot node's data to offload (legacy
+    /// [`Planner::Fraction`] only).
     pub move_fraction: f64,
+    /// Which planner turns decisions into segment moves.
+    pub planner: Planner,
+    /// Allowed per-node overshoot above mean heat before the heat-aware
+    /// planner stops shedding (see [`wattdb_planner::PlanConfig::tolerance`]).
+    pub heat_tolerance: f64,
 }
 
 impl Default for PolicyConfig {
@@ -34,6 +42,8 @@ impl Default for PolicyConfig {
             cpu_low: 0.25,
             patience: 3,
             move_fraction: 0.5,
+            planner: Planner::HeatAware,
+            heat_tolerance: 0.1,
         }
     }
 }
@@ -84,10 +94,14 @@ impl ElasticityPolicy {
         active_with_data: &[NodeId],
     ) -> Decision {
         let hot = view.overloaded(self.cfg.cpu_high);
-        if !hot.is_empty() && !standby.is_empty() {
+        if !hot.is_empty() {
+            // The hot streak counts breaching windows regardless of
+            // standby availability: a cluster that has been hot for longer
+            // than `patience` acts the moment a standby frees up, instead
+            // of restarting its patience from zero.
             self.high_streak += 1;
             self.low_streak = 0;
-            if self.high_streak >= self.cfg.patience {
+            if self.high_streak >= self.cfg.patience && !standby.is_empty() {
                 self.high_streak = 0;
                 let targets: Vec<NodeId> = standby.iter().copied().take(hot.len()).collect();
                 return Decision::ScaleOut {
@@ -129,18 +143,49 @@ impl ElasticityPolicy {
     }
 }
 
-/// Apply a decision to the cluster: power nodes and start migrations.
-pub fn apply(cl: &ClusterRc, sim: &mut Sim, decision: &Decision, move_fraction: f64) {
+/// Apply a decision to the cluster: power nodes, plan the moves with the
+/// configured [`Planner`], and start migrations. Logical repartitioning
+/// moves key ranges rather than segments, so it always uses the legacy
+/// fraction path regardless of the planner choice.
+///
+/// Returns the planner that actually produced the started rebalance —
+/// `Planner::Fraction` when the heat-aware path fell back (logical
+/// scheme, no heat recorded, or an empty plan) — or `None` when nothing
+/// was started.
+pub fn apply(
+    cl: &ClusterRc,
+    sim: &mut Sim,
+    decision: &Decision,
+    cfg: &PolicyConfig,
+) -> Option<Planner> {
     if rebalancing(cl) {
-        return; // one rebalance at a time
+        return None; // one rebalance at a time
     }
+    let scheme = cl.borrow().cfg.scheme;
+    let heat_aware = cfg.planner == Planner::HeatAware && scheme != Scheme::Logical;
     match decision {
-        Decision::Hold => {}
+        Decision::Hold => None,
         Decision::ScaleOut { sources, targets } => {
             if targets.is_empty() {
-                return;
+                return None;
             }
-            start_rebalance(cl, sim, move_fraction, sources, targets);
+            if heat_aware {
+                let moves = {
+                    let c = cl.borrow();
+                    let plan =
+                        heat::plan_scale_out(&c, sim.now(), cfg.heat_tolerance, sources, targets);
+                    plan.moves.iter().map(SegmentMove::from).collect::<Vec<_>>()
+                };
+                if !moves.is_empty() {
+                    start_rebalance_planned(cl, sim, Planner::HeatAware, moves, targets);
+                    return Some(Planner::HeatAware);
+                }
+                // No heat recorded (or nothing movable improves balance):
+                // fall back to the fraction heuristic so the cluster still
+                // reacts to the CPU signal.
+            }
+            start_rebalance(cl, sim, cfg.move_fraction, sources, targets);
+            Some(Planner::Fraction)
         }
         Decision::ScaleIn { drain } => {
             // Move *everything* off the drained nodes onto the remaining
@@ -154,9 +199,27 @@ pub fn apply(cl: &ClusterRc, sim: &mut Sim, decision: &Decision, move_fraction: 
                     .collect()
             };
             if targets.is_empty() {
-                return;
+                return None;
+            }
+            if heat_aware {
+                let (moves, complete) = {
+                    let c = cl.borrow();
+                    let plan = heat::plan_drain(&c, sim.now(), cfg.heat_tolerance, drain, &targets);
+                    // A drain must empty its nodes; anything short of that
+                    // (shouldn't happen) falls back to the legacy path.
+                    let expected: usize = drain.iter().map(|n| c.seg_dir.on_node(*n).count()).sum();
+                    let moves: Vec<SegmentMove> =
+                        plan.moves.iter().map(SegmentMove::from).collect();
+                    let complete = moves.len() == expected;
+                    (moves, complete)
+                };
+                if complete && !moves.is_empty() {
+                    start_rebalance_planned(cl, sim, Planner::HeatAware, moves, &targets);
+                    return Some(Planner::HeatAware);
+                }
             }
             start_rebalance(cl, sim, 1.0, drain, &targets);
+            Some(Planner::Fraction)
         }
     }
 }
@@ -197,6 +260,7 @@ mod tests {
                     disk: 0.0,
                     net_tx: 0.0,
                     buffer_hit_ratio: 0.9,
+                    heat: 0.0,
                     active: true,
                 })
                 .collect(),
@@ -230,6 +294,30 @@ mod tests {
         });
         let hot = view(&[(0, 0.95)]);
         assert_eq!(p.evaluate(&hot, &[], &[NodeId(0)]), Decision::Hold);
+    }
+
+    #[test]
+    fn hot_streak_survives_standby_scarcity() {
+        // The cluster is hot for `patience` windows while no standby
+        // exists; the moment one frees up, the policy acts immediately
+        // instead of restarting its patience from zero.
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 3,
+            ..Default::default()
+        });
+        let hot = view(&[(0, 0.95)]);
+        let data = [NodeId(0)];
+        assert_eq!(p.evaluate(&hot, &[], &data), Decision::Hold);
+        assert_eq!(p.evaluate(&hot, &[], &data), Decision::Hold);
+        assert_eq!(p.evaluate(&hot, &[], &data), Decision::Hold);
+        let standby = [NodeId(2)];
+        match p.evaluate(&hot, &standby, &data) {
+            Decision::ScaleOut { sources, targets } => {
+                assert_eq!(sources, vec![NodeId(0)]);
+                assert_eq!(targets, vec![NodeId(2)]);
+            }
+            other => panic!("expected immediate scale-out, got {other:?}"),
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl PowerModel {
     }
 
     /// Node draw excluding drives: linear between idle and max with CPU
-    /// utilization in [0,1]; standby draw when suspended.
+    /// utilization in \[0,1\]; standby draw when suspended.
     pub fn node_power(&self, state: NodeState, utilization: f64) -> Watts {
         match state {
             NodeState::Standby => Watts(self.spec.node_standby_w),

@@ -11,7 +11,7 @@ use wattdb_common::Watts;
 /// One observation: system-level utilization and the power drawn there.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilPower {
-    /// Utilization in [0,1].
+    /// Utilization in \[0,1\].
     pub utilization: f64,
     /// Observed power.
     pub power: Watts,

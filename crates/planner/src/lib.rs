@@ -1,0 +1,616 @@
+//! # WattDB-RS planner: heat-aware rebalance planning
+//!
+//! The paper's master "checks the incoming performance data […] and decides
+//! where to distribute data" (§3.4), but a *fraction* heuristic — shave the
+//! upper half of each hot node's key-ordered segments — is heat-blind: a
+//! scale-out can ship cold segments while the hot ones stay put. This crate
+//! plans segment placement from the workload instead:
+//!
+//! * [`plan_scale_out`] relieves overloaded sources by greedy bin-packing:
+//!   it moves the segments with the best heat-per-byte ratio onto the
+//!   coldest targets until every source sits within a configurable
+//!   tolerance of the mean heat — minimizing bytes shipped for the balance
+//!   achieved, and never splitting a segment.
+//! * [`plan_drain`] empties nodes selected for scale-in, spreading their
+//!   segments hottest-first across the remaining nodes (longest-processing-
+//!   time scheduling) instead of dumping everything onto one target.
+//! * [`plan_fraction`] reproduces the legacy fraction heuristic on the same
+//!   inputs, so experiments and property tests can compare plans
+//!   byte-for-byte.
+//!
+//! Inputs are plain [`SegmentStat`] rows (id, placement, footprint bytes,
+//! decayed heat); the crate holds no cluster state and performs no I/O, so
+//! it can be property-tested exhaustively.
+//!
+//! ## Stationary vs. moving hotspots
+//!
+//! Heat is access *history*, so plans are only as good as the hotspot is
+//! stationary. Read/update-heavy ranges (warehouse, district, customer
+//! rows) stay hot where they are and the planner's predictions hold;
+//! insert-heavy tables with ascending keys (orders, order-lines) have an
+//! *advancing* hot range — the segments that were hot cool off as inserts
+//! move past them, so relocating them buys less than the heat table
+//! suggests. Tracking heat velocity to plan for where heat is *going* is
+//! an open item (see the repository ROADMAP).
+
+use std::collections::BTreeMap;
+
+use wattdb_common::{KeyRange, NodeId, SegmentId, TableId};
+
+/// Which algorithm plans rebalance moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Planner {
+    /// Legacy heuristic: move a fixed fraction of each source's
+    /// key-ordered segments, targets assigned round-robin.
+    Fraction,
+    /// Heat-aware greedy bin-packing over per-segment access heat
+    /// (default).
+    #[default]
+    HeatAware,
+}
+
+impl Planner {
+    /// Display label used in experiment output and event logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Planner::Fraction => "fraction",
+            Planner::HeatAware => "heat-aware",
+        }
+    }
+}
+
+/// One segment's planning inputs: where it lives, what it costs to ship,
+/// how hot it runs.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentStat {
+    /// Segment id.
+    pub seg: SegmentId,
+    /// Owning table.
+    pub table: TableId,
+    /// Covered key range (used verbatim in the resulting moves).
+    pub range: KeyRange,
+    /// Node currently storing the segment.
+    pub node: NodeId,
+    /// Bytes a move would ship (disk footprint × the experiment's
+    /// `io_scale`).
+    pub bytes: u64,
+    /// Decayed access heat at planning time.
+    pub heat: f64,
+}
+
+/// Planner tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanConfig {
+    /// Allowed overshoot above the mean per-node heat: a source stops
+    /// shedding once its heat is ≤ `mean × (1 + tolerance)`.
+    pub tolerance: f64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        Self { tolerance: 0.1 }
+    }
+}
+
+/// One planned segment relocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedMove {
+    /// Moving segment.
+    pub seg: SegmentId,
+    /// Table it belongs to.
+    pub table: TableId,
+    /// Covered key range.
+    pub range: KeyRange,
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+}
+
+/// A complete rebalance plan with its predicted effect.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Planner that produced the plan.
+    pub planner: Planner,
+    /// Moves in execution order.
+    pub moves: Vec<PlannedMove>,
+    /// Total bytes the plan ships.
+    pub bytes_planned: u64,
+    /// Total heat the plan relocates.
+    pub heat_planned: f64,
+    /// Predicted per-node heat after the plan executes, over the nodes the
+    /// plan was allowed to touch (sources and targets).
+    pub predicted: BTreeMap<NodeId, f64>,
+    /// Hottest node in the planning domain before any move.
+    pub initial_max_heat: f64,
+}
+
+impl Plan {
+    /// Hottest node in the planning domain after the plan executes.
+    pub fn predicted_max_heat(&self) -> f64 {
+        self.predicted.values().copied().fold(0.0, f64::max)
+    }
+
+    /// True when nothing needs to move.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Sum per-node heat over the given domain.
+fn heat_by_node(stats: &[SegmentStat], domain: &[NodeId]) -> BTreeMap<NodeId, f64> {
+    let mut by_node: BTreeMap<NodeId, f64> = domain.iter().map(|&n| (n, 0.0)).collect();
+    for s in stats {
+        if let Some(h) = by_node.get_mut(&s.node) {
+            *h += s.heat;
+        }
+    }
+    by_node
+}
+
+/// The coldest node among `choices` (ties broken by fewest assigned bytes,
+/// then lowest id, for determinism).
+fn coldest(
+    choices: &[NodeId],
+    heat: &BTreeMap<NodeId, f64>,
+    assigned_bytes: &BTreeMap<NodeId, u64>,
+) -> Option<NodeId> {
+    choices.iter().copied().min_by(|a, b| {
+        let (ha, hb) = (heat[a], heat[b]);
+        ha.partial_cmp(&hb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                assigned_bytes
+                    .get(a)
+                    .unwrap_or(&0)
+                    .cmp(assigned_bytes.get(b).unwrap_or(&0))
+            })
+            .then_with(|| a.cmp(b))
+    })
+}
+
+/// Plan a scale-out: relieve `sources` by moving their hottest-per-byte
+/// segments onto `targets` until every source's heat is within
+/// `cfg.tolerance` of the mean over the planning domain (sources ∪
+/// targets) — or no further move can improve the balance.
+///
+/// Guarantees:
+/// * segments are never split and never land on a source;
+/// * every move strictly lowers the maximum of the involved pair, so the
+///   predicted maximum never exceeds the initial maximum;
+/// * cold segments (zero heat) are never shipped — bytes buy balance or
+///   they stay home.
+pub fn plan_scale_out(
+    stats: &[SegmentStat],
+    sources: &[NodeId],
+    targets: &[NodeId],
+    cfg: &PlanConfig,
+) -> Plan {
+    let mut domain: Vec<NodeId> = sources.iter().chain(targets.iter()).copied().collect();
+    domain.sort_unstable();
+    domain.dedup();
+    let mut node_heat = heat_by_node(stats, &domain);
+    let initial_max_heat = node_heat.values().copied().fold(0.0, f64::max);
+    let total: f64 = node_heat.values().sum();
+    let mean = if domain.is_empty() {
+        0.0
+    } else {
+        total / domain.len() as f64
+    };
+    let ceiling = mean * (1.0 + cfg.tolerance.max(0.0));
+
+    let mut moves = Vec::new();
+    let mut bytes_planned = 0u64;
+    let mut heat_planned = 0.0f64;
+    let mut assigned_bytes: BTreeMap<NodeId, u64> = BTreeMap::new();
+
+    if targets.is_empty() {
+        return Plan {
+            planner: Planner::HeatAware,
+            moves,
+            bytes_planned,
+            heat_planned,
+            predicted: node_heat,
+            initial_max_heat,
+        };
+    }
+
+    // Hottest sources first: the worst imbalance gets first pick of the
+    // empty targets.
+    let mut src_order: Vec<NodeId> = sources.to_vec();
+    src_order.sort_by(|a, b| {
+        node_heat[b]
+            .partial_cmp(&node_heat[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(b))
+    });
+    src_order.dedup();
+
+    // Destinations are targets only — never another (possibly also hot)
+    // source.
+    let dests: Vec<NodeId> = targets
+        .iter()
+        .copied()
+        .filter(|t| !sources.contains(t))
+        .collect();
+    if dests.is_empty() {
+        return Plan {
+            planner: Planner::HeatAware,
+            moves,
+            bytes_planned,
+            heat_planned,
+            predicted: node_heat,
+            initial_max_heat,
+        };
+    }
+
+    for src in src_order {
+        // Candidates: this source's segments carrying heat, best
+        // heat-per-byte first (most balance bought per byte shipped).
+        let mut cands: Vec<&SegmentStat> = stats
+            .iter()
+            .filter(|s| s.node == src && s.heat > 0.0)
+            .collect();
+        cands.sort_by(|a, b| {
+            let ra = a.heat / a.bytes.max(1) as f64;
+            let rb = b.heat / b.bytes.max(1) as f64;
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    b.heat
+                        .partial_cmp(&a.heat)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| a.seg.cmp(&b.seg))
+        });
+        for cand in cands {
+            if node_heat[&src] <= ceiling {
+                break;
+            }
+            let Some(dest) = coldest(&dests, &node_heat, &assigned_bytes) else {
+                break;
+            };
+            // Only move if the pair's maximum strictly improves; shifting
+            // the hotspot to the target ships bytes for nothing.
+            if node_heat[&dest] + cand.heat >= node_heat[&src] {
+                continue;
+            }
+            *node_heat.get_mut(&src).expect("source in domain") -= cand.heat;
+            *node_heat.get_mut(&dest).expect("target in domain") += cand.heat;
+            *assigned_bytes.entry(dest).or_insert(0) += cand.bytes;
+            bytes_planned += cand.bytes;
+            heat_planned += cand.heat;
+            moves.push(PlannedMove {
+                seg: cand.seg,
+                table: cand.table,
+                range: cand.range,
+                from: src,
+                to: dest,
+            });
+        }
+    }
+
+    Plan {
+        planner: Planner::HeatAware,
+        moves,
+        bytes_planned,
+        heat_planned,
+        predicted: node_heat,
+        initial_max_heat,
+    }
+}
+
+/// Plan a scale-in drain: *every* segment on the `drain` nodes must leave
+/// (nodes holding data must not power off). Segments are assigned
+/// hottest-first to the coldest remaining node — longest-processing-time
+/// scheduling — so a drained node's hot segments spread across the
+/// survivors instead of piling onto one.
+pub fn plan_drain(
+    stats: &[SegmentStat],
+    drain: &[NodeId],
+    remaining: &[NodeId],
+    _cfg: &PlanConfig,
+) -> Plan {
+    let dests: Vec<NodeId> = remaining
+        .iter()
+        .copied()
+        .filter(|n| !drain.contains(n))
+        .collect();
+    let mut domain: Vec<NodeId> = drain.iter().chain(dests.iter()).copied().collect();
+    domain.sort_unstable();
+    domain.dedup();
+    let mut node_heat = heat_by_node(stats, &domain);
+    let initial_max_heat = node_heat.values().copied().fold(0.0, f64::max);
+
+    let mut moves = Vec::new();
+    let mut bytes_planned = 0u64;
+    let mut heat_planned = 0.0f64;
+    let mut assigned_bytes: BTreeMap<NodeId, u64> = BTreeMap::new();
+
+    if dests.is_empty() {
+        return Plan {
+            planner: Planner::HeatAware,
+            moves,
+            bytes_planned,
+            heat_planned,
+            predicted: node_heat,
+            initial_max_heat,
+        };
+    }
+
+    let mut evacuees: Vec<&SegmentStat> =
+        stats.iter().filter(|s| drain.contains(&s.node)).collect();
+    evacuees.sort_by(|a, b| {
+        b.heat
+            .partial_cmp(&a.heat)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.bytes.cmp(&a.bytes))
+            .then_with(|| a.seg.cmp(&b.seg))
+    });
+    for seg in evacuees {
+        let dest = coldest(&dests, &node_heat, &assigned_bytes).expect("dests non-empty");
+        *node_heat.get_mut(&seg.node).expect("drain in domain") -= seg.heat;
+        *node_heat.get_mut(&dest).expect("dest in domain") += seg.heat;
+        *assigned_bytes.entry(dest).or_insert(0) += seg.bytes;
+        bytes_planned += seg.bytes;
+        heat_planned += seg.heat;
+        moves.push(PlannedMove {
+            seg: seg.seg,
+            table: seg.table,
+            range: seg.range,
+            from: seg.node,
+            to: dest,
+        });
+    }
+
+    Plan {
+        planner: Planner::HeatAware,
+        moves,
+        bytes_planned,
+        heat_planned,
+        predicted: node_heat,
+        initial_max_heat,
+    }
+}
+
+/// The legacy fraction heuristic expressed in planner terms, for
+/// apples-to-apples comparison: per (table, source), keep the lower
+/// `1 − fraction` of key-ordered segments and move the rest to targets
+/// round-robin by source index.
+pub fn plan_fraction(
+    stats: &[SegmentStat],
+    fraction: f64,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> Plan {
+    let mut domain: Vec<NodeId> = sources.iter().chain(targets.iter()).copied().collect();
+    domain.sort_unstable();
+    domain.dedup();
+    let mut node_heat = heat_by_node(stats, &domain);
+    let initial_max_heat = node_heat.values().copied().fold(0.0, f64::max);
+
+    let mut moves = Vec::new();
+    let mut bytes_planned = 0u64;
+    let mut heat_planned = 0.0f64;
+    if targets.is_empty() {
+        return Plan {
+            planner: Planner::Fraction,
+            moves,
+            bytes_planned,
+            heat_planned,
+            predicted: node_heat,
+            initial_max_heat,
+        };
+    }
+    for (i, &src) in sources.iter().enumerate() {
+        let to = targets[i % targets.len()];
+        let mut tables: Vec<TableId> = stats
+            .iter()
+            .filter(|s| s.node == src)
+            .map(|s| s.table)
+            .collect();
+        tables.sort_unstable();
+        tables.dedup();
+        for table in tables {
+            let mut segs: Vec<&SegmentStat> = stats
+                .iter()
+                .filter(|s| s.node == src && s.table == table)
+                .collect();
+            segs.sort_by_key(|s| (s.range.start, s.seg));
+            let keep = ((segs.len() as f64) * (1.0 - fraction)).round() as usize;
+            for s in segs.into_iter().skip(keep) {
+                *node_heat.get_mut(&src).expect("source in domain") -= s.heat;
+                *node_heat.get_mut(&to).expect("target in domain") += s.heat;
+                bytes_planned += s.bytes;
+                heat_planned += s.heat;
+                moves.push(PlannedMove {
+                    seg: s.seg,
+                    table: s.table,
+                    range: s.range,
+                    from: src,
+                    to,
+                });
+            }
+        }
+    }
+
+    Plan {
+        planner: Planner::Fraction,
+        moves,
+        bytes_planned,
+        heat_planned,
+        predicted: node_heat,
+        initial_max_heat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattdb_common::Key;
+
+    fn stat(seg: u64, node: u16, bytes: u64, heat: f64) -> SegmentStat {
+        SegmentStat {
+            seg: SegmentId(seg),
+            table: TableId(1),
+            range: KeyRange::new(Key(seg * 100), Key(seg * 100 + 100)),
+            node: NodeId(node),
+            bytes,
+            heat,
+        }
+    }
+
+    fn max_heat(plan: &Plan) -> f64 {
+        plan.predicted_max_heat()
+    }
+
+    #[test]
+    fn scale_out_balances_single_hot_source() {
+        // Four equal segments, all heat on node 0, one fresh target.
+        let stats: Vec<_> = (0..4).map(|i| stat(i, 0, 100, 1.0)).collect();
+        let plan = plan_scale_out(&stats, &[NodeId(0)], &[NodeId(1)], &PlanConfig::default());
+        assert_eq!(plan.moves.len(), 2, "half the heat moves: {plan:?}");
+        assert!(plan.moves.iter().all(|m| m.to == NodeId(1)));
+        assert!((max_heat(&plan) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_out_prefers_heat_per_byte() {
+        // A huge lukewarm segment vs small hot ones: the small hot ones
+        // ship first, buying balance with far fewer bytes.
+        let stats = vec![
+            stat(0, 0, 10_000, 3.0),
+            stat(1, 0, 100, 2.5),
+            stat(2, 0, 100, 2.5),
+            stat(3, 0, 100, 2.0),
+        ];
+        let plan = plan_scale_out(&stats, &[NodeId(0)], &[NodeId(1)], &PlanConfig::default());
+        assert!(
+            plan.moves.iter().all(|m| m.seg != SegmentId(0)),
+            "the huge segment stays: {plan:?}"
+        );
+        assert!(plan.bytes_planned <= 300);
+        assert!(max_heat(&plan) < 10.0, "balance improved");
+    }
+
+    #[test]
+    fn scale_out_never_ships_cold_segments() {
+        let stats = vec![
+            stat(0, 0, 100, 4.0),
+            stat(1, 0, 100, 0.0),
+            stat(2, 0, 100, 0.0),
+        ];
+        let plan = plan_scale_out(&stats, &[NodeId(0)], &[NodeId(1)], &PlanConfig::default());
+        assert!(
+            plan.moves.iter().all(|m| m.seg == SegmentId(0)),
+            "only the hot segment may ship: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn scale_out_without_targets_is_empty() {
+        let stats = vec![stat(0, 0, 100, 4.0)];
+        let plan = plan_scale_out(&stats, &[NodeId(0)], &[], &PlanConfig::default());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn scale_out_never_worsens_the_maximum() {
+        // One indivisible hot segment: moving it would only shift the
+        // hotspot, so the plan leaves it.
+        let stats = vec![stat(0, 0, 100, 10.0)];
+        let plan = plan_scale_out(&stats, &[NodeId(0)], &[NodeId(1)], &PlanConfig::default());
+        assert!(plan.is_empty(), "{plan:?}");
+        assert!((max_heat(&plan) - plan.initial_max_heat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_moves_everything_and_spreads_heat() {
+        let stats = vec![
+            stat(0, 2, 100, 8.0),
+            stat(1, 2, 100, 6.0),
+            stat(2, 2, 100, 1.0),
+            stat(3, 2, 100, 1.0),
+            stat(4, 0, 100, 1.0), // survivor's existing load
+        ];
+        let plan = plan_drain(
+            &stats,
+            &[NodeId(2)],
+            &[NodeId(0), NodeId(1)],
+            &PlanConfig::default(),
+        );
+        assert_eq!(plan.moves.len(), 4, "every segment leaves the drain");
+        assert!(plan.moves.iter().all(|m| m.to != NodeId(2)));
+        // LPT: the two hot segments land on different survivors.
+        let hot0 = plan.moves.iter().find(|m| m.seg == SegmentId(0)).unwrap();
+        let hot1 = plan.moves.iter().find(|m| m.seg == SegmentId(1)).unwrap();
+        assert_ne!(hot0.to, hot1.to, "hot segments spread: {plan:?}");
+        assert_eq!(plan.predicted[&NodeId(2)], 0.0);
+    }
+
+    #[test]
+    fn fraction_mirrors_the_legacy_heuristic() {
+        let stats: Vec<_> = (0..4).map(|i| stat(i, 0, 100, i as f64)).collect();
+        let plan = plan_fraction(&stats, 0.5, &[NodeId(0)], &[NodeId(1)]);
+        // Keep the lower half in key order, move the upper half.
+        let moved: Vec<u64> = plan.moves.iter().map(|m| m.seg.raw()).collect();
+        assert_eq!(moved, vec![2, 3]);
+        assert_eq!(plan.bytes_planned, 200);
+    }
+
+    #[test]
+    fn skewed_heat_heat_aware_beats_fraction_on_both_axes() {
+        // Hot range at the *bottom* of the key space (the fraction
+        // heuristic moves the top): heat-aware must win on max heat
+        // without shipping more bytes.
+        let mut stats = Vec::new();
+        for i in 0..8 {
+            let heat = if i < 2 { 10.0 } else { 0.5 };
+            stats.push(stat(i, 0, 100, heat));
+        }
+        let cfg = PlanConfig { tolerance: 0.1 };
+        let heat_plan = plan_scale_out(&stats, &[NodeId(0)], &[NodeId(1)], &cfg);
+        let frac_plan = plan_fraction(&stats, 0.5, &[NodeId(0)], &[NodeId(1)]);
+        assert!(
+            max_heat(&heat_plan) < max_heat(&frac_plan),
+            "heat-aware {} vs fraction {}",
+            max_heat(&heat_plan),
+            max_heat(&frac_plan)
+        );
+        assert!(heat_plan.bytes_planned <= frac_plan.bytes_planned);
+    }
+
+    #[test]
+    fn greedy_never_ships_more_than_fraction_on_uniform_segments() {
+        // Brute-force sweep (single source, single target, equal-size
+        // segments): the stop-at-ceiling + strict-improvement guards keep
+        // the heat-aware plan at or under the fraction plan's bytes.
+        let mut rng = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for case in 0..500 {
+            let n = 1 + (next() % 16) as usize;
+            let stats: Vec<_> = (0..n)
+                .map(|i| stat(i as u64, 0, 100, (next() % 100) as f64))
+                .collect();
+            let tol = (case % 4) as f64 * 0.1;
+            let heat_plan = plan_scale_out(
+                &stats,
+                &[NodeId(0)],
+                &[NodeId(1)],
+                &PlanConfig { tolerance: tol },
+            );
+            let frac_plan = plan_fraction(&stats, 0.5, &[NodeId(0)], &[NodeId(1)]);
+            assert!(
+                heat_plan.bytes_planned <= frac_plan.bytes_planned,
+                "case {case}: heat {} > fraction {} for {stats:?}",
+                heat_plan.bytes_planned,
+                frac_plan.bytes_planned
+            );
+        }
+    }
+}

@@ -39,7 +39,7 @@ impl Default for PlacementPolicy {
 pub struct NodeLoad {
     /// The node.
     pub node: NodeId,
-    /// CPU utilization in [0,1].
+    /// CPU utilization in \[0,1\].
     pub cpu: f64,
 }
 

@@ -66,7 +66,7 @@ impl SimDisk {
         self.spec.capacity - self.used
     }
 
-    /// Utilization of capacity in [0,1].
+    /// Utilization of capacity in \[0,1\].
     pub fn fill_ratio(&self) -> f64 {
         self.used.as_u64() as f64 / self.spec.capacity.as_u64() as f64
     }

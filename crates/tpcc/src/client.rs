@@ -113,6 +113,31 @@ pub fn spawn_clients(n: u32, warehouses: u32, cfg: ClientConfig, root_rng: &DetR
         .collect()
 }
 
+/// Spawn `n` clients with a hot-range skew: the first
+/// `n × hot_fraction` clients are homed round-robin inside the first
+/// `hot_warehouses` warehouses, the rest round-robin over all of them.
+/// With e.g. `hot_fraction = 0.8, hot_warehouses = 1`, 80 % of the load
+/// hammers warehouse 0's key range — the workload shape that separates
+/// heat-aware from fraction-based rebalance planning.
+pub fn spawn_clients_skewed(
+    n: u32,
+    warehouses: u32,
+    cfg: ClientConfig,
+    root_rng: &DetRng,
+    hot_fraction: f64,
+    hot_warehouses: u32,
+) -> Vec<Client> {
+    let w = warehouses.max(1);
+    let hot_w = hot_warehouses.clamp(1, w);
+    let hot_n = (n as f64 * hot_fraction.clamp(0.0, 1.0)).round() as u32;
+    (0..n)
+        .map(|i| {
+            let home = if i < hot_n { i % hot_w } else { i % w };
+            Client::new(ClientId(i), home, cfg, root_rng)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +173,19 @@ mod tests {
         let clients = spawn_clients(7, 3, ClientConfig::default(), &root);
         let homes: Vec<u32> = clients.iter().map(|c| c.home_warehouse).collect();
         assert_eq!(homes, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn skewed_homes_concentrate_on_the_hot_range() {
+        let root = DetRng::new(6);
+        let clients = spawn_clients_skewed(10, 4, ClientConfig::default(), &root, 0.8, 1);
+        let hot = clients.iter().filter(|c| c.home_warehouse == 0).count();
+        assert!(
+            hot >= 8,
+            "at least 80% of clients home on warehouse 0: {hot}"
+        );
+        // The tail still spreads over all warehouses.
+        assert!(clients.iter().any(|c| c.home_warehouse != 0));
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod gen;
 pub mod schema;
 pub mod txns;
 
-pub use client::{spawn_clients, Client, ClientConfig};
+pub use client::{spawn_clients, spawn_clients_skewed, Client, ClientConfig};
 pub use gen::{item_rows, warehouse_rows, GenRow, TpccConfig};
 pub use schema::{
     key_district, key_entity, key_warehouse, keys, warehouse_range, wkey, TpccTable, ITEM_ROWS,

@@ -37,6 +37,7 @@ fn main() {
             cpu_low: 0.2,
             patience: 2,
             move_fraction: 0.5,
+            ..Default::default()
         })
         .monitoring(SimDuration::from_secs(5))
         .autopilot(true)
@@ -51,12 +52,36 @@ fn main() {
     println!("autopilot decisions:");
     for e in db.events() {
         println!(
-            "  t={:>4.0}s  mean cpu {:>4.1}%  max {:>4.1}%  {:?} -> {:?}",
+            "  t={:>4.0}s  mean cpu {:>4.1}%  max {:>4.1}%  [{}] {:?} -> {:?}",
             e.at.as_secs_f64(),
             e.view.mean_active_cpu * 100.0,
             e.view.max_cpu * 100.0,
+            e.planner.label(),
             e.decision,
             e.outcome,
+        );
+    }
+
+    if let Some(r) = db.last_rebalance() {
+        println!(
+            "\nlast rebalance: planner={} segments={} bytes={} heat planned={:.1} moved={:.1}",
+            r.planner.label(),
+            r.segments_moved,
+            r.bytes_moved,
+            r.heat_planned,
+            r.heat_moved,
+        );
+    }
+    println!("\nhottest segments now:");
+    for s in db.heat().into_iter().take(5) {
+        println!(
+            "  seg {:>4} on {}  heat {:>8.2}  (r {} / w {} / remote {})",
+            s.seg.raw(),
+            s.node,
+            s.heat,
+            s.reads,
+            s.writes,
+            s.remote_fetches,
         );
     }
 

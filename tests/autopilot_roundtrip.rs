@@ -42,6 +42,7 @@ fn autopilot_scales_out_under_load_and_back_in_when_idle() {
             cpu_low: 0.2,
             patience: 2,
             move_fraction: 0.5,
+            ..Default::default()
         })
         .monitoring(SimDuration::from_secs(5))
         .autopilot(true)
@@ -82,6 +83,15 @@ fn autopilot_scales_out_under_load_and_back_in_when_idle() {
     assert!(
         db.segments_on(target) > 0,
         "segments arrived on the powered-on node {target}"
+    );
+    // The default planner is heat-aware; the event log and the rebalance
+    // report both record it, along with the heat it relocated.
+    assert_eq!(scale_out.planner, wattdb_core::Planner::HeatAware);
+    let report = db.last_rebalance().expect("rebalance completed");
+    assert_eq!(report.planner, wattdb_core::Planner::HeatAware);
+    assert!(
+        report.heat_planned > 0.0 && report.heat_moved > 0.0,
+        "planned/moved heat recorded: {report:?}"
     );
 
     // ---- Phase 2: the load stops; the idle cluster must shrink again.

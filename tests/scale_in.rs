@@ -5,7 +5,7 @@
 use wattdb_common::{NodeId, SimDuration};
 use wattdb_core::api::WattDb;
 use wattdb_core::cluster::Scheme;
-use wattdb_core::policy::Decision;
+use wattdb_core::policy::{Decision, PolicyConfig};
 use wattdb_energy::NodeState;
 
 fn build() -> WattDb {
@@ -21,7 +21,11 @@ fn build() -> WattDb {
 }
 
 fn apply(db: &mut WattDb, decision: &Decision, fraction: f64) {
-    db.with_runtime(|cl, sim| wattdb_core::policy::apply(cl, sim, decision, fraction));
+    let cfg = PolicyConfig {
+        move_fraction: fraction,
+        ..Default::default()
+    };
+    db.with_runtime(|cl, sim| wattdb_core::policy::apply(cl, sim, decision, &cfg));
 }
 
 fn suspend_empty(db: &mut WattDb) -> Vec<NodeId> {
