@@ -1,15 +1,25 @@
 //! Planner shootout — fraction vs. heat-aware rebalance planning under a
-//! skewed (hot-range) TPC-C workload.
+//! skewed (hot-range) TPC-C workload, plus an advancing-hotspot phase
+//! comparing historical-heat against drift-projected planning.
 //!
-//! 85 % of the clients hammer warehouse 0, which occupies the *bottom* of
-//! the single data node's key space. The legacy fraction heuristic shaves
-//! the *top* half of the key-ordered segments, shipping cold data while
-//! the hotspot stays put; the heat-aware planner moves the segments the
-//! workload actually touches. Compared: bytes shipped, heat relocated,
-//! post-rebalance max node CPU, and the hottest node's share of total
-//! heat.
+//! Stationary phase: 85 % of the clients hammer warehouse 0, which
+//! occupies the *bottom* of the single data node's key space. The legacy
+//! fraction heuristic shaves the *top* half of the key-ordered segments,
+//! shipping cold data while the hotspot stays put; the heat-aware planner
+//! moves the segments the workload actually touches.
+//!
+//! Advancing phase: the hot client population warms warehouse 0, then
+//! re-homes to warehouse 1 just before the thresholds arm (TPC-C's
+//! insert-advancing front). Historical heat points at the warehouse the
+//! front already left; the drift layer projects heat along its velocity
+//! so the planner ships where the heat is *going*. Compared: bytes
+//! shipped, heat relocated, post-rebalance max node CPU, and the hottest
+//! node's share of total heat.
 
-use wattdb_bench::{run_planner_shootout, PlannerShootout, PlannerShootoutRow};
+use wattdb_bench::{
+    run_drift_shootout, run_planner_shootout, DriftShootout, PlannerShootout, PlannerShootoutRow,
+};
+use wattdb_common::SimDuration;
 use wattdb_core::Planner;
 
 fn row(label: &str, r: &PlannerShootoutRow) {
@@ -49,6 +59,39 @@ fn main() {
         "heat-aware wins: lower post-rebalance max CPU for no more bytes"
     } else if heat.post_max_heat_share < frac.post_max_heat_share {
         "heat-aware wins on heat balance"
+    } else {
+        "no separation at this configuration"
+    };
+    println!("\n{verdict}");
+
+    println!("\nAdvancing hotspot — the hot warehouse just moved on, heat-aware planner");
+    println!(
+        "{:>12} {:>6} {:>10} {:>12} {:>11} {:>14} {:>16}",
+        "heat input",
+        "segs",
+        "bytes",
+        "heat planned",
+        "heat moved",
+        "post max cpu",
+        "post heat share"
+    );
+    let historical = run_drift_shootout(DriftShootout {
+        horizon: SimDuration::ZERO,
+        ..Default::default()
+    });
+    row("historical", &historical);
+    let projected = run_drift_shootout(DriftShootout::default());
+    row("projected", &projected);
+    assert!(
+        historical.rebalanced && projected.rebalanced,
+        "both drift runs must rebalance"
+    );
+    let verdict = if projected.post_max_cpu < historical.post_max_cpu
+        && projected.bytes_moved <= historical.bytes_moved
+    {
+        "projected wins: lower post-rebalance max CPU for no more bytes"
+    } else if projected.post_max_heat_share < historical.post_max_heat_share {
+        "projected wins on heat balance"
     } else {
         "no separation at this configuration"
     };

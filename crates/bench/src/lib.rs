@@ -172,6 +172,8 @@ pub fn run_planner_shootout(cfg: PlannerShootout) -> PlannerShootoutRow {
             move_fraction: 0.5,
             planner: cfg.planner,
             heat_tolerance: 0.1,
+            skew_threshold: 0.0, // CPU-triggered only: isolate the planner
+            ..Default::default()
         })
         .monitoring(SimDuration::from_secs(5))
         .autopilot(true)
@@ -217,6 +219,177 @@ pub fn run_planner_shootout(cfg: PlannerShootout) -> PlannerShootoutRow {
     let report = db.last_rebalance();
     PlannerShootoutRow {
         planner: cfg.planner,
+        rebalanced,
+        bytes_moved: report.map(|r| r.bytes_moved).unwrap_or(0),
+        segments_moved: report.map(|r| r.segments_moved).unwrap_or(0),
+        heat_planned: report.map(|r| r.heat_planned).unwrap_or(0.0),
+        heat_moved: report.map(|r| r.heat_moved).unwrap_or(0.0),
+        post_max_cpu,
+        post_max_heat_share,
+    }
+}
+
+/// Configuration of the advancing-hotspot (drift) shootout: the hot
+/// client population re-homes to the next warehouse on a fixed cadence,
+/// modelling TPC-C's insert-advancing ORDER/ORDER-LINE/NEW-ORDER front.
+/// The autopilot rebalances with the heat-aware planner either from
+/// historical heat (`horizon == 0`) or from drift-projected heat.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftShootout {
+    /// Drift projection horizon the planner plans against (zero =
+    /// historical heat).
+    pub horizon: SimDuration,
+    /// OLTP clients.
+    pub clients: u32,
+    /// Mean client think time.
+    pub think: SimDuration,
+    /// Percentage of Payment (update) transactions; the rest OrderStatus.
+    pub update_pct: u32,
+    /// Fraction of clients following the advancing hot warehouse.
+    pub hot_fraction: f64,
+    /// TPC-C warehouses (the hot front advances through them).
+    pub warehouses: u32,
+    /// Warm-up on the first warehouse before the front's first advance —
+    /// the access history the historical planner will chase.
+    pub warm: SimDuration,
+    /// Dwell per warehouse after the first advance.
+    pub dwell: SimDuration,
+    /// Bulk-I/O scale.
+    pub io_scale: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for DriftShootout {
+    fn default() -> Self {
+        Self {
+            horizon: SimDuration::from_secs(15),
+            clients: 80,
+            think: SimDuration::from_millis(10),
+            update_pct: 20,
+            hot_fraction: 0.85,
+            warehouses: 8,
+            warm: SimDuration::from_secs(20),
+            dwell: SimDuration::from_secs(60),
+            io_scale: 10,
+            seed: 3,
+        }
+    }
+}
+
+/// Run the drift shootout: one data node, an advancing hot warehouse,
+/// the heat-aware planner fed historical or drift-projected heat, one
+/// standby target.
+///
+/// Sequencing matters: the cluster first runs monitor-only (the CPU
+/// ceiling out of reach) while warehouse 0 accumulates history; then the
+/// front advances to warehouse 1 and, a couple of windows later, the real
+/// thresholds are engaged. The scale-out plan therefore forms exactly in
+/// the regime the ROADMAP describes — history pointing at a warehouse the
+/// front has already left — and the post-rebalance window is measured
+/// inside the new warehouse's dwell. Reports the same row as the
+/// stationary shootout so both phases print side by side.
+pub fn run_drift_shootout(cfg: DriftShootout) -> PlannerShootoutRow {
+    let mut db = WattDb::builder()
+        .nodes(2)
+        .scheme(Scheme::Physiological)
+        .warehouses(cfg.warehouses)
+        .density(0.02)
+        .segment_pages(16)
+        .io_scale(cfg.io_scale)
+        .costs(scaled_costs(40))
+        .seed(cfg.seed)
+        .initial_data_nodes(&[NodeId(0)])
+        .policy(wattdb_core::PolicyConfig {
+            cpu_high: 1.1, // monitor-only during warm-up: drift observes, nothing fires
+            cpu_low: 0.0,
+            skew_threshold: 0.0,
+            ..Default::default()
+        })
+        .drift(wattdb_common::DriftConfig {
+            velocity_half_life: SimDuration::from_secs(5),
+            horizon: cfg.horizon,
+        })
+        .monitoring(SimDuration::from_secs(5))
+        .autopilot(true)
+        .build();
+    let hot_n = (cfg.clients as f64 * cfg.hot_fraction.clamp(0.0, 1.0)).round() as usize;
+    db.with_cluster_mut(|c| {
+        c.auto_resubmit = false;
+        c.spawn_clients_skewed(
+            cfg.clients,
+            wattdb_tpcc::ClientConfig {
+                think_time: cfg.think,
+                ..Default::default()
+            },
+            cfg.hot_fraction,
+            1,
+        );
+    });
+    db.with_runtime(|cl, sim| start_mixed_clients(cl, sim, cfg.update_pct));
+    // Warm up on warehouse 0, then advance the front to warehouse 1 (and
+    // keep it advancing every `dwell` thereafter).
+    db.run_for(cfg.warm);
+    let rehome = move |c: &mut wattdb_core::Cluster, front: u32| {
+        let n = hot_n.min(c.clients.len());
+        for i in 0..n {
+            c.clients[i].home_warehouse = front;
+        }
+    };
+    db.with_cluster_mut(|c| rehome(c, 1));
+    db.with_runtime(|cl, sim| {
+        let handle = cl.clone();
+        let warehouses = cfg.warehouses;
+        let mut front = 1u32;
+        wattdb_sim::Repeater::every(sim, cfg.dwell, move |_| {
+            front = (front + 1) % warehouses;
+            rehome(&mut handle.borrow_mut(), front);
+            true
+        });
+    });
+    // Two windows on the new warehouse: history still favours warehouse
+    // 0, velocity favours warehouse 1. Now arm the real thresholds.
+    db.run_for(SimDuration::from_secs(10));
+    let pilot_cfg = db.autopilot().expect("engaged").config();
+    db.engage_autopilot(wattdb_core::AutoPilotConfig {
+        policy: wattdb_core::PolicyConfig {
+            cpu_high: 0.8,
+            cpu_low: 0.02, // no scale-in during the measurement
+            patience: 2,
+            skew_threshold: 0.0, // CPU-triggered only: isolate the planner input
+            ..Default::default()
+        },
+        period: pilot_cfg.period,
+    });
+    // Run until the autopilot's rebalance completes (bounded window).
+    let mut rebalanced = false;
+    for _ in 0..40 {
+        db.run_for(SimDuration::from_secs(5));
+        if db.last_rebalance().is_some() && !db.rebalancing() {
+            rebalanced = true;
+            break;
+        }
+    }
+    // Settle, then measure post-rebalance CPU over a fresh status window,
+    // inside the current warehouse's dwell.
+    let _ = db.status();
+    db.run_for(SimDuration::from_secs(25));
+    let status = db.status();
+    let post_max_cpu = status
+        .nodes
+        .iter()
+        .filter(|n| n.state == wattdb_energy::NodeState::Active)
+        .map(|n| n.cpu)
+        .fold(0.0, f64::max);
+    let total_heat: f64 = status.nodes.iter().map(|n| n.heat).sum();
+    let post_max_heat_share = if total_heat > 0.0 {
+        status.nodes.iter().map(|n| n.heat).fold(0.0, f64::max) / total_heat
+    } else {
+        0.0
+    };
+    let report = db.last_rebalance();
+    PlannerShootoutRow {
+        planner: wattdb_core::Planner::HeatAware,
         rebalanced,
         bytes_moved: report.map(|r| r.bytes_moved).unwrap_or(0),
         segments_moved: report.map(|r| r.segments_moved).unwrap_or(0),

@@ -21,7 +21,7 @@ pub mod units;
 
 pub use config::{CostParams, DiskSpec, HardwareSpec, NetworkSpec, PowerSpec};
 pub use error::{Error, Result};
-pub use heat::{Heat, HeatConfig};
+pub use heat::{DriftConfig, Heat, HeatConfig, HeatVelocity};
 pub use ids::{
     ClientId, DiskId, Lsn, NodeId, PageId, PartitionId, QueryId, RecordId, SegmentId, TableId,
     TxnId,

@@ -28,7 +28,7 @@
 //! assert_eq!(status.nodes.len(), 4);
 //! ```
 
-use wattdb_common::{HeatConfig, NodeId, SimDuration, SimTime, Watts};
+use wattdb_common::{DriftConfig, HeatConfig, NodeId, SimDuration, SimTime, Watts};
 use wattdb_energy::NodeState;
 use wattdb_planner::{Plan, Planner};
 use wattdb_sim::{Sim, UtilizationProbe};
@@ -38,7 +38,7 @@ use wattdb_txn::CcMode;
 use crate::autopilot::{AutoPilot, AutoPilotConfig, ControlEvent};
 use crate::cluster::{Cluster, ClusterConfig, ClusterRc, Scheme};
 use crate::executor;
-use crate::heat::{self, SegmentHeatStat};
+use crate::heat::{self, SegmentDriftStat, SegmentHeatStat};
 use crate::migration::{self, RebalanceReport, SegmentMove};
 use crate::policy::PolicyConfig;
 
@@ -141,6 +141,22 @@ impl WattDbBuilder {
     /// Heat-tracking parameters: decay half-life and per-access weights.
     pub fn heat_tracking(mut self, h: HeatConfig) -> Self {
         self.cfg.heat = h;
+        self
+    }
+
+    /// Heat-drift parameters: how fast per-segment velocity estimates
+    /// adapt and how far ahead the planner projects heat. A zero
+    /// [`DriftConfig::horizon`] makes every plan use historical heat
+    /// (the pre-drift behaviour).
+    pub fn drift(mut self, d: DriftConfig) -> Self {
+        self.cfg.drift = d;
+        self
+    }
+
+    /// Shorthand for setting only the projection horizon (see
+    /// [`WattDbBuilder::drift`]). `SimDuration::ZERO` disables projection.
+    pub fn drift_horizon(mut self, horizon: SimDuration) -> Self {
+        self.cfg.drift.horizon = horizon;
         self
     }
 
@@ -467,6 +483,18 @@ impl WattDb {
     pub fn node_heat(&self, node: NodeId) -> f64 {
         let c = self.cluster.borrow();
         c.heat.node_heat(&c.seg_dir, node, self.sim.now()).value()
+    }
+
+    /// Per-segment drift snapshot at the given projection horizon,
+    /// hottest *projected* first: current heat, estimated velocity, and
+    /// `max(0, heat + velocity × horizon)`. Velocities accumulate while a
+    /// monitoring loop runs (the autopilot observes drift every window);
+    /// before the first observation every velocity is zero and the
+    /// projection equals the heat.
+    pub fn projected_heat(&self, horizon: SimDuration) -> Vec<SegmentDriftStat> {
+        let c = self.cluster.borrow();
+        c.drift
+            .snapshot(&c.heat, &c.seg_dir, self.sim.now(), horizon)
     }
 
     /// Live record keys across every segment index.

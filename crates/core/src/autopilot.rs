@@ -66,6 +66,9 @@ pub struct ViewSummary {
     pub mean_active_cpu: f64,
     /// Hottest active node's CPU utilization.
     pub max_cpu: f64,
+    /// Heat-skew ratio at the time (hottest active node's heat over the
+    /// mean; see [`ClusterView::heat_skew`]).
+    pub heat_skew: f64,
     /// Active nodes at the time.
     pub active_nodes: usize,
     /// Standby nodes at the time.
@@ -78,6 +81,7 @@ impl ViewSummary {
         Self {
             mean_active_cpu: view.mean_active_cpu(),
             max_cpu: active.iter().map(|r| r.cpu).fold(0.0, f64::max),
+            heat_skew: view.heat_skew(),
             active_nodes: active.len(),
             standby_nodes: view.reports.len() - active.len(),
         }
@@ -110,12 +114,26 @@ pub struct ControlEvent {
     pub view: ViewSummary,
     /// What the policy decided.
     pub decision: Decision,
+    /// Which threshold drove the decision: `"cpu-high"` (scale-out),
+    /// `"cpu-low"` (scale-in), `"heat-skew"` (rebalance-in-place), or
+    /// `""` for bookkeeping entries like post-drain suspension.
+    pub trigger: &'static str,
     /// What the controller did about it.
     pub outcome: Outcome,
     /// For applied decisions, the planner that actually produced the
     /// moves (the heat-aware path can fall back to the fraction
     /// heuristic); otherwise the planner configured at the time.
     pub planner: wattdb_planner::Planner,
+}
+
+/// The threshold a decision variant answers to.
+fn trigger_of(decision: &Decision) -> &'static str {
+    match decision {
+        Decision::Hold => "",
+        Decision::ScaleOut { .. } => "cpu-high",
+        Decision::ScaleIn { .. } => "cpu-low",
+        Decision::Rebalance { .. } => "heat-skew",
+    }
 }
 
 struct Shared {
@@ -143,8 +161,15 @@ impl AutoPilot {
     /// assembles a [`ClusterView`], evaluates the [`ElasticityPolicy`],
     /// applies scale-out/scale-in decisions, and suspends drained nodes.
     pub fn engage(cl: &ClusterRc, sim: &mut Sim, config: AutoPilotConfig) -> AutoPilot {
-        let mut policy = ElasticityPolicy::new(config.policy);
-        let policy_cfg = config.policy;
+        let mut policy_cfg = config.policy;
+        // Skew rebalances are heat-planned segment moves; logical
+        // repartitioning moves key ranges and cannot execute them, so the
+        // trigger is disabled outright rather than firing decisions that
+        // would be refused forever.
+        if cl.borrow().cfg.scheme == crate::cluster::Scheme::Logical {
+            policy_cfg.skew_threshold = 0.0;
+        }
+        let mut policy = ElasticityPolicy::new(policy_cfg);
         let shared = Rc::new(RefCell::new(Shared {
             events: Vec::new(),
             draining: Vec::new(),
@@ -168,6 +193,7 @@ impl AutoPilot {
                     at,
                     view: summary,
                     decision: Decision::ScaleIn { drain: drained },
+                    trigger: "",
                     outcome: Outcome::Suspended { nodes: off },
                     planner: policy_cfg.planner,
                 });
@@ -175,31 +201,55 @@ impl AutoPilot {
             // Observe *after* any suspension, so a node just returned to
             // standby is immediately available as a scale-out target.
             let (standby, with_data) = observe(cl);
-            let decision = policy.evaluate(view, &standby, &with_data);
+            let decision = policy.evaluate(view, &standby, &with_data, rebalancing);
             if decision != Decision::Hold {
+                let trigger = trigger_of(&decision);
                 if rebalancing {
+                    // A drain aimed at a node the in-flight migration is
+                    // filling or emptying gets its own refusal reason: the
+                    // drain plan would race the mover.
+                    let reason = match &decision {
+                        Decision::ScaleIn { drain }
+                            if drain.iter().any(|n| {
+                                crate::migration::nodes_in_flight(&cl.borrow()).contains(n)
+                            }) =>
+                        {
+                            "drain node is part of the active migration"
+                        }
+                        _ => "rebalance in flight",
+                    };
                     sh.events.push(ControlEvent {
                         at,
                         view: summary,
                         decision,
-                        outcome: Outcome::Deferred {
-                            reason: "rebalance in flight",
-                        },
+                        trigger,
+                        outcome: Outcome::Deferred { reason },
                         planner: policy_cfg.planner,
                     });
                 } else {
-                    if let Decision::ScaleIn { drain } = &decision {
-                        sh.draining = drain.clone();
-                    }
                     // Record the planner that actually produced the moves —
                     // the heat-aware path can fall back to the fraction
                     // heuristic (logical scheme, or no heat recorded).
                     let used = policy::apply(cl, sim, &decision, &policy_cfg);
+                    if used.is_some() {
+                        if let Decision::ScaleIn { drain } = &decision {
+                            sh.draining = drain.clone();
+                        }
+                    }
+                    let outcome = match used {
+                        Some(_) => Outcome::Applied,
+                        // Nothing started: no improving plan, no eligible
+                        // target, or a refused drain.
+                        None => Outcome::Deferred {
+                            reason: "no applicable plan",
+                        },
+                    };
                     sh.events.push(ControlEvent {
                         at,
                         view: summary,
                         decision,
-                        outcome: Outcome::Applied,
+                        trigger,
+                        outcome,
                         planner: used.unwrap_or(policy_cfg.planner),
                     });
                 }
@@ -337,6 +387,7 @@ mod tests {
         let s = ViewSummary::of(&view);
         assert!((s.mean_active_cpu - 0.5).abs() < 1e-9);
         assert!((s.max_cpu - 0.9).abs() < 1e-9);
+        assert_eq!(s.heat_skew, 0.0, "no heat, no skew");
         assert_eq!(s.active_nodes, 2);
         assert_eq!(s.standby_nodes, 1);
     }

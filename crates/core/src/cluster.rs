@@ -13,8 +13,9 @@ use std::rc::Rc;
 
 use wattdb_common::config::DiskKind;
 use wattdb_common::{
-    ByteSize, CostParams, DetRng, DiskId, HardwareSpec, HeatConfig, Key, KeyRange, NetworkSpec,
-    NodeId, PartitionId, PowerSpec, Result, SegmentId, SimDuration, SimTime, TableId, Watts,
+    ByteSize, CostParams, DetRng, DiskId, DriftConfig, HardwareSpec, HeatConfig, Key, KeyRange,
+    NetworkSpec, NodeId, PartitionId, PowerSpec, Result, SegmentId, SimDuration, SimTime, TableId,
+    Watts,
 };
 use wattdb_energy::{EnergyMeter, NodeState, PowerModel};
 use wattdb_index::{GlobalRouter, SegmentIndex, TopIndex};
@@ -88,6 +89,9 @@ pub struct ClusterConfig {
     pub bucket: SimDuration,
     /// Per-segment heat tracking (decay half-life and access weights).
     pub heat: HeatConfig,
+    /// Heat-drift tracking: velocity EWMA horizon and the projection
+    /// horizon the planner plans against (zero horizon = historical heat).
+    pub drift: DriftConfig,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -109,6 +113,7 @@ impl Default for ClusterConfig {
             group_commit: SimDuration::from_millis(2),
             bucket: SimDuration::from_secs(10),
             heat: HeatConfig::default(),
+            drift: DriftConfig::default(),
             seed: 42,
         }
     }
@@ -231,6 +236,9 @@ pub struct Cluster {
     pub last_rebalance: Option<crate::migration::RebalanceReport>,
     /// Per-segment access heat (the planner's workload signal).
     pub heat: HeatTable,
+    /// Per-segment heat velocity (where the workload is *going*; fed by
+    /// the monitoring loop, consumed by projected-heat planning).
+    pub drift: crate::heat::DriftTracker,
     /// Metrics.
     pub metrics: Metrics,
     /// Power/energy meter.
@@ -271,6 +279,7 @@ impl Cluster {
         let power_model = PowerModel::new(cfg.power);
         let cc = cfg.cc_mode;
         let heat = HeatTable::new(cfg.heat);
+        let drift = crate::heat::DriftTracker::new(cfg.drift);
         Rc::new(RefCell::new(Cluster {
             cfg,
             nodes,
@@ -291,6 +300,7 @@ impl Cluster {
             pending_logical_keys: Vec::new(),
             last_rebalance: None,
             heat,
+            drift,
             metrics,
             meter: EnergyMeter::new(SimTime::ZERO),
             power_model,

@@ -12,11 +12,21 @@
 //! across physiological moves: after a rebalance the target node's rolled-
 //! up heat immediately reflects its new load, which is exactly what the
 //! next planning round needs.
+//!
+//! The [`drift`] submodule layers heat *velocity* on top: an EWMA of
+//! per-window heat deltas that lets the planner plan against projected
+//! heat — where the workload is going, not where it was (moving TPC-C
+//! insert hotspots). [`plan_scale_out`] and [`plan_drain`] consume the
+//! projected view whenever the cluster's drift horizon is non-zero.
 
 use std::collections::HashMap;
 
 use wattdb_common::{Heat, HeatConfig, NodeId, SegmentId, SimTime, TableId};
 use wattdb_storage::SegmentDirectory;
+
+pub mod drift;
+
+pub use drift::{DriftTracker, SegmentDrift, SegmentDriftStat};
 
 /// One segment's tracked heat and raw access counters.
 #[derive(Debug, Clone, Copy)]
@@ -160,9 +170,12 @@ impl HeatTable {
 }
 
 /// Heat-aware scale-out plan over the live cluster state: snapshot
-/// [`segment_stats`] and plan with the given tolerance. The single entry
-/// point shared by `policy::apply` and the facade, so both always
-/// produce the same plan for the same state.
+/// [`segment_stats_projected`] and plan with the given tolerance. The
+/// single entry point shared by `policy::apply` and the facade, so both
+/// always produce the same plan for the same state. Plans run against
+/// *projected* heat (heat plus drift velocity over the configured
+/// horizon); with a zero horizon or no drift observations this is exactly
+/// historical heat.
 pub fn plan_scale_out(
     c: &crate::cluster::Cluster,
     now: SimTime,
@@ -170,7 +183,7 @@ pub fn plan_scale_out(
     sources: &[NodeId],
     targets: &[NodeId],
 ) -> wattdb_planner::Plan {
-    let stats = segment_stats(c, now);
+    let stats = segment_stats_projected(c, now);
     wattdb_planner::plan_scale_out(
         &stats,
         sources,
@@ -180,7 +193,8 @@ pub fn plan_scale_out(
 }
 
 /// Heat-aware drain plan over the live cluster state (see
-/// [`plan_scale_out`]).
+/// [`plan_scale_out`]). Survivor targets are ranked by projected heat,
+/// so a drained node's segments land on the nodes that will *stay* cold.
 pub fn plan_drain(
     c: &crate::cluster::Cluster,
     now: SimTime,
@@ -188,7 +202,7 @@ pub fn plan_drain(
     drain: &[NodeId],
     remaining: &[NodeId],
 ) -> wattdb_planner::Plan {
-    let stats = segment_stats(c, now);
+    let stats = segment_stats_projected(c, now);
     wattdb_planner::plan_drain(
         &stats,
         drain,
@@ -218,6 +232,25 @@ pub fn segment_stats(
             heat: c.heat.heat_of(m.id, now).value(),
         })
         .collect()
+}
+
+/// [`segment_stats`] with each segment's heat replaced by its *projected*
+/// heat at the cluster's configured drift horizon (`cfg.drift.horizon`).
+/// Identical to `segment_stats` when the horizon is zero or no drift has
+/// been observed yet.
+pub fn segment_stats_projected(
+    c: &crate::cluster::Cluster,
+    now: SimTime,
+) -> Vec<wattdb_planner::SegmentStat> {
+    let horizon = c.cfg.drift.horizon;
+    let mut stats = segment_stats(c, now);
+    if horizon.as_micros() == 0 || c.drift.is_empty() {
+        return stats;
+    }
+    for s in &mut stats {
+        s.heat = c.drift.projected(s.seg, s.heat, horizon);
+    }
+    stats
 }
 
 #[cfg(test)]

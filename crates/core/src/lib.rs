@@ -13,9 +13,11 @@
 //!   dual pointers, segment read locks, and helper nodes (Fig. 8);
 //! * [`heat`] — per-segment access-heat tracking (EWMA-decayed in
 //!   sim-time), the workload signal behind `wattdb_planner`'s heat-aware
-//!   rebalance plans;
+//!   rebalance plans, plus the [`heat::drift`] velocity layer that lets
+//!   the planner plan against *projected* heat (moving hotspots);
 //! * [`monitor`] / [`policy`] — utilization monitoring and the 80 %-CPU
-//!   threshold elasticity policy (§3.4), with a pluggable rebalance
+//!   threshold elasticity policy (§3.4) with a heat-skew rebalance
+//!   trigger and coldest-node scale-in, and a pluggable rebalance
 //!   planner (legacy fraction vs. heat-aware);
 //! * [`autopilot`] — the master's control loop tying monitor and policy
 //!   together: autonomous scale-out/scale-in with a queryable decision
@@ -40,9 +42,11 @@ pub mod replay;
 pub use api::{ClusterStatus, NodeStatus, WattDb, WattDbBuilder};
 pub use autopilot::{AutoPilot, AutoPilotConfig, ControlEvent, Outcome, ViewSummary};
 pub use cluster::{Cluster, ClusterConfig, ClusterRc, NodeRuntime, Partition, Scheme};
-pub use heat::{HeatTable, SegmentHeat, SegmentHeatStat};
+pub use heat::{
+    DriftTracker, HeatTable, SegmentDrift, SegmentDriftStat, SegmentHeat, SegmentHeatStat,
+};
 pub use metrics::{Metrics, Phase};
 pub use migration::{MoveController, RebalanceReport, SegmentMove};
 pub use monitor::{ClusterView, NodeReport};
-pub use policy::{Decision, ElasticityPolicy, PolicyConfig};
+pub use policy::{coldest_drain_target, Decision, ElasticityPolicy, PolicyConfig};
 pub use wattdb_planner::{Plan, PlanConfig, PlannedMove, Planner, SegmentStat};

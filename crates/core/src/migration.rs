@@ -1013,6 +1013,29 @@ pub fn rebalancing(cl: &ClusterRc) -> bool {
     cl.borrow().mover.is_some()
 }
 
+/// Every node that is a source or target of the in-flight rebalance:
+/// pending and current segment moves plus pending logical range moves.
+/// Empty when no rebalance is running. Scale-in must never drain one of
+/// these nodes — the segment directory understates what they will hold
+/// until the moves land.
+pub fn nodes_in_flight(c: &Cluster) -> std::collections::BTreeSet<NodeId> {
+    let mut busy = std::collections::BTreeSet::new();
+    let Some(m) = &c.mover else {
+        return busy;
+    };
+    for chain in &m.chains {
+        for mv in chain.segments.iter().chain(chain.current.iter()) {
+            busy.insert(mv.from);
+            busy.insert(mv.to);
+        }
+        for rm in &chain.ranges {
+            busy.insert(rm.from);
+            busy.insert(rm.to);
+        }
+    }
+    busy
+}
+
 /// Convenience for TPC-C experiments: move `fraction` of every TPC-C table.
 pub fn tpcc_tables() -> Vec<TableId> {
     TpccTable::ALL.iter().map(|t| t.table_id()).collect()

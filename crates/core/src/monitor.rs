@@ -134,6 +134,10 @@ impl ClusterView {
 /// runs until `on_view` returns `false` — deliberately independent of the
 /// client stop flag, so the master keeps watching (and can scale in) after
 /// the workload drains.
+///
+/// Each window also feeds the master's heat-[`drift`](crate::heat::drift)
+/// tracker, so any monitored cluster accumulates per-segment velocity
+/// estimates for projected-heat planning.
 pub fn start_monitoring(
     cl: &ClusterRc,
     sim: &mut Sim,
@@ -150,6 +154,8 @@ pub fn start_monitoring(
                 let report = sample_node(&mut c, NodeId(i as u16), sim.now());
                 view.reports.push(report);
             }
+            let c = &mut *c;
+            c.drift.observe(&c.heat, &c.seg_dir, sim.now());
             view
         };
         on_view(&handle, sim, &view)

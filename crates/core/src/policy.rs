@@ -1,10 +1,19 @@
-//! Threshold-driven elasticity policy (§3.4).
+//! Threshold-driven elasticity policy (§3.4), extended with a heat-skew
+//! trigger.
 //!
 //! "The master checks the incoming performance data to predefined
 //! thresholds — with both upper and lower bounds. If an overloaded
 //! component is detected, it will decide where to distribute data and
 //! whether to power on additional nodes [...] Similarly, underutilized
 //! nodes trigger a scale-in protocol." The CPU ceiling is 80 %.
+//!
+//! The paper rebalances on load *imbalance*, not just saturation: beyond
+//! the CPU bounds, the policy watches [`ClusterView::heat_skew`] and
+//! emits a [`Decision::Rebalance`] — data moves between the *existing*
+//! active nodes, no node powered on or off — when one node carries a
+//! disproportionate share of the access heat for a patience window.
+//! Scale-in picks the **coldest** drainable node (its segments are the
+//! cheapest to relocate), not the highest-numbered one.
 
 use wattdb_common::NodeId;
 use wattdb_energy::NodeState;
@@ -13,7 +22,9 @@ use wattdb_sim::Sim;
 
 use crate::cluster::{ClusterRc, Scheme};
 use crate::heat;
-use crate::migration::{rebalancing, start_rebalance, start_rebalance_planned, SegmentMove};
+use crate::migration::{
+    nodes_in_flight, rebalancing, start_rebalance, start_rebalance_planned, SegmentMove,
+};
 use crate::monitor::ClusterView;
 
 /// Policy thresholds.
@@ -23,7 +34,8 @@ pub struct PolicyConfig {
     pub cpu_high: f64,
     /// Scale in when all active nodes sit below this.
     pub cpu_low: f64,
-    /// Consecutive breaching windows before acting (hysteresis).
+    /// Consecutive breaching windows before acting (hysteresis). Shared
+    /// by the CPU triggers and the heat-skew trigger.
     pub patience: u32,
     /// Fraction of the hot node's data to offload (legacy
     /// [`Planner::Fraction`] only).
@@ -33,6 +45,26 @@ pub struct PolicyConfig {
     /// Allowed per-node overshoot above mean heat before the heat-aware
     /// planner stops shedding (see [`wattdb_planner::PlanConfig::tolerance`]).
     pub heat_tolerance: f64,
+    /// Heat-skew ratio ([`ClusterView::heat_skew`]: hottest active node's
+    /// heat over the mean) that arms the skew trigger. Values ≤ 0 disable
+    /// the trigger entirely; it is also inert unless `planner` is
+    /// [`Planner::HeatAware`] (skew decisions are heat-planned segment
+    /// moves). The skew must stay armed for `patience` windows before a
+    /// [`Decision::Rebalance`] fires.
+    pub skew_threshold: f64,
+    /// Hysteresis: an armed skew streak only resets once the skew falls
+    /// below `skew_threshold × skew_rearm` (a value in `(0, 1]`). Skew
+    /// hovering right at the threshold neither re-fires endlessly nor
+    /// loses its streak.
+    pub skew_rearm: f64,
+    /// Mean active-node heat below which the skew trigger stays silent:
+    /// ratios over near-zero heat are noise, and rebalancing a cooling
+    /// cluster that is about to scale in wastes the bytes.
+    pub skew_min_heat: f64,
+    /// Monitoring windows the skew trigger stays disarmed after firing,
+    /// bounding rebalance churn to at most one skew rebalance per
+    /// `skew_cooldown + patience` windows.
+    pub skew_cooldown: u32,
 }
 
 impl Default for PolicyConfig {
@@ -44,6 +76,10 @@ impl Default for PolicyConfig {
             move_fraction: 0.5,
             planner: Planner::HeatAware,
             heat_tolerance: 0.1,
+            skew_threshold: 1.5,
+            skew_rearm: 0.9,
+            skew_min_heat: 1.0,
+            skew_cooldown: 3,
         }
     }
 }
@@ -65,6 +101,15 @@ pub enum Decision {
         /// Nodes to drain.
         drain: Vec<NodeId>,
     },
+    /// Rebalance heat between the *existing* active nodes — no node
+    /// powered on or off. Fired by the heat-skew trigger when one node
+    /// hogs the access heat without breaching the CPU ceiling.
+    Rebalance {
+        /// Nodes carrying more than the mean heat.
+        sources: Vec<NodeId>,
+        /// Cooler active nodes to receive the surplus.
+        targets: Vec<NodeId>,
+    },
 }
 
 /// Stateful policy evaluated once per monitoring window.
@@ -73,6 +118,8 @@ pub struct ElasticityPolicy {
     cfg: PolicyConfig,
     high_streak: u32,
     low_streak: u32,
+    skew_streak: u32,
+    skew_cooldown_left: u32,
 }
 
 impl ElasticityPolicy {
@@ -82,17 +129,34 @@ impl ElasticityPolicy {
             cfg,
             high_streak: 0,
             low_streak: 0,
+            skew_streak: 0,
+            skew_cooldown_left: 0,
         }
     }
 
     /// Evaluate one monitoring view. `standby` lists nodes available to
-    /// power on; `active_with_data` the nodes currently serving.
+    /// power on; `active_with_data` the nodes currently serving;
+    /// `rebalancing` whether a migration is already in flight (a skew
+    /// fire would only be deferred, so the trigger stays armed instead of
+    /// burning its streak and cooldown on a decision nobody can act on).
+    ///
+    /// Precedence: CPU saturation (scale-out) beats everything — an
+    /// overloaded cluster needs more hardware, not reshuffling. A
+    /// cluster-wide idle spell (scale-in) beats the skew trigger —
+    /// rebalancing nodes that are about to be drained ships bytes twice.
+    /// Only then does heat skew get a say.
     pub fn evaluate(
         &mut self,
         view: &ClusterView,
         standby: &[NodeId],
         active_with_data: &[NodeId],
+        rebalancing: bool,
     ) -> Decision {
+        // The skew machinery ticks every window, whichever branch ends up
+        // deciding: streak, hysteresis band, and cooldown must never go
+        // stale just because the cluster spent a stretch in the all-low or
+        // overloaded regime.
+        let skew_ready = self.tick_skew(view, active_with_data);
         let hot = view.overloaded(self.cfg.cpu_high);
         if !hot.is_empty() {
             // The hot streak counts breaching windows regardless of
@@ -109,7 +173,9 @@ impl ElasticityPolicy {
                     targets,
                 };
             }
-            return Decision::Hold;
+            // No standby (or not patient yet): a skewed cluster can still
+            // help itself by spreading heat over its existing nodes.
+            return self.fire_skew(view, skew_ready, rebalancing);
         }
         // Scale-in: every active data node under the low bound and more
         // than one of them (never drain the last node).
@@ -122,25 +188,135 @@ impl ElasticityPolicy {
             self.high_streak = 0;
             if self.low_streak >= self.cfg.patience {
                 self.low_streak = 0;
-                // Drain the highest-numbered data node.
-                let drain = active_with_data
-                    .iter()
-                    .max()
-                    .map(|n| vec![*n])
+                // Drain the *coldest* data node: its segments are the
+                // cheapest to relocate and the survivors inherit the least
+                // heat.
+                let drain = coldest_drain_target(view, active_with_data)
+                    .map(|n| vec![n])
                     .unwrap_or_default();
-                return Decision::ScaleIn { drain };
+                if !drain.is_empty() {
+                    return Decision::ScaleIn { drain };
+                }
             }
-        } else {
-            self.low_streak = 0;
-            self.high_streak = 0;
+            return Decision::Hold;
         }
-        Decision::Hold
+        self.low_streak = 0;
+        self.high_streak = 0;
+        self.fire_skew(view, skew_ready, rebalancing)
+    }
+
+    /// Advance the heat-skew trigger's state for this window: arm while
+    /// the skew ratio exceeds the threshold, hold the streak inside the
+    /// hysteresis band (`skew_rearm`), reset below it, and count the
+    /// post-fire cooldown down. Returns whether the trigger is ready to
+    /// fire (armed this window with `patience` behind it).
+    ///
+    /// The trigger is inert when disabled — or when the configured
+    /// planner is not heat-aware: skew is a heat signal, and firing
+    /// decisions the fraction planner cannot execute would churn the
+    /// event log forever without moving a byte.
+    fn tick_skew(&mut self, view: &ClusterView, active_with_data: &[NodeId]) -> bool {
+        let cfg = &self.cfg;
+        if cfg.skew_threshold <= 0.0 || cfg.planner != Planner::HeatAware {
+            return false;
+        }
+        if self.skew_cooldown_left > 0 {
+            self.skew_cooldown_left -= 1;
+            self.skew_streak = 0;
+            return false;
+        }
+        let active: Vec<_> = view.reports.iter().filter(|r| r.active).collect();
+        let mean_heat = if active.is_empty() {
+            0.0
+        } else {
+            active.iter().map(|r| r.heat).sum::<f64>() / active.len() as f64
+        };
+        let skew = view.heat_skew();
+        let armed = skew > cfg.skew_threshold
+            && mean_heat >= cfg.skew_min_heat
+            && active_with_data.len() > 1;
+        if armed {
+            self.skew_streak += 1;
+        } else if skew < cfg.skew_threshold * cfg.skew_rearm.clamp(0.0, 1.0)
+            || mean_heat < cfg.skew_min_heat
+        {
+            self.skew_streak = 0;
+        }
+        armed && self.skew_streak >= cfg.patience
+    }
+
+    /// Emit the skew rebalance when the trigger is ready and no migration
+    /// is in flight. Firing consumes the streak and arms the cooldown;
+    /// a ready trigger held back by an in-flight rebalance keeps its
+    /// streak and fires on the first clear window instead.
+    fn fire_skew(&mut self, view: &ClusterView, ready: bool, rebalancing: bool) -> Decision {
+        if !ready || rebalancing {
+            return Decision::Hold;
+        }
+        self.skew_streak = 0;
+        self.skew_cooldown_left = self.cfg.skew_cooldown;
+        // Sources shed towards cooler actives: above-mean nodes give,
+        // the rest receive.
+        let active: Vec<_> = view.reports.iter().filter(|r| r.active).collect();
+        let mean_heat = if active.is_empty() {
+            0.0
+        } else {
+            active.iter().map(|r| r.heat).sum::<f64>() / active.len() as f64
+        };
+        let sources: Vec<NodeId> = active
+            .iter()
+            .filter(|r| r.heat > mean_heat)
+            .map(|r| r.node)
+            .collect();
+        let targets: Vec<NodeId> = active
+            .iter()
+            .filter(|r| r.heat <= mean_heat)
+            .map(|r| r.node)
+            .collect();
+        if sources.is_empty() || targets.is_empty() {
+            return Decision::Hold;
+        }
+        Decision::Rebalance { sources, targets }
     }
 
     /// Thresholds in force.
     pub fn config(&self) -> &PolicyConfig {
         &self.cfg
     }
+}
+
+/// The coldest drainable node: lowest reported heat, ties broken by
+/// lowest CPU, then by highest id (the legacy drain order). The master
+/// (node 0) is never drained while another candidate exists — it cannot
+/// be suspended afterwards anyway.
+///
+/// With distinct per-node heats the choice depends only on the reported
+/// *signals*, never on the numbering, so renumbering the nodes renames
+/// the answer without changing which physical node drains.
+pub fn coldest_drain_target(view: &ClusterView, active_with_data: &[NodeId]) -> Option<NodeId> {
+    let mut candidates: Vec<NodeId> = active_with_data
+        .iter()
+        .copied()
+        .filter(|n| *n != NodeId(0))
+        .collect();
+    if candidates.is_empty() {
+        candidates = active_with_data.to_vec();
+    }
+    candidates
+        .into_iter()
+        .filter_map(|n| {
+            view.reports
+                .iter()
+                .find(|r| r.node == n && r.active)
+                .map(|r| (n, r.heat, r.cpu))
+        })
+        .min_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| b.0.cmp(&a.0))
+        })
+        .map(|(n, _, _)| n)
 }
 
 /// Apply a decision to the cluster: power nodes, plan the moves with the
@@ -151,7 +327,8 @@ impl ElasticityPolicy {
 /// Returns the planner that actually produced the started rebalance —
 /// `Planner::Fraction` when the heat-aware path fell back (logical
 /// scheme, no heat recorded, or an empty plan) — or `None` when nothing
-/// was started.
+/// was started (including a refused drain: a node that is the source or
+/// target of an in-flight migration is never drained).
 pub fn apply(
     cl: &ClusterRc,
     sim: &mut Sim,
@@ -187,7 +364,40 @@ pub fn apply(
             start_rebalance(cl, sim, cfg.move_fraction, sources, targets);
             Some(Planner::Fraction)
         }
+        Decision::Rebalance { sources, targets } => {
+            // Skew is a heat signal; without the heat-aware planner (or
+            // under logical partitioning, which moves ranges) there is no
+            // sound way to act on it.
+            if !heat_aware || targets.is_empty() {
+                return None;
+            }
+            let moves = {
+                let c = cl.borrow();
+                let plan =
+                    heat::plan_scale_out(&c, sim.now(), cfg.heat_tolerance, sources, targets);
+                plan.moves.iter().map(SegmentMove::from).collect::<Vec<_>>()
+            };
+            if moves.is_empty() {
+                return None; // nothing movable improves the balance
+            }
+            start_rebalance_planned(cl, sim, Planner::HeatAware, moves, targets);
+            Some(Planner::HeatAware)
+        }
         Decision::ScaleIn { drain } => {
+            // Never drain a node still entangled in a migration: until the
+            // in-flight moves land, the segment directory understates what
+            // the node will hold, and the drain plan would race the mover.
+            // (The one-rebalance-at-a-time guard above already blocks this
+            // path today; the check keeps the invariant explicit for any
+            // future caller that applies decisions mid-flight.)
+            let drain_busy = {
+                let c = cl.borrow();
+                let busy = nodes_in_flight(&c);
+                drain.iter().any(|n| busy.contains(n))
+            };
+            if drain_busy {
+                return None;
+            }
             // Move *everything* off the drained nodes onto the remaining
             // data nodes, then the migration engine powers nothing off —
             // the caller re-checks emptiness and powers down.
@@ -267,6 +477,25 @@ mod tests {
         }
     }
 
+    /// A view with explicit per-node heats (all CPUs moderate).
+    fn heat_view(heats: &[(u16, f64)]) -> ClusterView {
+        ClusterView {
+            reports: heats
+                .iter()
+                .map(|&(n, heat)| NodeReport {
+                    node: NodeId(n),
+                    at: SimTime::ZERO,
+                    cpu: 0.5,
+                    disk: 0.0,
+                    net_tx: 0.0,
+                    buffer_hit_ratio: 0.9,
+                    heat,
+                    active: true,
+                })
+                .collect(),
+        }
+    }
+
     #[test]
     fn scale_out_after_patience() {
         let mut p = ElasticityPolicy::new(PolicyConfig {
@@ -276,8 +505,8 @@ mod tests {
         let hot = view(&[(0, 0.95), (1, 0.5)]);
         let standby = [NodeId(2), NodeId(3)];
         let data = [NodeId(0), NodeId(1)];
-        assert_eq!(p.evaluate(&hot, &standby, &data), Decision::Hold);
-        match p.evaluate(&hot, &standby, &data) {
+        assert_eq!(p.evaluate(&hot, &standby, &data, false), Decision::Hold);
+        match p.evaluate(&hot, &standby, &data, false) {
             Decision::ScaleOut { sources, targets } => {
                 assert_eq!(sources, vec![NodeId(0)]);
                 assert_eq!(targets, vec![NodeId(2)]);
@@ -293,7 +522,7 @@ mod tests {
             ..Default::default()
         });
         let hot = view(&[(0, 0.95)]);
-        assert_eq!(p.evaluate(&hot, &[], &[NodeId(0)]), Decision::Hold);
+        assert_eq!(p.evaluate(&hot, &[], &[NodeId(0)], false), Decision::Hold);
     }
 
     #[test]
@@ -307,11 +536,11 @@ mod tests {
         });
         let hot = view(&[(0, 0.95)]);
         let data = [NodeId(0)];
-        assert_eq!(p.evaluate(&hot, &[], &data), Decision::Hold);
-        assert_eq!(p.evaluate(&hot, &[], &data), Decision::Hold);
-        assert_eq!(p.evaluate(&hot, &[], &data), Decision::Hold);
+        assert_eq!(p.evaluate(&hot, &[], &data, false), Decision::Hold);
+        assert_eq!(p.evaluate(&hot, &[], &data, false), Decision::Hold);
+        assert_eq!(p.evaluate(&hot, &[], &data, false), Decision::Hold);
         let standby = [NodeId(2)];
-        match p.evaluate(&hot, &standby, &data) {
+        match p.evaluate(&hot, &standby, &data, false) {
             Decision::ScaleOut { sources, targets } => {
                 assert_eq!(sources, vec![NodeId(0)]);
                 assert_eq!(targets, vec![NodeId(2)]);
@@ -328,11 +557,38 @@ mod tests {
         });
         let idle = view(&[(0, 0.05), (1, 0.1)]);
         let data = [NodeId(0), NodeId(1)];
-        assert_eq!(p.evaluate(&idle, &[], &data), Decision::Hold);
-        match p.evaluate(&idle, &[], &data) {
+        assert_eq!(p.evaluate(&idle, &[], &data, false), Decision::Hold);
+        match p.evaluate(&idle, &[], &data, false) {
             Decision::ScaleIn { drain } => assert_eq!(drain, vec![NodeId(1)]),
             other => panic!("expected scale-in, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scale_in_drains_the_coldest_node() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            ..Default::default()
+        });
+        // Node 1 is hot, node 2 cold: node 2 drains even though node 1
+        // has the higher number under the legacy rule... and both idle.
+        let mut v = heat_view(&[(0, 5.0), (1, 9.0), (2, 1.0)]);
+        for r in &mut v.reports {
+            r.cpu = 0.05;
+        }
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        match p.evaluate(&v, &[], &data, false) {
+            Decision::ScaleIn { drain } => assert_eq!(drain, vec![NodeId(2)]),
+            other => panic!("expected coldest-node scale-in, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_in_never_drains_the_master_while_alternatives_exist() {
+        let v = heat_view(&[(0, 0.0), (1, 4.0), (2, 8.0)]);
+        // Master (node 0) is the literal coldest; node 1 drains instead.
+        let pick = coldest_drain_target(&v, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(pick, Some(NodeId(1)));
     }
 
     #[test]
@@ -342,7 +598,7 @@ mod tests {
             ..Default::default()
         });
         let idle = view(&[(0, 0.05)]);
-        assert_eq!(p.evaluate(&idle, &[], &[NodeId(0)]), Decision::Hold);
+        assert_eq!(p.evaluate(&idle, &[], &[NodeId(0)], false), Decision::Hold);
     }
 
     #[test]
@@ -355,9 +611,294 @@ mod tests {
         let cool = view(&[(0, 0.5)]);
         let standby = [NodeId(2)];
         let data = [NodeId(0)];
-        p.evaluate(&hot, &standby, &data);
-        p.evaluate(&hot, &standby, &data);
-        p.evaluate(&cool, &standby, &data); // streak resets
-        assert_eq!(p.evaluate(&hot, &standby, &data), Decision::Hold);
+        p.evaluate(&hot, &standby, &data, false);
+        p.evaluate(&hot, &standby, &data, false);
+        p.evaluate(&cool, &standby, &data, false); // streak resets
+        assert_eq!(p.evaluate(&hot, &standby, &data, false), Decision::Hold);
+    }
+
+    #[test]
+    fn skew_trigger_fires_after_patience() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 2,
+            skew_threshold: 1.5,
+            skew_min_heat: 1.0,
+            ..Default::default()
+        });
+        // Node 0 carries 10 of 12 heat units: skew = 10 / 4 = 2.5.
+        let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(p.evaluate(&skewed, &[], &data, false), Decision::Hold);
+        match p.evaluate(&skewed, &[], &data, false) {
+            Decision::Rebalance { sources, targets } => {
+                assert_eq!(sources, vec![NodeId(0)]);
+                assert_eq!(targets, vec![NodeId(1), NodeId(2)]);
+            }
+            other => panic!("expected skew rebalance, got {other:?}"),
+        }
+        // Cooldown: the very next armed windows must not re-fire.
+        for _ in 0..p.config().skew_cooldown {
+            assert_eq!(p.evaluate(&skewed, &[], &data, false), Decision::Hold);
+        }
+    }
+
+    #[test]
+    fn skew_trigger_ignores_balanced_and_cold_clusters() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            skew_threshold: 1.5,
+            skew_min_heat: 1.0,
+            ..Default::default()
+        });
+        let data = [NodeId(0), NodeId(1)];
+        // Balanced: skew 1.0, never fires.
+        let balanced = heat_view(&[(0, 6.0), (1, 6.0)]);
+        for _ in 0..5 {
+            assert_eq!(p.evaluate(&balanced, &[], &data, false), Decision::Hold);
+        }
+        // Skewed shape but negligible absolute heat: below the floor.
+        let cold = heat_view(&[(0, 0.4), (1, 0.01)]);
+        for _ in 0..5 {
+            assert_eq!(p.evaluate(&cold, &[], &data, false), Decision::Hold);
+        }
+        // Disabled trigger never fires regardless of skew.
+        let mut off = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            skew_threshold: 0.0,
+            ..Default::default()
+        });
+        let skewed = heat_view(&[(0, 100.0), (1, 1.0)]);
+        for _ in 0..5 {
+            assert_eq!(off.evaluate(&skewed, &[], &data, false), Decision::Hold);
+        }
+    }
+
+    #[test]
+    fn skew_trigger_is_inert_without_the_heat_aware_planner() {
+        // Skew decisions are heat-planned segment moves; under the
+        // fraction planner the trigger must never fire (it would be
+        // refused by `apply` forever).
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            planner: Planner::Fraction,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            ..Default::default()
+        });
+        let skewed = heat_view(&[(0, 100.0), (1, 1.0)]);
+        let data = [NodeId(0), NodeId(1)];
+        for _ in 0..5 {
+            assert_eq!(p.evaluate(&skewed, &[], &data, false), Decision::Hold);
+        }
+    }
+
+    #[test]
+    fn skew_streak_ticks_even_when_another_branch_decides() {
+        // Two armed windows, then an all-low stretch during which the
+        // skew decays back to balance: the streak must reset (the old
+        // code froze it), so a single armed window afterwards cannot
+        // fire with patience 3.
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 3,
+            cpu_low: 0.25,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            skew_cooldown: 0,
+            ..Default::default()
+        });
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        let armed = heat_view(&[(0, 9.0), (1, 1.0), (2, 2.0)]); // skew 2.25
+        let mut idle_balanced = heat_view(&[(0, 4.0), (1, 4.0), (2, 4.0)]); // skew 1.0
+        for r in &mut idle_balanced.reports {
+            r.cpu = 0.05; // all-low regime: the scale-in branch decides
+        }
+        assert_eq!(p.evaluate(&armed, &[], &data, false), Decision::Hold);
+        assert_eq!(p.evaluate(&armed, &[], &data, false), Decision::Hold);
+        // All-low window: scale-in path runs, but the balanced skew must
+        // still reset the streak.
+        p.evaluate(&idle_balanced, &[], &data, false);
+        assert_eq!(
+            p.evaluate(&armed, &[], &data, false),
+            Decision::Hold,
+            "stale streak must not fire after one armed window"
+        );
+    }
+
+    #[test]
+    fn ready_skew_trigger_waits_out_an_inflight_rebalance() {
+        // A ready trigger held back by `rebalancing` keeps its streak and
+        // cooldown intact and fires on the first clear window.
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 2,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            ..Default::default()
+        });
+        let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(p.evaluate(&skewed, &[], &data, false), Decision::Hold);
+        // Ready, but a migration is in flight: held, not consumed.
+        assert_eq!(p.evaluate(&skewed, &[], &data, true), Decision::Hold);
+        assert_eq!(p.evaluate(&skewed, &[], &data, true), Decision::Hold);
+        match p.evaluate(&skewed, &[], &data, false) {
+            Decision::Rebalance { .. } => {}
+            other => panic!("expected immediate fire on the clear window, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skew_streak_survives_the_hysteresis_band() {
+        // Threshold 2.0, rearm 0.75: skew dipping to 1.6 (inside the
+        // [1.5, 2.0) band) holds the streak; dipping to 1.0 resets it.
+        let cfg = PolicyConfig {
+            patience: 3,
+            skew_threshold: 2.0,
+            skew_rearm: 0.75,
+            skew_min_heat: 0.1,
+            skew_cooldown: 0,
+            ..Default::default()
+        };
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        // skew = max/mean over 3 nodes: craft exact ratios.
+        let above = heat_view(&[(0, 9.0), (1, 1.0), (2, 2.0)]); // 9/4  = 2.25
+        let band = heat_view(&[(0, 8.0), (1, 3.0), (2, 4.0)]); // 8/5  = 1.6
+        let below = heat_view(&[(0, 4.0), (1, 4.0), (2, 4.0)]); // 1.0
+
+        let mut p = ElasticityPolicy::new(cfg);
+        p.evaluate(&above, &[], &data, false);
+        p.evaluate(&above, &[], &data, false);
+        p.evaluate(&band, &[], &data, false); // streak held, not advanced
+        match p.evaluate(&above, &[], &data, false) {
+            Decision::Rebalance { .. } => {}
+            other => panic!("band preserved the streak, got {other:?}"),
+        }
+
+        let mut p = ElasticityPolicy::new(cfg);
+        p.evaluate(&above, &[], &data, false);
+        p.evaluate(&above, &[], &data, false);
+        p.evaluate(&below, &[], &data, false); // full reset
+        assert_eq!(p.evaluate(&above, &[], &data, false), Decision::Hold);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Replay an arbitrary skew sequence through the trigger and
+            /// count the fires: between any two fires there must be at
+            /// least `patience + cooldown` windows, nothing fires on an
+            /// unarmed window, and nothing fires without `patience` armed
+            /// windows behind it.
+            #[test]
+            fn skew_trigger_never_oscillates(
+                skews in proptest::collection::vec(0.5f64..4.0, 1..80),
+                patience in 1u32..4,
+                cooldown in 0u32..4,
+            ) {
+                let threshold = 2.0;
+                let cfg = PolicyConfig {
+                    patience,
+                    skew_threshold: threshold,
+                    skew_rearm: 0.9,
+                    skew_min_heat: 0.1,
+                    skew_cooldown: cooldown,
+                    ..Default::default()
+                };
+                let mut p = ElasticityPolicy::new(cfg);
+                let data = [NodeId(0), NodeId(1)];
+                let mut fires = Vec::new();
+                let mut armed_run = 0u32;
+                let mut ever_armed = false;
+                for (i, &skew) in skews.iter().enumerate() {
+                    // Three active nodes whose max/mean tracks the drawn
+                    // skew: heats (s, max(0, 3−s), 0) give a realized
+                    // skew of max(s, 3−s) for s ≤ 3, saturating at 3.
+                    let v = heat_view(&[
+                        (0, skew * 100.0),
+                        (1, (3.0 - skew).max(0.0) * 100.0),
+                        (2, 0.0),
+                    ]);
+                    let realized = v.heat_skew();
+                    let armed_now = realized > threshold;
+                    ever_armed |= armed_now;
+                    let d = p.evaluate(&v, &[], &data, false);
+                    let fired = matches!(d, Decision::Rebalance { .. });
+                    if fired {
+                        prop_assert!(armed_now, "fired on an unarmed window {i}");
+                        prop_assert!(
+                            armed_run + 1 >= patience,
+                            "fired at window {i} with only {armed_run} armed predecessors"
+                        );
+                        fires.push(i);
+                    }
+                    if armed_now {
+                        armed_run += 1;
+                    } else if realized < threshold * 0.9 {
+                        armed_run = 0;
+                    }
+                    if fired {
+                        armed_run = 0;
+                    }
+                }
+                for w in fires.windows(2) {
+                    prop_assert!(
+                        w[1] - w[0] >= (patience + cooldown) as usize,
+                        "fires {w:?} closer than patience {patience} + cooldown {cooldown}"
+                    );
+                }
+                // A sequence that never arms the trigger never fires.
+                if !ever_armed {
+                    prop_assert!(fires.is_empty());
+                }
+            }
+
+            /// Renumbering the nodes must renumber — not change — the
+            /// drain choice: the coldest physical node drains no matter
+            /// what id it carries.
+            #[test]
+            fn drain_choice_is_invariant_under_renumbering(
+                heats in proptest::collection::vec(0.0f64..100.0, 2..8),
+                rot in 1usize..7,
+            ) {
+                // Distinct heats (perturb by index) on nodes 1..=n; node 0
+                // is the master and stays fixed under renumbering.
+                let n = heats.len();
+                let rows: Vec<(u16, f64)> = std::iter::once((0u16, 1000.0))
+                    .chain(
+                        heats
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &h)| (i as u16 + 1, h + i as f64 * 1e-3)),
+                    )
+                    .collect();
+                let view_a = heat_view(&rows);
+                let data_a: Vec<NodeId> = (0..=n as u16).map(NodeId).collect();
+                let pick_a = coldest_drain_target(&view_a, &data_a).unwrap();
+
+                // Renumber the data nodes by rotation: old id i → perm(i).
+                let perm = |id: NodeId| {
+                    if id == NodeId(0) {
+                        NodeId(0)
+                    } else {
+                        NodeId(((id.raw() as usize - 1 + rot) % n) as u16 + 1)
+                    }
+                };
+                let rows_b: Vec<(u16, f64)> = rows
+                    .iter()
+                    .map(|&(id, h)| (perm(NodeId(id)).raw(), h))
+                    .collect();
+                let view_b = heat_view(&rows_b);
+                let data_b: Vec<NodeId> = data_a.iter().map(|&n| perm(n)).collect();
+                let pick_b = coldest_drain_target(&view_b, &data_b).unwrap();
+                prop_assert_eq!(
+                    pick_b,
+                    perm(pick_a),
+                    "renumbering changed the physical drain choice"
+                );
+            }
+        }
     }
 }
