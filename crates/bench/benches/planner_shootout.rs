@@ -1,6 +1,7 @@
 //! Planner shootout — fraction vs. heat-aware rebalance planning under a
-//! skewed (hot-range) TPC-C workload, plus an advancing-hotspot phase
-//! comparing historical-heat against drift-projected planning.
+//! skewed (hot-range) TPC-C workload, an advancing-hotspot phase
+//! comparing historical-heat against drift-projected planning, and a
+//! mixed-operator phase comparing count-based against cost-based heat.
 //!
 //! Stationary phase: 85 % of the clients hammer warehouse 0, which
 //! occupies the *bottom* of the single data node's key space. The legacy
@@ -12,12 +13,22 @@
 //! re-homes to warehouse 1 just before the thresholds arm (TPC-C's
 //! insert-advancing front). Historical heat points at the warehouse the
 //! front already left; the drift layer projects heat along its velocity
-//! so the planner ships where the heat is *going*. Compared: bytes
-//! shipped, heat relocated, post-rebalance max node CPU, and the hottest
-//! node's share of total heat.
+//! so the planner ships where the heat is *going*.
+//!
+//! Mixed-operator phase: point-read-hot clients on warehouse 0 share the
+//! node with periodic scan+aggregation queries over another warehouse.
+//! Count-based heat sees only access frequency and ships the point
+//! segments, leaving every scan cycle burning on the source; cost-based
+//! heat prices the operators and ships the scan *work*, so the CPU load
+//! genuinely splits. Compared: bytes shipped, heat relocated,
+//! post-rebalance max node CPU, and the hottest node's share of heat.
+//!
+//! The full summary is also written to `BENCH_planner.json` so CI can
+//! upload the perf trajectory as a machine-readable artifact.
 
 use wattdb_bench::{
-    run_drift_shootout, run_planner_shootout, DriftShootout, PlannerShootout, PlannerShootoutRow,
+    run_drift_shootout, run_mixed_shootout, run_planner_shootout, shootout_json, BenchJsonRow,
+    DriftShootout, MixedShootout, PlannerShootout, PlannerShootoutRow,
 };
 use wattdb_common::SimDuration;
 use wattdb_core::Planner;
@@ -34,12 +45,18 @@ fn row(label: &str, r: &PlannerShootoutRow) {
     );
 }
 
-fn main() {
-    println!("Planner shootout — skewed (hot-range) TPC-C, autopilot scale-out");
+fn header(first_col: &str) {
     println!(
-        "{:>12} {:>6} {:>10} {:>12} {:>11} {:>14} {:>16}",
-        "planner", "segs", "bytes", "heat planned", "heat moved", "post max cpu", "post heat share"
+        "{first_col:>12} {:>6} {:>10} {:>12} {:>11} {:>14} {:>16}",
+        "segs", "bytes", "heat planned", "heat moved", "post max cpu", "post heat share"
     );
+}
+
+fn main() {
+    let mut json = Vec::new();
+
+    println!("Planner shootout — skewed (hot-range) TPC-C, autopilot scale-out");
+    header("planner");
     let frac = run_planner_shootout(PlannerShootout {
         planner: Planner::Fraction,
         ..Default::default()
@@ -50,11 +67,17 @@ fn main() {
         ..Default::default()
     });
     row(heat.planner.label(), &heat);
+    json.push(BenchJsonRow {
+        phase: "stationary",
+        variant: "fraction".into(),
+        row: frac,
+    });
+    json.push(BenchJsonRow {
+        phase: "stationary",
+        variant: "heat-aware".into(),
+        row: heat,
+    });
 
-    assert!(
-        frac.rebalanced && heat.rebalanced,
-        "both runs must rebalance"
-    );
     let verdict = if heat.post_max_cpu < frac.post_max_cpu && heat.bytes_moved <= frac.bytes_moved {
         "heat-aware wins: lower post-rebalance max CPU for no more bytes"
     } else if heat.post_max_heat_share < frac.post_max_heat_share {
@@ -65,16 +88,7 @@ fn main() {
     println!("\n{verdict}");
 
     println!("\nAdvancing hotspot — the hot warehouse just moved on, heat-aware planner");
-    println!(
-        "{:>12} {:>6} {:>10} {:>12} {:>11} {:>14} {:>16}",
-        "heat input",
-        "segs",
-        "bytes",
-        "heat planned",
-        "heat moved",
-        "post max cpu",
-        "post heat share"
-    );
+    header("heat input");
     let historical = run_drift_shootout(DriftShootout {
         horizon: SimDuration::ZERO,
         ..Default::default()
@@ -82,10 +96,16 @@ fn main() {
     row("historical", &historical);
     let projected = run_drift_shootout(DriftShootout::default());
     row("projected", &projected);
-    assert!(
-        historical.rebalanced && projected.rebalanced,
-        "both drift runs must rebalance"
-    );
+    json.push(BenchJsonRow {
+        phase: "advancing",
+        variant: "historical".into(),
+        row: historical,
+    });
+    json.push(BenchJsonRow {
+        phase: "advancing",
+        variant: "projected".into(),
+        row: projected,
+    });
     let verdict = if projected.post_max_cpu < historical.post_max_cpu
         && projected.bytes_moved <= historical.bytes_moved
     {
@@ -96,4 +116,66 @@ fn main() {
         "no separation at this configuration"
     };
     println!("\n{verdict}");
+
+    let mixed_cfg = MixedShootout::default();
+    println!(
+        "\nMixed operators — point reads on warehouse 0, scans on warehouses {}..{}",
+        mixed_cfg.scan_lo, mixed_cfg.scan_hi
+    );
+    header("heat signal");
+    let count = run_mixed_shootout(MixedShootout {
+        cost_based: false,
+        ..mixed_cfg
+    });
+    row("count-heat", &count);
+    let cost = run_mixed_shootout(mixed_cfg);
+    row("cost-heat", &cost);
+    json.push(BenchJsonRow {
+        phase: "mixed",
+        variant: "count-heat".into(),
+        row: count,
+    });
+    json.push(BenchJsonRow {
+        phase: "mixed",
+        variant: "cost-heat".into(),
+        row: cost,
+    });
+    // Write the artifact BEFORE the acceptance gates, and land it at the
+    // repository root whatever CWD cargo ran the bench with: a failing
+    // gate is exactly the run whose numbers CI must still upload.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_planner.json");
+    let json_text = shootout_json(&json);
+    std::fs::write(&path, &json_text).expect("write BENCH_planner.json");
+    println!("\nwrote {}", path.display());
+
+    // Acceptance gates, most fundamental first.
+    assert!(
+        frac.rebalanced && heat.rebalanced,
+        "both stationary runs must rebalance"
+    );
+    assert!(
+        historical.rebalanced && projected.rebalanced,
+        "both drift runs must rebalance"
+    );
+    assert!(
+        count.rebalanced && cost.rebalanced,
+        "both mixed runs must rebalance"
+    );
+    // The tentpole's acceptance criterion: pricing the operators realizes
+    // a strictly better post-rebalance CPU balance for no extra bytes.
+    assert!(
+        cost.post_max_cpu < count.post_max_cpu,
+        "cost-based heat must realize lower post-rebalance max CPU: {:.1}% vs {:.1}%",
+        cost.post_max_cpu * 100.0,
+        count.post_max_cpu * 100.0
+    );
+    assert!(
+        cost.bytes_moved <= count.bytes_moved,
+        "cost-based heat must not ship more bytes: {} vs {}",
+        cost.bytes_moved,
+        count.bytes_moved
+    );
+    println!("\ncost-heat wins: lower post-rebalance max CPU for no more bytes");
 }

@@ -191,18 +191,29 @@ pub fn run_planner_shootout(cfg: PlannerShootout) -> PlannerShootoutRow {
         );
     });
     db.with_runtime(|cl, sim| start_mixed_clients(cl, sim, cfg.update_pct));
-    // Warm up until the autopilot's rebalance completes (bounded window).
+    settle_and_measure(&mut db, cfg.planner, 80, SimDuration::from_secs(30))
+}
+
+/// The shared tail of every shootout phase: run until the autopilot's
+/// rebalance completes (bounded poll), settle, then measure the
+/// post-rebalance max node CPU and heat share over a fresh status
+/// window.
+fn settle_and_measure(
+    db: &mut WattDb,
+    planner: wattdb_core::Planner,
+    poll_windows: u32,
+    settle: SimDuration,
+) -> PlannerShootoutRow {
     let mut rebalanced = false;
-    for _ in 0..80 {
+    for _ in 0..poll_windows {
         db.run_for(SimDuration::from_secs(5));
         if db.last_rebalance().is_some() && !db.rebalancing() {
             rebalanced = true;
             break;
         }
     }
-    // Settle, then measure post-rebalance CPU over a fresh status window.
     let _ = db.status();
-    db.run_for(SimDuration::from_secs(30));
+    db.run_for(settle);
     let status = db.status();
     let post_max_cpu = status
         .nodes
@@ -218,7 +229,7 @@ pub fn run_planner_shootout(cfg: PlannerShootout) -> PlannerShootoutRow {
     };
     let report = db.last_rebalance();
     PlannerShootoutRow {
-        planner: cfg.planner,
+        planner,
         rebalanced,
         bytes_moved: report.map(|r| r.bytes_moved).unwrap_or(0),
         segments_moved: report.map(|r| r.segments_moved).unwrap_or(0),
@@ -361,43 +372,13 @@ pub fn run_drift_shootout(cfg: DriftShootout) -> PlannerShootoutRow {
         },
         period: pilot_cfg.period,
     });
-    // Run until the autopilot's rebalance completes (bounded window).
-    let mut rebalanced = false;
-    for _ in 0..40 {
-        db.run_for(SimDuration::from_secs(5));
-        if db.last_rebalance().is_some() && !db.rebalancing() {
-            rebalanced = true;
-            break;
-        }
-    }
-    // Settle, then measure post-rebalance CPU over a fresh status window,
-    // inside the current warehouse's dwell.
-    let _ = db.status();
-    db.run_for(SimDuration::from_secs(25));
-    let status = db.status();
-    let post_max_cpu = status
-        .nodes
-        .iter()
-        .filter(|n| n.state == wattdb_energy::NodeState::Active)
-        .map(|n| n.cpu)
-        .fold(0.0, f64::max);
-    let total_heat: f64 = status.nodes.iter().map(|n| n.heat).sum();
-    let post_max_heat_share = if total_heat > 0.0 {
-        status.nodes.iter().map(|n| n.heat).fold(0.0, f64::max) / total_heat
-    } else {
-        0.0
-    };
-    let report = db.last_rebalance();
-    PlannerShootoutRow {
-        planner: wattdb_core::Planner::HeatAware,
-        rebalanced,
-        bytes_moved: report.map(|r| r.bytes_moved).unwrap_or(0),
-        segments_moved: report.map(|r| r.segments_moved).unwrap_or(0),
-        heat_planned: report.map(|r| r.heat_planned).unwrap_or(0.0),
-        heat_moved: report.map(|r| r.heat_moved).unwrap_or(0.0),
-        post_max_cpu,
-        post_max_heat_share,
-    }
+    // The settle window stays inside the current warehouse's dwell.
+    settle_and_measure(
+        &mut db,
+        wattdb_core::Planner::HeatAware,
+        40,
+        SimDuration::from_secs(25),
+    )
 }
 
 fn scaled_costs(scale: u64) -> CostParams {
@@ -408,6 +389,177 @@ fn scaled_costs(scale: u64) -> CostParams {
     c.log_append = c.log_append * scale;
     c.buffer_hit = c.buffer_hit * scale;
     c
+}
+
+/// [`scaled_costs`] with an independent multiplier on the analytic
+/// operator costs: the mixed-operator shootout models light SQL point
+/// operations sharing a node with genuinely heavy scan/aggregation
+/// queries. Both heat signals in the comparison run with the *same*
+/// calibration — only the signal differs.
+fn mixed_costs(point_scale: u64, analytic_scale: u64) -> CostParams {
+    let mut c = scaled_costs(point_scale);
+    c.scan_per_record = c.scan_per_record * analytic_scale;
+    c.agg_per_record = c.agg_per_record * analytic_scale;
+    c.project_per_record = c.project_per_record * analytic_scale;
+    c.sort_per_record_level = c.sort_per_record_level * analytic_scale;
+    c
+}
+
+/// Configuration of the mixed-operator shootout: point-read-hot clients on
+/// warehouse 0 share a node with periodic scan+aggregation queries over a
+/// different warehouse range. Count-based heat sees only access counts
+/// (the point segments), cost-based heat sees the *work* (the scan
+/// segments); the autopilot scales out with whichever signal is in force.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedShootout {
+    /// Heat signal under test: cost-based (`true`) or count-based.
+    pub cost_based: bool,
+    /// OLTP clients (all homed on the hot warehouse).
+    pub clients: u32,
+    /// Mean client think time.
+    pub think: SimDuration,
+    /// Percentage of Payment (update) transactions; the rest OrderStatus.
+    pub update_pct: u32,
+    /// First warehouse of the scanned range (default: warehouse 2 only —
+    /// half-open `scan_lo..scan_hi`). The scanned table is ORDER-LINE:
+    /// the most rows per warehouse (most operator CPU) at the smallest
+    /// row width (fewest bytes to ship) — maximum contrast between
+    /// access-count heat and cost heat.
+    pub scan_lo: u32,
+    /// One past the last scanned warehouse.
+    pub scan_hi: u32,
+    /// Scan dispatch cadence.
+    pub scan_period: SimDuration,
+    /// TPC-C warehouses.
+    pub warehouses: u32,
+    /// Bulk-I/O scale.
+    pub io_scale: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for MixedShootout {
+    fn default() -> Self {
+        Self {
+            cost_based: true,
+            clients: 32,
+            think: SimDuration::from_millis(10),
+            update_pct: 20,
+            scan_lo: 2,
+            scan_hi: 3,
+            scan_period: SimDuration::from_secs(3),
+            warehouses: 4,
+            io_scale: 10,
+            seed: 3,
+        }
+    }
+}
+
+/// Run the mixed-operator shootout: one data node carrying both the
+/// point-read hotspot (warehouse 0) and the scanned range, one standby
+/// target, autopilot scale-out on the CPU ceiling. Scans re-resolve each
+/// segment's storage node at dispatch, so whichever segments the planner
+/// ships take their scan CPU with them.
+pub fn run_mixed_shootout(cfg: MixedShootout) -> PlannerShootoutRow {
+    let mut builder = WattDb::builder()
+        .nodes(2)
+        .scheme(Scheme::Physiological)
+        .warehouses(cfg.warehouses)
+        .density(0.02)
+        .segment_pages(16)
+        .io_scale(cfg.io_scale)
+        .costs(mixed_costs(8, 40))
+        .seed(cfg.seed)
+        .initial_data_nodes(&[NodeId(0)])
+        .policy(wattdb_core::PolicyConfig {
+            cpu_high: 0.8,
+            cpu_low: 0.02, // no scale-in during the measurement
+            patience: 2,
+            skew_threshold: 0.0, // CPU-triggered only: isolate the heat signal
+            ..Default::default()
+        })
+        .monitoring(SimDuration::from_secs(5))
+        .autopilot(true);
+    if !cfg.cost_based {
+        builder = builder.cost_model(None);
+    }
+    let mut db = builder.build();
+    db.with_cluster_mut(|c| {
+        c.auto_resubmit = false;
+        c.spawn_clients_skewed(
+            cfg.clients,
+            wattdb_tpcc::ClientConfig {
+                think_time: cfg.think,
+                ..Default::default()
+            },
+            1.0,
+            1,
+        );
+    });
+    db.with_runtime(|cl, sim| start_mixed_clients(cl, sim, cfg.update_pct));
+    // Periodic scan+aggregation over the scanned warehouse range.
+    let scan_table = wattdb_tpcc::TpccTable::OrderLine.table_id();
+    let scan_range = wattdb_tpcc::warehouse_range(cfg.scan_lo, cfg.scan_hi);
+    db.with_runtime(|cl, sim| {
+        let handle = cl.clone();
+        wattdb_sim::Repeater::every(sim, cfg.scan_period, move |sim| {
+            wattdb_core::scan::submit_scan(
+                &handle,
+                sim,
+                scan_table,
+                scan_range,
+                Some(wattdb_query::AggFunc::Sum),
+            );
+            true
+        });
+    });
+    settle_and_measure(
+        &mut db,
+        wattdb_core::Planner::HeatAware,
+        80,
+        SimDuration::from_secs(30),
+    )
+}
+
+/// One labelled row of the machine-readable shootout summary.
+#[derive(Debug, Clone)]
+pub struct BenchJsonRow {
+    /// Shootout phase (`"stationary"`, `"advancing"`, `"mixed"`).
+    pub phase: &'static str,
+    /// Variant within the phase (planner or heat-signal label).
+    pub variant: String,
+    /// The measured row.
+    pub row: PlannerShootoutRow,
+}
+
+/// Serialize the shootout summary as JSON (hand-rolled — the build is
+/// offline, no serde) so CI can upload the perf trajectory as an
+/// artifact and later PRs can diff it machine-readably.
+pub fn shootout_json(rows: &[BenchJsonRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"planner_shootout\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            concat!(
+                "    {{\"phase\": \"{}\", \"variant\": \"{}\", \"rebalanced\": {}, ",
+                "\"segments_moved\": {}, \"bytes_moved\": {}, \"heat_planned\": {:.3}, ",
+                "\"heat_moved\": {:.3}, \"post_max_cpu\": {:.4}, ",
+                "\"post_max_heat_share\": {:.4}}}{}\n"
+            ),
+            r.phase,
+            r.variant,
+            r.row.rebalanced,
+            r.row.segments_moved,
+            r.row.bytes_moved,
+            r.row.heat_planned,
+            r.row.heat_moved,
+            r.row.post_max_cpu,
+            r.row.post_max_heat_share,
+            sep,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Outcome of one scheme run.

@@ -135,6 +135,11 @@ impl Default for NetworkSpec {
 /// CPU cost parameters for engine operations, expressed as core-µs on the
 /// wimpy Atom cores. Calibrated so the Fig. 1 micro-benchmark lands near the
 /// paper's absolute numbers (≈40 k records/s for a local scan).
+///
+/// This is the **single source of truth** for per-operator costs: the
+/// query engine's `CostTrace` stages and the core executor's per-access
+/// accounting both price their work from these fields (the executor used
+/// to inline some of them as literals, which could silently diverge).
 #[derive(Debug, Clone, Copy)]
 pub struct CostParams {
     /// Producing one record from a table scan (page decode amortized).
@@ -157,6 +162,17 @@ pub struct CostParams {
     pub log_append: SimDuration,
     /// Buffer-pool hit bookkeeping.
     pub buffer_hit: SimDuration,
+    /// Master-side routing work per transaction (route table lookup and
+    /// dispatch).
+    pub txn_route: SimDuration,
+    /// Acquiring and releasing the latch pair around one record operation.
+    pub latch_pair: SimDuration,
+    /// Spin before re-probing routing when a key sits in a moving window's
+    /// edge (dual-pointer miss).
+    pub route_retry_spin: SimDuration,
+    /// Latching charged when an eviction triggers an asynchronous
+    /// writeback (buffer churn).
+    pub writeback_latch: SimDuration,
 }
 
 impl Default for CostParams {
@@ -172,6 +188,10 @@ impl Default for CostParams {
             record_read: SimDuration::from_micros(3),
             log_append: SimDuration::from_micros(2),
             buffer_hit: SimDuration::from_micros(1),
+            txn_route: SimDuration::from_micros(20),
+            latch_pair: SimDuration::from_micros(2),
+            route_retry_spin: SimDuration::from_micros(50),
+            writeback_latch: SimDuration::from_micros(20),
         }
     }
 }

@@ -10,6 +10,7 @@
 //! bottom of the dependency stack.
 
 pub mod config;
+pub mod cost;
 pub mod error;
 pub mod heat;
 pub mod ids;
@@ -20,6 +21,7 @@ pub mod time;
 pub mod units;
 
 pub use config::{CostParams, DiskSpec, HardwareSpec, NetworkSpec, PowerSpec};
+pub use cost::{CostModel, CostVector};
 pub use error::{Error, Result};
 pub use heat::{DriftConfig, Heat, HeatConfig, HeatVelocity};
 pub use ids::{

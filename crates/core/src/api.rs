@@ -28,7 +28,9 @@
 //! assert_eq!(status.nodes.len(), 4);
 //! ```
 
-use wattdb_common::{DriftConfig, HeatConfig, NodeId, SimDuration, SimTime, Watts};
+use wattdb_common::{
+    CostModel, DriftConfig, HeatConfig, KeyRange, NodeId, SimDuration, SimTime, TableId, Watts,
+};
 use wattdb_energy::NodeState;
 use wattdb_planner::{Plan, Planner};
 use wattdb_sim::{Sim, UtilizationProbe};
@@ -141,6 +143,17 @@ impl WattDbBuilder {
     /// Heat-tracking parameters: decay half-life and per-access weights.
     pub fn heat_tracking(mut self, h: HeatConfig) -> Self {
         self.cfg.heat = h;
+        self
+    }
+
+    /// The heat signal's cost model. `Some` (the default) makes heat
+    /// **cost-based**: every access charges its scalarized CPU/page/
+    /// network demand, so CPU-heavy operators weigh more than cheap point
+    /// reads. `None` disables cost tracing; heat falls back to the flat
+    /// per-access weights of [`WattDbBuilder::heat_tracking`] — exactly
+    /// the legacy weighted-count behaviour.
+    pub fn cost_model(mut self, m: impl Into<Option<CostModel>>) -> Self {
+        self.cfg.cost_model = m.into();
         self
     }
 
@@ -257,6 +270,9 @@ pub struct ClusterStatus {
     pub segments: usize,
     /// Is a rebalance in flight?
     pub rebalancing: bool,
+    /// Which heat signal drives placement: `"cost"` (scalarized access
+    /// cost, the default) or `"count"` (flat weighted access counts).
+    pub heat_signal: &'static str,
 }
 
 /// A running WattDB deployment under simulation.
@@ -485,6 +501,28 @@ impl WattDb {
         c.heat.node_heat(&c.seg_dir, node, self.sim.now()).value()
     }
 
+    /// The cost model scalarizing access cost into heat, if heat runs
+    /// cost-based (`None` = legacy weighted counts).
+    pub fn cost_model(&self) -> Option<CostModel> {
+        self.cluster.borrow().heat.cost_model().copied()
+    }
+
+    /// Dispatch an analytic range scan of `table` over `range`, optionally
+    /// topped by a group-aggregation on the storage node. The scan's
+    /// operator cost (priced by `wattdb_query` from the shared
+    /// [`wattdb_common::CostParams`]) is charged to each covered
+    /// segment's heat at dispatch, and its hardware demands replay
+    /// through the cluster's shared resources as virtual time advances —
+    /// call [`WattDb::run_for`] to let them drain.
+    pub fn scan(
+        &mut self,
+        table: TableId,
+        range: KeyRange,
+        agg: Option<wattdb_query::AggFunc>,
+    ) -> crate::scan::ScanReport {
+        crate::scan::submit_scan(&self.cluster, &mut self.sim, table, range, agg)
+    }
+
     /// Per-segment drift snapshot at the given projection horizon,
     /// hottest *projected* first: current heat, estimated velocity, and
     /// `max(0, heat + velocity × horizon)`. Velocities accumulate while a
@@ -547,6 +585,7 @@ impl WattDb {
                 .count(),
             segments: c.seg_dir.len(),
             rebalancing: c.mover.is_some(),
+            heat_signal: c.heat.signal_label(),
             nodes,
             total_power: total,
         }

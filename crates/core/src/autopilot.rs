@@ -124,6 +124,9 @@ pub struct ControlEvent {
     /// moves (the heat-aware path can fall back to the fraction
     /// heuristic); otherwise the planner configured at the time.
     pub planner: wattdb_planner::Planner,
+    /// The heat signal the view was built from: `"cost"` (scalarized
+    /// access cost) or `"count"` (flat weighted access counts).
+    pub signal: &'static str,
 }
 
 /// The threshold a decision variant answers to.
@@ -169,6 +172,7 @@ impl AutoPilot {
         if cl.borrow().cfg.scheme == crate::cluster::Scheme::Logical {
             policy_cfg.skew_threshold = 0.0;
         }
+        let signal = cl.borrow().heat.signal_label();
         let mut policy = ElasticityPolicy::new(policy_cfg);
         let shared = Rc::new(RefCell::new(Shared {
             events: Vec::new(),
@@ -196,6 +200,7 @@ impl AutoPilot {
                     trigger: "",
                     outcome: Outcome::Suspended { nodes: off },
                     planner: policy_cfg.planner,
+                    signal,
                 });
             }
             // Observe *after* any suspension, so a node just returned to
@@ -225,6 +230,7 @@ impl AutoPilot {
                         trigger,
                         outcome: Outcome::Deferred { reason },
                         planner: policy_cfg.planner,
+                        signal,
                     });
                 } else {
                     // Record the planner that actually produced the moves —
@@ -251,6 +257,7 @@ impl AutoPilot {
                         trigger,
                         outcome,
                         planner: used.unwrap_or(policy_cfg.planner),
+                        signal,
                     });
                 }
             }

@@ -13,9 +13,9 @@ use std::rc::Rc;
 
 use wattdb_common::config::DiskKind;
 use wattdb_common::{
-    ByteSize, CostParams, DetRng, DiskId, DriftConfig, HardwareSpec, HeatConfig, Key, KeyRange,
-    NetworkSpec, NodeId, PartitionId, PowerSpec, Result, SegmentId, SimDuration, SimTime, TableId,
-    Watts,
+    ByteSize, CostModel, CostParams, DetRng, DiskId, DriftConfig, HardwareSpec, HeatConfig, Key,
+    KeyRange, NetworkSpec, NodeId, PartitionId, PowerSpec, Result, SegmentId, SimDuration, SimTime,
+    TableId, Watts,
 };
 use wattdb_energy::{EnergyMeter, NodeState, PowerModel};
 use wattdb_index::{GlobalRouter, SegmentIndex, TopIndex};
@@ -89,6 +89,12 @@ pub struct ClusterConfig {
     pub bucket: SimDuration,
     /// Per-segment heat tracking (decay half-life and access weights).
     pub heat: HeatConfig,
+    /// Scalarization of per-access cost vectors into heat. `Some` (the
+    /// default) makes heat **cost-based** — every access weighs its
+    /// actual CPU/page/network demand; `None` disables cost tracing and
+    /// heat falls back to the flat per-access weights in `heat`
+    /// (the legacy weighted-count signal, bit-for-bit).
+    pub cost_model: Option<CostModel>,
     /// Heat-drift tracking: velocity EWMA horizon and the projection
     /// horizon the planner plans against (zero horizon = historical heat).
     pub drift: DriftConfig,
@@ -113,6 +119,7 @@ impl Default for ClusterConfig {
             group_commit: SimDuration::from_millis(2),
             bucket: SimDuration::from_secs(10),
             heat: HeatConfig::default(),
+            cost_model: Some(CostModel::default()),
             drift: DriftConfig::default(),
             seed: 42,
         }
@@ -278,7 +285,7 @@ impl Cluster {
         let metrics = Metrics::new(SimTime::ZERO, cfg.bucket);
         let power_model = PowerModel::new(cfg.power);
         let cc = cfg.cc_mode;
-        let heat = HeatTable::new(cfg.heat);
+        let heat = HeatTable::with_cost_model(cfg.heat, cfg.cost_model);
         let drift = crate::heat::DriftTracker::new(cfg.drift);
         Rc::new(RefCell::new(Cluster {
             cfg,

@@ -11,10 +11,24 @@
 //! ITEM is treated as a read-only replicated table (the standard
 //! distributed-TPC-C arrangement): item lookups execute locally and never
 //! route.
+//!
+//! Beyond simulator actions, every operation accumulates its **actual
+//! operator cost** — a [`CostVector`] of core CPU, buffer-pool page
+//! touches, and remote-fetch bytes, the same currency the query crate's
+//! `CostTrace` collapses into — and charges it to the segment's heat
+//! at apply time. With a cost model configured (the default) the heat
+//! signal therefore measures the *work* each segment causes; with cost
+//! tracing off the executor falls back to the legacy flat-weight calls at
+//! the original call sites, reproducing the weighted-count signal
+//! exactly. All per-operation prices come from the shared
+//! [`wattdb_query::CostParams`] calibration — the executor keeps no
+//! constants of its own.
 
 use wattdb_common::{
-    ByteSize, Error, Key, NodeId, PageId, PartitionId, SegmentId, SimDuration, SimTime, TxnId,
+    ByteSize, CostVector, Error, Key, NodeId, PageId, PartitionId, SegmentId, SimDuration, SimTime,
+    TxnId,
 };
+use wattdb_query::CostParams;
 use wattdb_sim::{CostCategory, CostProfile, EventFn, Resource, Sim};
 use wattdb_storage::{Fetch, PAGE_SIZE};
 use wattdb_tpcc::{Op, OpKind, TpccTable, TxnProfile};
@@ -69,6 +83,11 @@ pub struct TxnJob {
     cur: Option<(PartitionId, NodeId, SegmentId)>,
     /// Accumulated CPU not yet charged.
     cpu_accum: SimDuration,
+    /// Hardware demand of the current operation attempt, charged to the
+    /// segment's cost-heat at apply time.
+    op_cost: CostVector,
+    /// Did the current operation need a remote page fetch?
+    op_remote: bool,
     /// Per-category time attribution.
     pub costs: CostProfile,
     write_nodes: Vec<NodeId>,
@@ -161,6 +180,8 @@ impl Cluster {
                 lock_wait_started: None,
                 cur: None,
                 cpu_accum: SimDuration::ZERO,
+                op_cost: CostVector::ZERO,
+                op_remote: false,
                 costs: CostProfile::new(),
                 write_nodes: Vec::new(),
                 commit_pending: 0,
@@ -179,11 +200,8 @@ impl Cluster {
         // One-time master routing work per transaction.
         if !job.routed {
             job.routed = true;
-            return Action::Cpu(
-                NodeId::MASTER,
-                SimDuration::from_micros(20),
-                CostCategory::Cpu,
-            );
+            let route = self.cfg.costs.txn_route;
+            return Action::Cpu(NodeId::MASTER, route, CostCategory::Cpu);
         }
         if job.next_op >= job.ops.len() {
             return self.begin_commit(now, job_id);
@@ -234,7 +252,7 @@ impl Cluster {
             // Moving window edge: retry shortly via a tiny CPU spin.
             return Action::Cpu(
                 self.jobs[&job_id].current_node,
-                SimDuration::from_micros(50),
+                self.cfg.costs.route_retry_spin,
                 CostCategory::Other,
             );
         };
@@ -307,16 +325,11 @@ impl Cluster {
             Some((_, _, seg)) => self.indexes[&seg].height() as u64,
             None => 2, // ITEM replica
         };
-        let mut cpu = costs.index_node_visit * height + SimDuration::from_micros(2); // latches
-        cpu += match op.kind {
-            OpKind::Read => costs.record_read,
-            OpKind::Update => costs.record_read + costs.record_write + costs.log_append,
-            OpKind::Insert => costs.record_write + costs.log_append,
-            OpKind::Delete => costs.record_read + costs.record_write + costs.log_append,
-        };
+        let cpu = op_cpu_cost(&costs, op.kind, height);
         let job = self.jobs.get_mut(&job_id).expect("live job");
         job.stage = OpStage::Io;
         job.cpu_accum += cpu;
+        job.op_cost.cpu += cpu;
         Action::Loop
     }
 
@@ -347,12 +360,17 @@ impl Cluster {
         let meta = self.seg_dir.get(seg).expect("segment meta");
         let storage_node = meta.node;
         let disk = meta.disk.index;
+        let costed = self.heat.cost_model().is_some();
+        let writeback_latch = self.cfg.costs.writeback_latch;
+        let buffer_hit = self.cfg.costs.buffer_hit;
         let buf = &mut self.nodes[exec_node.raw() as usize].buffer;
         match buf.fetch_pin(page) {
             Fetch::Hit => {
                 buf.unpin(page, op.kind != OpKind::Read);
                 let job = self.jobs.get_mut(&job_id).expect("live job");
-                job.cpu_accum += self.cfg.costs.buffer_hit;
+                job.cpu_accum += buffer_hit;
+                job.op_cost.cpu += buffer_hit;
+                job.op_cost.pages += 1;
                 Action::Loop
             }
             Fetch::Miss { writeback } => {
@@ -361,15 +379,23 @@ impl Cluster {
                     // Asynchronous writeback occupies the disk but does not
                     // block the job; buffer churn shows up as latching.
                     let job = self.jobs.get_mut(&job_id).expect("live job");
-                    job.costs
-                        .record(CostCategory::Latching, SimDuration::from_micros(20));
+                    job.costs.record(CostCategory::Latching, writeback_latch);
                 }
+                let job = self.jobs.get_mut(&job_id).expect("live job");
+                job.op_cost.pages += 1;
                 if storage_node == exec_node {
                     Action::DiskRead(storage_node, disk)
                 } else {
                     // Physical partitioning's penalty — and the strongest
-                    // heat signal for moving the segment to its users.
-                    self.heat.record_remote_fetch(seg, now);
+                    // heat signal for moving the segment to its users. The
+                    // cost path folds the wire bytes into the operation's
+                    // vector (charged at apply); the count path records the
+                    // flat surcharge here, exactly as it always did.
+                    job.op_remote = true;
+                    job.op_cost.net_bytes += PAGE_SIZE as u64 + 64;
+                    if !costed {
+                        self.heat.record_remote_fetch(seg, now);
+                    }
                     Action::RemoteRead {
                         exec: exec_node,
                         storage: storage_node,
@@ -381,10 +407,15 @@ impl Cluster {
                 buf.unpin(page, op.kind != OpKind::Read);
                 if writeback.is_some() {
                     let job = self.jobs.get_mut(&job_id).expect("live job");
-                    job.costs
-                        .record(CostCategory::Latching, SimDuration::from_micros(20));
+                    job.costs.record(CostCategory::Latching, writeback_latch);
                 }
-                self.heat.record_remote_fetch(seg, now);
+                let job = self.jobs.get_mut(&job_id).expect("live job");
+                job.op_cost.pages += 1;
+                job.op_remote = true;
+                job.op_cost.net_bytes += PAGE_SIZE as u64 + 64;
+                if !costed {
+                    self.heat.record_remote_fetch(seg, now);
+                }
                 Action::RemoteBufferFetch(exec_node)
             }
         }
@@ -395,11 +426,29 @@ impl Cluster {
         // Feed the heat table here, not in `op_start`: the start stage
         // re-runs after every hop and lock-wait resume, while the apply
         // stage executes exactly once per operation attempt. (ITEM
-        // replica reads carry no `cur` and stay heat-free.)
+        // replica reads carry no `cur` and stay heat-free.) With a cost
+        // model the operation's accumulated CostVector — its *actual*
+        // operator cost — is what gets charged; without one the legacy
+        // flat-weight calls run at the original sites.
         if let Some((_, _, seg)) = self.jobs[&job_id].cur {
-            match op.kind {
-                OpKind::Read => self.heat.record_read(seg, now),
-                _ => self.heat.record_write(seg, now),
+            let kind = match op.kind {
+                OpKind::Read => crate::heat::AccessKind::Read,
+                _ => crate::heat::AccessKind::Write,
+            };
+            if self.heat.cost_model().is_some() {
+                let (cost, remote) = {
+                    let job = self.jobs.get_mut(&job_id).expect("live job");
+                    (
+                        std::mem::take(&mut job.op_cost),
+                        std::mem::take(&mut job.op_remote),
+                    )
+                };
+                self.heat.record_access(seg, now, kind, cost, remote);
+            } else {
+                match kind {
+                    crate::heat::AccessKind::Read => self.heat.record_read(seg, now),
+                    crate::heat::AccessKind::Write => self.heat.record_write(seg, now),
+                }
             }
         }
         let result: Result<(), Error> = match self.jobs[&job_id].cur {
@@ -480,6 +529,8 @@ impl Cluster {
                 job.stage = OpStage::Start;
                 job.locks_acquired = 0;
                 job.cur = None;
+                job.op_cost = CostVector::ZERO;
+                job.op_remote = false;
                 Action::Loop
             }
             Err(Error::TxnAborted { .. }) | Err(Error::DuplicateKey(_)) => Action::Retry,
@@ -515,6 +566,22 @@ impl Cluster {
         }
         Action::CommitWait
     }
+}
+
+/// The CPU price of one record operation on an index of the given height,
+/// from the shared [`CostParams`] calibration: index descent, the latch
+/// pair, and the record/log work of the operation kind. This is the value
+/// charged to the node's cores *and* to the segment's cost-heat — one
+/// model, two consumers.
+pub fn op_cpu_cost(costs: &CostParams, kind: OpKind, index_height: u64) -> SimDuration {
+    let mut cpu = costs.index_node_visit * index_height + costs.latch_pair;
+    cpu += match kind {
+        OpKind::Read => costs.record_read,
+        OpKind::Update => costs.record_read + costs.record_write + costs.log_append,
+        OpKind::Insert => costs.record_write + costs.log_append,
+        OpKind::Delete => costs.record_read + costs.record_write + costs.log_append,
+    };
+    cpu
 }
 
 /// Drive `job` until it blocks, scheduling the blocking action's
@@ -841,6 +908,8 @@ fn abort_and_retry(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
             job.stage = OpStage::Start;
             job.locks_acquired = 0;
             job.cur = None;
+            job.op_cost = CostVector::ZERO;
+            job.op_remote = false;
             job.write_nodes.clear();
             job.routed = false;
             job.current_node = NodeId::MASTER;

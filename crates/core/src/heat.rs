@@ -1,12 +1,23 @@
-//! Per-segment access-heat tracking: the data the heat-aware planner
-//! plans from.
+//! Per-segment heat tracking: the data the heat-aware planner plans from.
 //!
 //! Every executor access resolves to a segment; the [`HeatTable`] charges
-//! that segment a weighted increment (reads, writes, and remote page
-//! fetches weigh differently, see [`HeatConfig`]) on top of an
-//! exponentially decayed running total — an EWMA in simulated time. Decay
-//! is applied lazily at touch/read time, so idle segments cost nothing to
-//! age.
+//! that segment an increment on top of an exponentially decayed running
+//! total — an EWMA in simulated time. Decay is applied lazily at
+//! touch/read time, so idle segments cost nothing to age.
+//!
+//! **What one access is worth** depends on the configured signal:
+//!
+//! * **Cost-based** (the default, [`CostModel`] present): the access's
+//!   actual hardware demand — a [`CostVector`] of core CPU time, buffer
+//!   page touches, and interconnect bytes, the same currency as
+//!   `wattdb_query`'s `CostTrace` — is scalarized into heat. A CPU-heavy
+//!   scan/aggregation weighs what it costs; a cheap point read weighs
+//!   what *it* costs. This is the query-cost-estimated planning of Arsov
+//!   et al.: the planner balances *work*, not access counts.
+//! * **Count-based** (cost tracing off, `CostModel` absent): the original
+//!   flat per-access-kind weights (reads, writes, and remote page fetches
+//!   weigh differently, see [`HeatConfig`]) — byte-for-byte the legacy
+//!   behaviour.
 //!
 //! Heat is keyed by [`SegmentId`] and therefore *travels with the segment*
 //! across physiological moves: after a rebalance the target node's rolled-
@@ -17,18 +28,29 @@
 //! per-window heat deltas that lets the planner plan against projected
 //! heat — where the workload is going, not where it was (moving TPC-C
 //! insert hotspots). [`plan_scale_out`] and [`plan_drain`] consume the
-//! projected view whenever the cluster's drift horizon is non-zero.
+//! projected view whenever the cluster's drift horizon is non-zero, and
+//! accumulate/project cost-heat exactly as they did count-heat.
 
 use std::collections::HashMap;
 
-use wattdb_common::{Heat, HeatConfig, NodeId, SegmentId, SimTime, TableId};
+use wattdb_common::{CostModel, CostVector, Heat, HeatConfig, NodeId, SegmentId, SimTime, TableId};
 use wattdb_storage::SegmentDirectory;
 
 pub mod drift;
 
 pub use drift::{DriftTracker, SegmentDrift, SegmentDriftStat};
 
-/// One segment's tracked heat and raw access counters.
+/// What kind of record operation an access was (drives the flat-weight
+/// fallback and the lifetime counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A point/range read.
+    Read,
+    /// An update/insert/delete.
+    Write,
+}
+
+/// One segment's tracked heat, raw access counters, and accumulated cost.
 #[derive(Debug, Clone, Copy)]
 pub struct SegmentHeat {
     /// Decayed heat as of `last_touch`.
@@ -39,6 +61,11 @@ pub struct SegmentHeat {
     pub writes: u64,
     /// Accesses that needed a remote page fetch (undecayed lifetime count).
     pub remote_fetches: u64,
+    /// Analytic scans executed over the segment (undecayed lifetime count).
+    pub scans: u64,
+    /// Undecayed lifetime hardware demand charged to the segment (zero
+    /// when running count-based).
+    pub cost: CostVector,
     /// When `heat` was last brought current.
     pub last_touch: SimTime,
 }
@@ -61,6 +88,10 @@ pub struct SegmentHeatStat {
     pub writes: u64,
     /// Lifetime remote page fetches.
     pub remote_fetches: u64,
+    /// Lifetime analytic scans.
+    pub scans: u64,
+    /// Lifetime hardware demand (zero when running count-based).
+    pub cost: CostVector,
     /// Disk footprint in bytes (before `io_scale`).
     pub bytes: u64,
 }
@@ -69,14 +100,25 @@ pub struct SegmentHeatStat {
 #[derive(Debug)]
 pub struct HeatTable {
     cfg: HeatConfig,
+    /// Scalarization of cost vectors into heat; `None` falls back to the
+    /// flat per-access weights in `cfg` (the legacy count-based signal).
+    model: Option<CostModel>,
     segments: HashMap<SegmentId, SegmentHeat>,
 }
 
 impl HeatTable {
-    /// Empty table with the given decay/weight configuration.
+    /// Empty **count-based** table with the given decay/weight
+    /// configuration (the legacy signal; cost vectors are ignored).
     pub fn new(cfg: HeatConfig) -> Self {
+        Self::with_cost_model(cfg, None)
+    }
+
+    /// Empty table; with a [`CostModel`] the heat signal is the
+    /// scalarized access cost, without one it is the flat weighted count.
+    pub fn with_cost_model(cfg: HeatConfig, model: Option<CostModel>) -> Self {
         Self {
             cfg,
+            model,
             segments: HashMap::new(),
         }
     }
@@ -86,6 +128,23 @@ impl HeatTable {
         &self.cfg
     }
 
+    /// The cost model in force, if the table runs cost-based.
+    pub fn cost_model(&self) -> Option<&CostModel> {
+        self.model.as_ref()
+    }
+
+    /// Label of the heat signal in force — `"cost"` (scalarized access
+    /// cost) or `"count"` (flat weighted access counts). The single
+    /// source for every surface that reports the signal
+    /// (`ClusterStatus::heat_signal`, `ControlEvent::signal`).
+    pub fn signal_label(&self) -> &'static str {
+        if self.model.is_some() {
+            "cost"
+        } else {
+            "count"
+        }
+    }
+
     fn bump(&mut self, seg: SegmentId, now: SimTime, weight: f64) -> &mut SegmentHeat {
         let half_life = self.cfg.half_life;
         let e = self.segments.entry(seg).or_insert(SegmentHeat {
@@ -93,6 +152,8 @@ impl HeatTable {
             reads: 0,
             writes: 0,
             remote_fetches: 0,
+            scans: 0,
+            cost: CostVector::ZERO,
             last_touch: now,
         });
         e.heat = e.heat.decayed(now.since(e.last_touch), half_life) + Heat(weight);
@@ -100,20 +161,79 @@ impl HeatTable {
         e
     }
 
-    /// Charge a local read access.
+    /// Charge one record operation. `cost` is the access's measured
+    /// hardware demand (CPU charged by the executor, pages pulled through
+    /// the buffer pool, remote-fetch bytes); `remote` marks accesses that
+    /// needed a remote page fetch. Cost-based tables scalarize the vector;
+    /// count-based tables reduce to exactly the legacy flat weights
+    /// (`read`/`write` plus the `remote` surcharge) and ignore the vector.
+    pub fn record_access(
+        &mut self,
+        seg: SegmentId,
+        now: SimTime,
+        kind: AccessKind,
+        cost: CostVector,
+        remote: bool,
+    ) {
+        let weight = match &self.model {
+            Some(m) => m.heat_of(cost).value(),
+            None => {
+                let base = match kind {
+                    AccessKind::Read => self.cfg.read_weight,
+                    AccessKind::Write => self.cfg.write_weight,
+                };
+                base + if remote { self.cfg.remote_weight } else { 0.0 }
+            }
+        };
+        let costed = self.model.is_some();
+        let e = self.bump(seg, now, weight);
+        match kind {
+            AccessKind::Read => e.reads += 1,
+            AccessKind::Write => e.writes += 1,
+        }
+        if remote {
+            e.remote_fetches += 1;
+        }
+        if costed {
+            e.cost += cost;
+        }
+    }
+
+    /// Charge one analytic scan (plus any attached operators) executed
+    /// over the segment. Cost-based tables charge the operator cost — the
+    /// whole point of cost-heat: a scan weighs its CPU/pages/bytes, not
+    /// its single access. Count-based tables charge one `read_weight`
+    /// (one access is what the legacy signal can see).
+    pub fn record_scan(&mut self, seg: SegmentId, now: SimTime, cost: CostVector) {
+        let weight = match &self.model {
+            Some(m) => m.heat_of(cost).value(),
+            None => self.cfg.read_weight,
+        };
+        let costed = self.model.is_some();
+        let e = self.bump(seg, now, weight);
+        e.scans += 1;
+        if costed {
+            e.cost += cost;
+        }
+    }
+
+    /// Charge a local read access at the flat `read_weight` (legacy entry
+    /// point; synthetic scenario drivers and tests inject heat through
+    /// this regardless of the configured signal).
     pub fn record_read(&mut self, seg: SegmentId, now: SimTime) {
         let w = self.cfg.read_weight;
         self.bump(seg, now, w).reads += 1;
     }
 
-    /// Charge a write access (update/insert/delete).
+    /// Charge a write access at the flat `write_weight` (legacy entry
+    /// point, see [`HeatTable::record_read`]).
     pub fn record_write(&mut self, seg: SegmentId, now: SimTime) {
         let w = self.cfg.write_weight;
         self.bump(seg, now, w).writes += 1;
     }
 
-    /// Charge the remote-fetch surcharge on top of the read/write already
-    /// recorded for the operation.
+    /// Charge the flat remote-fetch surcharge on top of the read/write
+    /// already recorded for the operation (legacy entry point).
     pub fn record_remote_fetch(&mut self, seg: SegmentId, now: SimTime) {
         let w = self.cfg.remote_weight;
         self.bump(seg, now, w).remote_fetches += 1;
@@ -155,6 +275,8 @@ impl HeatTable {
                     reads: tracked.map(|t| t.reads).unwrap_or(0),
                     writes: tracked.map(|t| t.writes).unwrap_or(0),
                     remote_fetches: tracked.map(|t| t.remote_fetches).unwrap_or(0),
+                    scans: tracked.map(|t| t.scans).unwrap_or(0),
+                    cost: tracked.map(|t| t.cost).unwrap_or(CostVector::ZERO),
                     bytes: m.disk_footprint().as_u64(),
                 }
             })
@@ -332,5 +454,121 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].seg, b, "writes outweigh reads");
         assert!(snap[0].heat > snap[1].heat);
+    }
+
+    // ------------------------------------------------------ cost-based heat
+
+    fn point_read_cost() -> CostVector {
+        CostVector {
+            cpu: SimDuration::from_micros(12),
+            pages: 1,
+            net_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn count_fallback_reduces_exactly_to_the_flat_weights() {
+        // The regression behind the back-compat guarantee: a count-based
+        // table fed through the unified `record_access` path must produce
+        // the *identical* heat trajectory as the legacy record_* calls,
+        // whatever cost vectors the executor hands it.
+        let mut unified = table();
+        let mut legacy = table();
+        let seg = SegmentId(7);
+        let steps: &[(u64, AccessKind, bool)] = &[
+            (0, AccessKind::Read, false),
+            (3, AccessKind::Write, false),
+            (3, AccessKind::Read, true),
+            (14, AccessKind::Write, true),
+            (40, AccessKind::Read, false),
+        ];
+        for &(secs, kind, remote) in steps {
+            let now = SimTime::from_secs(secs);
+            unified.record_access(seg, now, kind, point_read_cost(), remote);
+            match kind {
+                AccessKind::Read => legacy.record_read(seg, now),
+                AccessKind::Write => legacy.record_write(seg, now),
+            }
+            if remote {
+                legacy.record_remote_fetch(seg, now);
+            }
+            let (hu, hl) = (
+                unified.heat_of(seg, now).value(),
+                legacy.heat_of(seg, now).value(),
+            );
+            assert!(
+                (hu - hl).abs() < 1e-12,
+                "trajectories diverged at t={secs}: unified {hu} vs legacy {hl}"
+            );
+        }
+        let (u, l) = (unified.stats(seg).unwrap(), legacy.stats(seg).unwrap());
+        assert_eq!((u.reads, u.writes, u.remote_fetches), (3, 2, 2));
+        assert_eq!(
+            (u.reads, u.writes, u.remote_fetches),
+            (l.reads, l.writes, l.remote_fetches)
+        );
+        assert!(u.cost.is_zero(), "count-based tables accumulate no cost");
+    }
+
+    #[test]
+    fn cost_model_scalarizes_instead_of_counting() {
+        let mut t = HeatTable::with_cost_model(
+            HeatConfig {
+                half_life: SimDuration::ZERO,
+                ..Default::default()
+            },
+            Some(CostModel {
+                cpu_weight: 0.1,
+                page_weight: 1.0,
+                net_byte_weight: 0.01,
+            }),
+        );
+        let now = SimTime::from_secs(1);
+        let cost = CostVector {
+            cpu: SimDuration::from_micros(30),
+            pages: 2,
+            net_bytes: 100,
+        };
+        t.record_access(SegmentId(1), now, AccessKind::Read, cost, true);
+        let h = t.heat_of(SegmentId(1), now).value();
+        assert!((h - (3.0 + 2.0 + 1.0)).abs() < 1e-9, "{h}");
+        let s = t.stats(SegmentId(1)).unwrap();
+        assert_eq!((s.reads, s.remote_fetches), (1, 1));
+        assert_eq!(s.cost, cost, "lifetime cost accumulated");
+        assert!(t.cost_model().is_some());
+    }
+
+    #[test]
+    fn scans_weigh_their_cost_under_the_model_and_one_access_without() {
+        let scan_cost = CostVector {
+            cpu: SimDuration::from_micros(42_000), // 2000 records × 21 µs
+            pages: 100,
+            net_bytes: 0,
+        };
+        let now = SimTime::from_secs(1);
+        let mut costed =
+            HeatTable::with_cost_model(HeatConfig::default(), Some(CostModel::default()));
+        costed.record_scan(SegmentId(1), now, scan_cost);
+        costed.record_access(
+            SegmentId(2),
+            now,
+            AccessKind::Read,
+            point_read_cost(),
+            false,
+        );
+        let (scan_h, read_h) = (
+            costed.heat_of(SegmentId(1), now).value(),
+            costed.heat_of(SegmentId(2), now).value(),
+        );
+        assert!(
+            scan_h > 100.0 * read_h,
+            "a heavy scan dwarfs a point read under cost-heat: {scan_h} vs {read_h}"
+        );
+        assert_eq!(costed.stats(SegmentId(1)).unwrap().scans, 1);
+        // Count-based: the same scan is one access.
+        let mut counted = table();
+        counted.record_scan(SegmentId(1), now, scan_cost);
+        let h = counted.heat_of(SegmentId(1), now).value();
+        assert!((h - counted.config().read_weight).abs() < 1e-9, "{h}");
     }
 }

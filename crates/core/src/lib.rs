@@ -11,10 +11,15 @@
 //! * [`migration`] — physical / logical / physiological repartitioning
 //!   protocols (§4), including the §4.3 move protocol with master-first
 //!   dual pointers, segment read locks, and helper nodes (Fig. 8);
-//! * [`heat`] — per-segment access-heat tracking (EWMA-decayed in
-//!   sim-time), the workload signal behind `wattdb_planner`'s heat-aware
-//!   rebalance plans, plus the [`heat::drift`] velocity layer that lets
-//!   the planner plan against *projected* heat (moving hotspots);
+//! * [`heat`] — per-segment heat tracking (EWMA-decayed in sim-time),
+//!   the workload signal behind `wattdb_planner`'s heat-aware rebalance
+//!   plans. By default heat is **cost-based**: every access charges its
+//!   scalarized CPU/page/network cost (`CostModel`), so CPU-heavy
+//!   operators weigh more than point reads; the [`heat::drift`] velocity
+//!   layer lets the planner plan against *projected* heat (moving
+//!   hotspots);
+//! * [`scan`] — analytic range scans over live segments, evaluated and
+//!   costed by `wattdb_query` and replayed through the shared resources;
 //! * [`monitor`] / [`policy`] — utilization monitoring and the 80 %-CPU
 //!   threshold elasticity policy (§3.4) with a heat-skew rebalance
 //!   trigger and coldest-node scale-in, and a pluggable rebalance
@@ -38,15 +43,19 @@ pub mod migration;
 pub mod monitor;
 pub mod policy;
 pub mod replay;
+pub mod scan;
 
 pub use api::{ClusterStatus, NodeStatus, WattDb, WattDbBuilder};
 pub use autopilot::{AutoPilot, AutoPilotConfig, ControlEvent, Outcome, ViewSummary};
 pub use cluster::{Cluster, ClusterConfig, ClusterRc, NodeRuntime, Partition, Scheme};
 pub use heat::{
-    DriftTracker, HeatTable, SegmentDrift, SegmentDriftStat, SegmentHeat, SegmentHeatStat,
+    AccessKind, DriftTracker, HeatTable, SegmentDrift, SegmentDriftStat, SegmentHeat,
+    SegmentHeatStat,
 };
 pub use metrics::{Metrics, Phase};
 pub use migration::{MoveController, RebalanceReport, SegmentMove};
 pub use monitor::{ClusterView, NodeReport};
 pub use policy::{coldest_drain_target, Decision, ElasticityPolicy, PolicyConfig};
+pub use scan::{submit_scan, ScanReport};
+pub use wattdb_common::{CostModel, CostVector};
 pub use wattdb_planner::{Plan, PlanConfig, PlannedMove, Planner, SegmentStat};

@@ -27,8 +27,12 @@ pub struct NodeReport {
     pub net_tx: f64,
     /// Buffer-pool hit ratio in the window (cumulative approximation).
     pub buffer_hit_ratio: f64,
-    /// Total decayed access heat of the segments stored on the node
-    /// (the planner's placement signal).
+    /// Total decayed heat of the segments stored on the node — the
+    /// planner's placement signal. Under the default cost model this is
+    /// scalarized access *cost* (CPU/pages/network), so a node running
+    /// scans reports hotter than one serving the same number of point
+    /// reads; with cost tracing off it is the legacy weighted access
+    /// count.
     pub heat: f64,
     /// Active (vs. standby).
     pub active: bool,

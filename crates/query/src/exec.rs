@@ -15,7 +15,7 @@
 //!   overlaps shipping with production, hiding transfer time behind
 //!   upstream work.
 
-use wattdb_common::{CostParams, NodeId, SimDuration};
+use wattdb_common::{CostParams, CostVector, NodeId, SimDuration};
 
 use crate::plan::{AggFunc, PlanNode, Tuple};
 
@@ -107,6 +107,17 @@ impl CostTrace {
                 _ => 0,
             })
             .sum()
+    }
+
+    /// Collapse the trace into the common [`CostVector`] currency — the
+    /// bridge between operator-level cost traces and the per-segment
+    /// cost-heat accounting (`CostModel` scalarizes this into heat).
+    pub fn cost_vector(&self) -> CostVector {
+        CostVector {
+            cpu: self.total_cpu(),
+            pages: self.total_pages(),
+            net_bytes: self.total_net_bytes(),
+        }
     }
 }
 

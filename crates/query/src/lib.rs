@@ -18,3 +18,10 @@ pub mod plan;
 pub use exec::{execute, CostTrace, ExecConfig, Stage, StageKind};
 pub use optimizer::{place, NodeLoad, PlacementPolicy};
 pub use plan::{AggFunc, PlanNode, RowSource, SyntheticTable, Tuple};
+
+/// The per-operator cost calibration this engine prices its stages with.
+/// Re-exported as the query crate's cost model so downstream layers (the
+/// core executor's cost-heat accounting in particular) consume the same
+/// parameters the `CostTrace` stages were built from — one source of
+/// truth, no silently diverging constants.
+pub use wattdb_common::CostParams;
