@@ -27,8 +27,9 @@
 //! upload the perf trajectory as a machine-readable artifact.
 
 use wattdb_bench::{
-    run_drift_shootout, run_mixed_shootout, run_planner_shootout, shootout_json, BenchJsonRow,
-    DriftShootout, MixedShootout, PlannerShootout, PlannerShootoutRow,
+    run_drift_shootout, run_mixed_shootout, run_planner_shootout, run_transient_shootout,
+    shootout_json, BenchJsonRow, DriftShootout, MixedShootout, PlannerShootout, PlannerShootoutRow,
+    TransientShootout,
 };
 use wattdb_common::SimDuration;
 use wattdb_core::Planner;
@@ -140,6 +141,26 @@ fn main() {
         variant: "cost-heat".into(),
         row: cost,
     });
+    println!("\nTransient skew — the hot node flaps; helpers vs segment-shipping");
+    header("response");
+    let shipping = run_transient_shootout(TransientShootout {
+        helpers: false,
+        ..Default::default()
+    });
+    row("ship-segments", &shipping.row);
+    let helped = run_transient_shootout(TransientShootout::default());
+    row("helpers", &helped.row);
+    json.push(BenchJsonRow {
+        phase: "transient",
+        variant: "segment-shipping".into(),
+        row: shipping.row,
+    });
+    json.push(BenchJsonRow {
+        phase: "transient",
+        variant: "helpers".into(),
+        row: helped.row,
+    });
+
     // Write the artifact BEFORE the acceptance gates, and land it at the
     // repository root whatever CWD cargo ran the bench with: a failing
     // gate is exactly the run whose numbers CI must still upload.
@@ -178,4 +199,40 @@ fn main() {
         count.bytes_moved
     );
     println!("\ncost-heat wins: lower post-rebalance max CPU for no more bytes");
+
+    // Transient phase: every skew fire must have shipped under the
+    // shipping policy, none under helpers-first — and helpers must win
+    // on bytes at comparable post-rebalance max CPU.
+    assert!(
+        shipping.row.rebalanced && shipping.row.bytes_moved > 0,
+        "the shipping policy must have rebalanced the transient skew"
+    );
+    assert_eq!(
+        shipping.helper_attaches, 0,
+        "helper escalation disabled must never attach"
+    );
+    assert!(
+        helped.helper_attaches > 0,
+        "the helpers policy must have attached helpers"
+    );
+    assert_eq!(
+        helped.row.bytes_moved, 0,
+        "helpers-first must ship zero segment bytes, shipped {}",
+        helped.row.bytes_moved
+    );
+    assert!(
+        helped.row.post_max_cpu <= shipping.row.post_max_cpu + 0.10,
+        "helpers must hold a comparable post-rebalance max CPU: {:.1}% vs {:.1}%",
+        helped.row.post_max_cpu * 100.0,
+        shipping.row.post_max_cpu * 100.0
+    );
+    println!(
+        "\nhelpers win the transient phase: 0 B shipped (vs {} B) at {:.1}% vs {:.1}% max CPU \
+         ({} attaches, {} detaches)",
+        shipping.row.bytes_moved,
+        helped.row.post_max_cpu * 100.0,
+        shipping.row.post_max_cpu * 100.0,
+        helped.helper_attaches,
+        helped.helper_detaches,
+    );
 }

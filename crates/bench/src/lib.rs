@@ -521,6 +521,208 @@ pub fn run_mixed_shootout(cfg: MixedShootout) -> PlannerShootoutRow {
     )
 }
 
+/// Configuration of the transient-skew shootout: every dwell the hot
+/// client population re-homes to a *fresh* warehouse on the opposite
+/// node (0 → 4 → 1 → 5 → …), so the heat-skew trigger keeps firing while
+/// which node is hot alternates and the hot range never repeats — the
+/// regime where shipping segments chases a hotspot that has moved on
+/// before the copy pays off. Compared: the policy answering every skew
+/// fire with a segment rebalance (`helpers: false`, helper escalation
+/// disabled) vs. the helpers-first escalation (`helpers: true`): Fig. 8
+/// helpers attach to the hot source and detach on subsidence, shipping
+/// nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientShootout {
+    /// Helper escalation on (`escalation_fires: 1`) or off (every skew
+    /// fire rebalances).
+    pub helpers: bool,
+    /// OLTP clients.
+    pub clients: u32,
+    /// Mean client think time.
+    pub think: SimDuration,
+    /// Percentage of Payment (update) transactions; the rest OrderStatus.
+    pub update_pct: u32,
+    /// Fraction of clients following the flapping hot warehouse.
+    pub hot_fraction: f64,
+    /// TPC-C warehouses, split across the two data nodes.
+    pub warehouses: u32,
+    /// Warm-up on the first hot warehouse before the flap starts.
+    pub warm: SimDuration,
+    /// Dwell per side of the flap.
+    pub dwell: SimDuration,
+    /// Flips to run (the last dwell is the measurement window).
+    pub flips: u32,
+    /// Bulk-I/O scale.
+    pub io_scale: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TransientShootout {
+    fn default() -> Self {
+        Self {
+            helpers: true,
+            clients: 64,
+            think: SimDuration::from_millis(10),
+            update_pct: 20,
+            hot_fraction: 0.95,
+            warehouses: 8,
+            warm: SimDuration::from_secs(25),
+            dwell: SimDuration::from_secs(40),
+            flips: 6,
+            io_scale: 10,
+            seed: 3,
+        }
+    }
+}
+
+/// Outcome of one transient-shootout run: the standard row plus the
+/// helper-event counts the bench asserts on.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientShootoutRow {
+    /// The standard shootout measurements (`bytes_moved` sums *every*
+    /// rebalance of the run; `rebalanced` = any completed).
+    pub row: PlannerShootoutRow,
+    /// Applied helper attachments over the run.
+    pub helper_attaches: usize,
+    /// Applied helper detachments over the run.
+    pub helper_detaches: usize,
+}
+
+/// Run the transient-skew shootout: two data nodes, the hot population
+/// flapping between a warehouse on each, skew-only policy (the CPU
+/// bounds out of reach), with or without helper escalation. Measures the
+/// max active-node CPU over the final dwell and the total bytes every
+/// rebalance of the run shipped.
+pub fn run_transient_shootout(cfg: TransientShootout) -> TransientShootoutRow {
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(cfg.warehouses)
+        .density(0.02)
+        .segment_pages(16)
+        .io_scale(cfg.io_scale)
+        .costs(scaled_costs(40))
+        .seed(cfg.seed)
+        .initial_data_nodes(&[NodeId(0), NodeId(1)])
+        // A short heat half-life keeps the flap sharp: the side the hot
+        // population just left cools before the next monitoring windows,
+        // so the skew ratio genuinely alternates instead of smearing
+        // toward balance.
+        .heat_tracking(wattdb_common::HeatConfig {
+            half_life: SimDuration::from_secs(15),
+            ..Default::default()
+        })
+        .policy(wattdb_core::PolicyConfig {
+            cpu_high: 1.1, // skew-only: the CPU bounds stay out of reach
+            cpu_low: 0.0,
+            patience: 2,
+            skew_threshold: 1.5,
+            skew_min_heat: 1.0,
+            skew_cooldown: 2,
+            helper: wattdb_common::HelperPolicyConfig {
+                escalation_fires: u32::from(cfg.helpers),
+                max_helpers: 2,
+                min_net_heat: 0.0,
+            },
+            ..Default::default()
+        })
+        .monitoring(SimDuration::from_secs(5))
+        .autopilot(true)
+        .build();
+    let hot_n = (cfg.clients as f64 * cfg.hot_fraction.clamp(0.0, 1.0)).round() as usize;
+    db.with_cluster_mut(|c| {
+        c.auto_resubmit = false;
+        c.spawn_clients_skewed(
+            cfg.clients,
+            wattdb_tpcc::ClientConfig {
+                think_time: cfg.think,
+                ..Default::default()
+            },
+            cfg.hot_fraction,
+            1,
+        );
+    });
+    db.with_runtime(|cl, sim| start_mixed_clients(cl, sim, cfg.update_pct));
+    db.run_for(cfg.warm);
+    // The advancing flap: each dwell the hot population re-homes to a
+    // fresh warehouse on the opposite node — 0, then half, then 1, then
+    // half+1, … — so the hot node alternates and no hot range repeats.
+    let half = cfg.warehouses.div_ceil(2);
+    let rehome = move |c: &mut wattdb_core::Cluster, wh: u32| {
+        let n = hot_n.min(c.clients.len());
+        for i in 0..n {
+            c.clients[i].home_warehouse = wh;
+        }
+    };
+    db.with_runtime(|cl, sim| {
+        let handle = cl.clone();
+        let warehouses = cfg.warehouses;
+        let mut step = 0u32;
+        wattdb_sim::Repeater::every(sim, cfg.dwell, move |_| {
+            step += 1;
+            let wh = if step % 2 == 1 {
+                half + step / 2
+            } else {
+                step / 2
+            };
+            rehome(&mut handle.borrow_mut(), wh % warehouses);
+            true
+        });
+    });
+    let flips = cfg.flips.max(2);
+    db.run_for(cfg.dwell * (flips as u64 - 1));
+    // Measurement: the final dwell on a fresh status window.
+    let _ = db.status();
+    db.run_for(cfg.dwell);
+    let status = db.status();
+    let post_max_cpu = status
+        .nodes
+        .iter()
+        .filter(|n| n.state == wattdb_energy::NodeState::Active)
+        .map(|n| n.cpu)
+        .fold(0.0, f64::max);
+    let total_heat: f64 = status.nodes.iter().map(|n| n.heat).sum();
+    let post_max_heat_share = if total_heat > 0.0 {
+        status.nodes.iter().map(|n| n.heat).fold(0.0, f64::max) / total_heat
+    } else {
+        0.0
+    };
+    let history = db.rebalance_history();
+    let events = db.events();
+    let attaches = events
+        .iter()
+        .filter(|e| {
+            matches!(e.decision, wattdb_core::Decision::AttachHelpers { .. })
+                && e.outcome == wattdb_core::Outcome::Applied
+        })
+        .count();
+    let detaches = events
+        .iter()
+        .filter(|e| {
+            matches!(e.decision, wattdb_core::Decision::DetachHelpers { .. })
+                && e.outcome == wattdb_core::Outcome::Applied
+        })
+        .count();
+    TransientShootoutRow {
+        row: PlannerShootoutRow {
+            planner: wattdb_core::Planner::HeatAware,
+            rebalanced: !history.is_empty(),
+            bytes_moved: history.iter().map(|r| r.bytes_moved).sum(),
+            segments_moved: history.iter().map(|r| r.segments_moved).sum(),
+            heat_planned: history
+                .iter()
+                .map(|r| r.heat_planned)
+                .fold(0.0, |a, b| a + b),
+            heat_moved: history.iter().map(|r| r.heat_moved).fold(0.0, |a, b| a + b),
+            post_max_cpu,
+            post_max_heat_share,
+        },
+        helper_attaches: attaches,
+        helper_detaches: detaches,
+    }
+}
+
 /// One labelled row of the machine-readable shootout summary.
 #[derive(Debug, Clone)]
 pub struct BenchJsonRow {

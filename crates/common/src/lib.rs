@@ -23,7 +23,7 @@ pub mod units;
 pub use config::{CostParams, DiskSpec, HardwareSpec, NetworkSpec, PowerSpec};
 pub use cost::{CostModel, CostVector};
 pub use error::{Error, Result};
-pub use heat::{DriftConfig, Heat, HeatConfig, HeatVelocity};
+pub use heat::{DriftConfig, Heat, HeatConfig, HeatVelocity, HelperPolicyConfig};
 pub use ids::{
     ClientId, DiskId, Lsn, NodeId, PageId, PartitionId, QueryId, RecordId, SegmentId, TableId,
     TxnId,

@@ -29,10 +29,11 @@
 //! ```
 
 use wattdb_common::{
-    CostModel, DriftConfig, HeatConfig, KeyRange, NodeId, SimDuration, SimTime, TableId, Watts,
+    CostModel, DriftConfig, HeatConfig, HelperPolicyConfig, KeyRange, NodeId, SimDuration, SimTime,
+    TableId, Watts,
 };
 use wattdb_energy::NodeState;
-use wattdb_planner::{Plan, Planner};
+use wattdb_planner::{HelperPlan, Plan, Planner};
 use wattdb_sim::{Sim, UtilizationProbe};
 use wattdb_tpcc::{ClientConfig, TpccConfig};
 use wattdb_txn::CcMode;
@@ -173,6 +174,16 @@ impl WattDbBuilder {
         self
     }
 
+    /// Helper-escalation policy: after how many skew fires without
+    /// subsidence the policy attaches Fig. 8 helpers instead of shipping
+    /// segments, how many helpers at most, and the net-heat floor below
+    /// which a source gets none. `escalation_fires: 0` disables helper
+    /// escalation (every skew fire rebalances, the pre-helper behaviour).
+    pub fn helper_policy(mut self, h: HelperPolicyConfig) -> Self {
+        self.policy.helper = h;
+        self
+    }
+
     /// Experiment seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.cfg.seed = s;
@@ -273,6 +284,35 @@ pub struct ClusterStatus {
     /// Which heat signal drives placement: `"cost"` (scalarized access
     /// cost, the default) or `"count"` (flat weighted access counts).
     pub heat_signal: &'static str,
+}
+
+/// How [`WattDb::rebalance_with_helpers`] chooses its helper nodes.
+#[derive(Debug, Clone, Copy)]
+pub enum HelperSet<'a> {
+    /// Explicit helper list (the legacy manual path): `sources[i]` pairs
+    /// with `helpers[i % helpers.len()]`.
+    Manual(&'a [NodeId]),
+    /// Let the helper planner choose from the heat table's
+    /// net/remote-heavy components (see [`WattDb::plan_helpers`]).
+    Planned,
+}
+
+impl<'a> From<&'a [NodeId]> for HelperSet<'a> {
+    fn from(list: &'a [NodeId]) -> Self {
+        HelperSet::Manual(list)
+    }
+}
+
+impl<'a, const N: usize> From<&'a [NodeId; N]> for HelperSet<'a> {
+    fn from(list: &'a [NodeId; N]) -> Self {
+        HelperSet::Manual(list)
+    }
+}
+
+impl<'a> From<&'a Vec<NodeId>> for HelperSet<'a> {
+    fn from(list: &'a Vec<NodeId>) -> Self {
+        HelperSet::Manual(list)
+    }
 }
 
 /// A running WattDB deployment under simulation.
@@ -391,15 +431,58 @@ impl WattDb {
     }
 
     /// Rebalance with helper nodes attached for the duration (Fig. 8).
-    pub fn rebalance_with_helpers(
+    /// `helpers` is either an explicit node list — the manual path, pairing
+    /// `sources[i]` with `helpers[i % len]` exactly as before — or
+    /// [`HelperSet::Planned`], which lets the helper planner pick the
+    /// attachments from the heat table's net/remote-heavy components (see
+    /// [`WattDb::plan_helpers`]). Helpers detach automatically when the
+    /// rebalance completes.
+    pub fn rebalance_with_helpers<'a>(
         &mut self,
         fraction: f64,
         sources: &[NodeId],
         targets: &[NodeId],
-        helpers: &[NodeId],
+        helpers: impl Into<HelperSet<'a>>,
     ) {
-        migration::attach_helpers(&self.cluster, &mut self.sim, sources, helpers);
+        match helpers.into() {
+            HelperSet::Manual(list) => {
+                migration::attach_helpers(&self.cluster, &mut self.sim, sources, list);
+            }
+            HelperSet::Planned => {
+                let plan = self.plan_helpers(sources);
+                migration::attach_helper_plan(&self.cluster, &mut self.sim, &plan);
+            }
+        }
         migration::start_rebalance(&self.cluster, &mut self.sim, fraction, sources, targets);
+    }
+
+    /// Plan (but do not attach) helper placements for `sources`, using the
+    /// configured helper policy: sources ranked by the net/remote-heavy
+    /// component of their heat, helpers drawn from standbys and the
+    /// coldest actives — never a node entangled in the in-flight
+    /// migration, never one already helping, never the master while an
+    /// alternative exists. The same plan the autopilot attaches when the
+    /// skew trigger escalates.
+    pub fn plan_helpers(&self, sources: &[NodeId]) -> HelperPlan {
+        let c = self.cluster.borrow();
+        heat::plan_helpers(&c, self.sim.now(), &self.policy.helper, sources)
+    }
+
+    /// Attach an externally produced helper plan (see
+    /// [`WattDb::plan_helpers`]). Helpers detach when the next rebalance
+    /// completes, or on [`WattDb::detach_helpers`].
+    pub fn attach_helpers(&mut self, plan: &HelperPlan) -> bool {
+        migration::attach_helper_plan(&self.cluster, &mut self.sim, plan)
+    }
+
+    /// Detach every attached helper now; returns the nodes released.
+    pub fn detach_helpers(&mut self) -> Vec<NodeId> {
+        migration::detach_helpers(&self.cluster)
+    }
+
+    /// Helper nodes currently attached (Fig. 8), in attachment order.
+    pub fn helpers_active(&self) -> Vec<NodeId> {
+        self.cluster.borrow().helpers_active.clone()
     }
 
     /// Plan (but do not start) a heat-aware scale-out from the current

@@ -115,11 +115,17 @@ pub struct ControlEvent {
     /// What the policy decided.
     pub decision: Decision,
     /// Which threshold drove the decision: `"cpu-high"` (scale-out),
-    /// `"cpu-low"` (scale-in), `"heat-skew"` (rebalance-in-place), or
-    /// `""` for bookkeeping entries like post-drain suspension.
+    /// `"cpu-low"` (scale-in), `"heat-skew"` (rebalance-in-place),
+    /// `"helper"` (helper attach/detach — the skew trigger escalated or
+    /// its skew subsided), or `""` for bookkeeping entries like
+    /// post-drain suspension.
     pub trigger: &'static str,
     /// What the controller did about it.
     pub outcome: Outcome,
+    /// For an applied helper attachment, the plan's predicted
+    /// net/remote-traffic relief (the summed net-heat of the helped
+    /// sources); zero for every other entry.
+    pub relief: f64,
     /// For applied decisions, the planner that actually produced the
     /// moves (the heat-aware path can fall back to the fraction
     /// heuristic); otherwise the planner configured at the time.
@@ -136,6 +142,7 @@ fn trigger_of(decision: &Decision) -> &'static str {
         Decision::ScaleOut { .. } => "cpu-high",
         Decision::ScaleIn { .. } => "cpu-low",
         Decision::Rebalance { .. } => "heat-skew",
+        Decision::AttachHelpers { .. } | Decision::DetachHelpers { .. } => "helper",
     }
 }
 
@@ -201,12 +208,14 @@ impl AutoPilot {
                     outcome: Outcome::Suspended { nodes: off },
                     planner: policy_cfg.planner,
                     signal,
+                    relief: 0.0,
                 });
             }
             // Observe *after* any suspension, so a node just returned to
             // standby is immediately available as a scale-out target.
             let (standby, with_data) = observe(cl);
-            let decision = policy.evaluate(view, &standby, &with_data, rebalancing);
+            let helpers = cl.borrow().helpers_active.clone();
+            let decision = policy.evaluate(view, &standby, &with_data, rebalancing, &helpers);
             if decision != Decision::Hold {
                 let trigger = trigger_of(&decision);
                 if rebalancing {
@@ -231,6 +240,7 @@ impl AutoPilot {
                         outcome: Outcome::Deferred { reason },
                         planner: policy_cfg.planner,
                         signal,
+                        relief: 0.0,
                     });
                 } else {
                     // Record the planner that actually produced the moves —
@@ -242,6 +252,13 @@ impl AutoPilot {
                             sh.draining = drain.clone();
                         }
                     }
+                    // An applied helper attachment logs the plan's
+                    // predicted net-traffic relief (recorded on the
+                    // cluster by the attach path).
+                    let relief = match (&decision, used.is_some()) {
+                        (Decision::AttachHelpers { .. }, true) => cl.borrow().helper_relief,
+                        _ => 0.0,
+                    };
                     let outcome = match used {
                         Some(_) => Outcome::Applied,
                         // Nothing started: no improving plan, no eligible
@@ -258,6 +275,7 @@ impl AutoPilot {
                         outcome,
                         planner: used.unwrap_or(policy_cfg.planner),
                         signal,
+                        relief,
                     });
                 }
             }

@@ -265,6 +265,13 @@ pub struct Cluster {
     pub auto_resubmit: bool,
     /// Helper nodes currently attached (Fig. 8).
     pub helpers_active: Vec<NodeId>,
+    /// The subset of `helpers_active` that was powered on *for* helper
+    /// duty (standbys at attach time): these return to standby on detach,
+    /// while a helper that was already serving data stays active.
+    pub helpers_powered: Vec<NodeId>,
+    /// Predicted net/remote-traffic relief of the helper plan currently
+    /// attached (zero for manual attachments and when no helper runs).
+    pub helper_relief: f64,
 }
 
 impl Cluster {
@@ -317,6 +324,8 @@ impl Cluster {
             stopped: false,
             auto_resubmit: true,
             helpers_active: Vec::new(),
+            helpers_powered: Vec::new(),
+            helper_relief: 0.0,
         }))
     }
 

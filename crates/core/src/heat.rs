@@ -333,6 +333,108 @@ pub fn plan_drain(
     )
 }
 
+/// Per-node helper-planning rows for the given nodes: total decayed heat
+/// and its net/remote-heavy component.
+///
+/// Under the cost signal each segment's decayed heat is split by the
+/// *net share* of its lifetime cost vector (`net_bytes ×
+/// net_byte_weight` over the scalarized total), so a node whose heat is
+/// mostly remote page fetches and record shipping ranks far above one
+/// burning the same heat in local CPU. Under the count signal the
+/// components are invisible and `net_heat` falls back to the total heat
+/// (see [`wattdb_planner::NodeLoadStat`]).
+pub fn node_load_stats(
+    c: &crate::cluster::Cluster,
+    now: SimTime,
+    nodes: &[NodeId],
+) -> Vec<wattdb_planner::NodeLoadStat> {
+    let model = c.heat.cost_model();
+    nodes
+        .iter()
+        .map(|&n| {
+            let mut total = 0.0;
+            let mut net = 0.0;
+            for m in c.seg_dir.on_node(n) {
+                let heat = c.heat.heat_of(m.id, now).value();
+                total += heat;
+                let share = match (model, c.heat.stats(m.id)) {
+                    (Some(model), Some(s)) if !s.cost.is_zero() => {
+                        let whole = model.heat_of(s.cost).value();
+                        if whole > 0.0 {
+                            let net_only = CostVector {
+                                net_bytes: s.cost.net_bytes,
+                                ..CostVector::ZERO
+                            };
+                            model.heat_of(net_only).value() / whole
+                        } else {
+                            0.0
+                        }
+                    }
+                    // Count signal (or a synthetically warmed segment with
+                    // no cost trace): components are invisible — fall back
+                    // to the total.
+                    _ => 1.0,
+                };
+                net += heat * share;
+            }
+            wattdb_planner::NodeLoadStat {
+                node: n,
+                heat: total,
+                net_heat: net,
+            }
+        })
+        .collect()
+}
+
+/// Helper plan over the live cluster state: rank `sources` by their
+/// net/remote-heavy heat and pair the heaviest with helpers drawn from
+/// the standbys and coldest actives — never a node entangled in the
+/// in-flight migration, never one already helping, never the master
+/// while an alternative exists. A source already wired to a helper is
+/// dropped (it has its relief; planning is idempotent). The single entry
+/// point shared by `policy::apply` and the facade (see
+/// [`plan_scale_out`]).
+pub fn plan_helpers(
+    c: &crate::cluster::Cluster,
+    now: SimTime,
+    cfg: &wattdb_common::HelperPolicyConfig,
+    sources: &[NodeId],
+) -> wattdb_planner::HelperPlan {
+    use wattdb_energy::NodeState;
+    let unhelped: Vec<NodeId> = sources
+        .iter()
+        .copied()
+        .filter(|n| c.nodes[n.raw() as usize].helper.is_none())
+        .collect();
+    let loads = node_load_stats(c, now, &unhelped);
+    let candidates: Vec<wattdb_planner::HelperCandidate> = c
+        .nodes
+        .iter()
+        .map(|n| wattdb_planner::HelperCandidate {
+            node: n.id,
+            heat: c.heat.node_heat(&c.seg_dir, n.id, now).value(),
+            standby: n.state == NodeState::Standby,
+        })
+        .collect();
+    let mut excluded: Vec<NodeId> = crate::migration::nodes_in_flight(c).into_iter().collect();
+    excluded.extend(c.helpers_active.iter().copied());
+    // The full source list stays out of the candidate pool even where a
+    // member was dropped from the loads above (already helped): a node
+    // hot enough to be named a source never moonlights as a helper, and
+    // neither does any node currently leaning on one.
+    excluded.extend(sources.iter().copied());
+    excluded.extend(c.nodes.iter().filter(|n| n.helper.is_some()).map(|n| n.id));
+    wattdb_planner::plan_helpers(
+        &loads,
+        &candidates,
+        &excluded,
+        &wattdb_planner::HelperConfig {
+            max_helpers: cfg.max_helpers,
+            min_net_heat: cfg.min_net_heat,
+        },
+    )
+}
+
 /// Planner inputs for the whole catalog: footprint bytes scaled by
 /// `io_scale`, heat decayed to `now`.
 pub fn segment_stats(

@@ -45,7 +45,7 @@ pub mod policy;
 pub mod replay;
 pub mod scan;
 
-pub use api::{ClusterStatus, NodeStatus, WattDb, WattDbBuilder};
+pub use api::{ClusterStatus, HelperSet, NodeStatus, WattDb, WattDbBuilder};
 pub use autopilot::{AutoPilot, AutoPilotConfig, ControlEvent, Outcome, ViewSummary};
 pub use cluster::{Cluster, ClusterConfig, ClusterRc, NodeRuntime, Partition, Scheme};
 pub use heat::{
@@ -57,5 +57,8 @@ pub use migration::{MoveController, RebalanceReport, SegmentMove};
 pub use monitor::{ClusterView, NodeReport};
 pub use policy::{coldest_drain_target, Decision, ElasticityPolicy, PolicyConfig};
 pub use scan::{submit_scan, ScanReport};
-pub use wattdb_common::{CostModel, CostVector};
-pub use wattdb_planner::{Plan, PlanConfig, PlannedMove, Planner, SegmentStat};
+pub use wattdb_common::{CostModel, CostVector, HelperPolicyConfig};
+pub use wattdb_planner::{
+    HelperAssignment, HelperCandidate, HelperConfig, HelperPlan, NodeLoadStat, Plan, PlanConfig,
+    PlannedMove, Planner, SegmentStat,
+};

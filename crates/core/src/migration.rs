@@ -949,17 +949,7 @@ fn maybe_finish(c: &mut Cluster, now: SimTime) {
     c.metrics.record_rebalance(report);
     // Helpers detach (Fig. 8: "after rebalancing, the additional nodes
     // should be turned off again").
-    let helpers = std::mem::take(&mut c.helpers_active);
-    for h in helpers {
-        for n in &mut c.nodes {
-            if n.helper == Some(h) {
-                n.helper = None;
-                n.buffer.set_remote_capacity(0);
-                n.shipper.detach(h);
-            }
-        }
-        c.power_off(h);
-    }
+    detach_all_helpers(c);
 }
 
 /// Summary of the last completed rebalance.
@@ -989,23 +979,125 @@ pub struct RebalanceReport {
 
 /// Attach helper nodes for the improved physiological run (Fig. 8): each
 /// source ships its log to a helper and extends its buffer pool into the
-/// helper's DRAM.
+/// helper's DRAM. The manual entry point pairs `sources[i]` with
+/// `helpers[i % helpers.len()]` — the legacy mapping scripted experiments
+/// rely on; planner-chosen attachments go through
+/// [`attach_helper_plan`].
 pub fn attach_helpers(cl: &ClusterRc, _sim: &mut Sim, sources: &[NodeId], helpers: &[NodeId]) {
-    let mut c = cl.borrow_mut();
-    let c = &mut *c;
-    for &h in helpers {
-        c.power_on(h);
+    if helpers.is_empty() {
+        return;
     }
-    c.helpers_active = helpers.to_vec();
+    let pairs: Vec<(NodeId, NodeId)> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &src)| (src, helpers[i % helpers.len()]))
+        .collect();
+    // Every *listed* helper powers on and is tracked, paired or not — the
+    // legacy manual contract.
+    attach_helper_pairs(&mut cl.borrow_mut(), helpers, &pairs, 0.0);
+}
+
+/// Attach a planner-produced [`wattdb_planner::HelperPlan`]: one helper
+/// per assignment, with the plan's predicted net-traffic relief recorded
+/// for the control log. Returns false (and attaches nothing) on an empty
+/// plan.
+pub fn attach_helper_plan(
+    cl: &ClusterRc,
+    _sim: &mut Sim,
+    plan: &wattdb_planner::HelperPlan,
+) -> bool {
+    if plan.is_empty() {
+        return false;
+    }
+    let helpers = plan.helpers();
+    let pairs: Vec<(NodeId, NodeId)> = plan
+        .assignments
+        .iter()
+        .map(|a| (a.source, a.helper))
+        .collect();
+    attach_helper_pairs(
+        &mut cl.borrow_mut(),
+        &helpers,
+        &pairs,
+        plan.predicted_relief,
+    );
+    true
+}
+
+/// Shared attach path: power `helpers` on (remembering which were standby,
+/// so detach can power exactly those back off), wire each pair's log
+/// shipping and remote buffer extension, and record the helper set. A
+/// source whose helper is *reassigned* here first detaches its old
+/// shipping cursor — leaving it would accumulate an unbounded unshipped
+/// backlog for a follower nobody ever drains again.
+fn attach_helper_pairs(
+    c: &mut Cluster,
+    helpers: &[NodeId],
+    pairs: &[(NodeId, NodeId)],
+    relief: f64,
+) {
+    use wattdb_energy::NodeState;
     let remote_pages = c.cfg.buffer_pages;
-    for (i, &src) in sources.iter().enumerate() {
-        let h = helpers[i % helpers.len()];
+    for &h in helpers {
+        if c.nodes[h.raw() as usize].state == NodeState::Standby && !c.helpers_powered.contains(&h)
+        {
+            c.helpers_powered.push(h);
+        }
+        c.power_on(h);
+        if !c.helpers_active.contains(&h) {
+            c.helpers_active.push(h);
+        }
+    }
+    for &(src, h) in pairs {
         let node = &mut c.nodes[src.raw() as usize];
+        if let Some(old) = node.helper {
+            if old != h {
+                node.shipper.detach(old);
+            }
+        }
         node.helper = Some(h);
         node.buffer.set_remote_capacity(remote_pages);
         let log_ref = &node.log;
         node.shipper.attach(h, log_ref);
     }
+    c.helper_relief = relief;
+}
+
+/// Detach every active helper: sources fall back to local log flushes and
+/// plain buffer pools, shipping cursors are cleared — including any stale
+/// cursor left by a mid-flight helper reassignment — and helpers that
+/// were powered on *for* the duty return to standby (one that was already
+/// serving data stays active). Returns the helpers detached.
+pub fn detach_all_helpers(c: &mut Cluster) -> Vec<NodeId> {
+    let helpers = std::mem::take(&mut c.helpers_active);
+    let powered = std::mem::take(&mut c.helpers_powered);
+    c.helper_relief = 0.0;
+    for &h in &helpers {
+        for n in &mut c.nodes {
+            if n.helper == Some(h) {
+                n.helper = None;
+                n.buffer.set_remote_capacity(0);
+            }
+            // Cursors clear unconditionally: a node whose helper was
+            // reassigned mid-flight still carries a cursor for the old
+            // helper even though `n.helper` no longer names it.
+            n.shipper.detach(h);
+        }
+    }
+    for h in powered {
+        // A helper can only have gained segments by also becoming a
+        // rebalance target meanwhile; then it must stay up.
+        if c.seg_dir.on_node(h).next().is_none() {
+            c.power_off(h);
+        }
+    }
+    helpers
+}
+
+/// [`detach_all_helpers`] over the shared handle (the policy-side detach
+/// on skew subsidence).
+pub fn detach_helpers(cl: &ClusterRc) -> Vec<NodeId> {
+    detach_all_helpers(&mut cl.borrow_mut())
 }
 
 /// Is a rebalance still running?
@@ -1039,4 +1131,121 @@ pub fn nodes_in_flight(c: &Cluster) -> std::collections::BTreeSet<NodeId> {
 /// Convenience for TPC-C experiments: move `fraction` of every TPC-C table.
 pub fn tpcc_tables() -> Vec<TableId> {
     TpccTable::ALL.iter().map(|t| t.table_id()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use wattdb_energy::NodeState;
+
+    fn cluster(loaded: bool) -> ClusterRc {
+        let cl = Cluster::new(
+            ClusterConfig {
+                nodes: 4,
+                segment_pages: 16,
+                buffer_pages: 256,
+                ..Default::default()
+            },
+            &[NodeId(0), NodeId(1)],
+        );
+        if loaded {
+            cl.borrow_mut()
+                .load_tpcc(
+                    wattdb_tpcc::TpccConfig {
+                        warehouses: 2,
+                        density: 0.01,
+                        payload_bytes: 8,
+                        seed: 7,
+                    },
+                    &[NodeId(0), NodeId(1)],
+                )
+                .unwrap();
+        }
+        cl
+    }
+
+    #[test]
+    fn helper_reassignment_leaves_no_stale_cursor() {
+        let cl = cluster(false);
+        let mut sim = Sim::new();
+        attach_helpers(&cl, &mut sim, &[NodeId(0)], &[NodeId(2)]);
+        {
+            let c = cl.borrow();
+            assert_eq!(c.nodes[0].helper, Some(NodeId(2)));
+            assert_eq!(c.nodes[0].shipper.followers(), vec![NodeId(2)]);
+        }
+        // Mid-flight reassignment 0→3: the cursor for helper 2 must go
+        // with it, or node 0 accumulates an unshipped backlog for a
+        // follower nobody drains.
+        attach_helpers(&cl, &mut sim, &[NodeId(0)], &[NodeId(3)]);
+        {
+            let c = cl.borrow();
+            assert_eq!(c.nodes[0].helper, Some(NodeId(3)));
+            assert_eq!(
+                c.nodes[0].shipper.followers(),
+                vec![NodeId(3)],
+                "stale cursor for the reassigned helper survived"
+            );
+            // Both helpers are tracked until the full detach.
+            assert_eq!(c.helpers_active, vec![NodeId(2), NodeId(3)]);
+        }
+        let detached = detach_helpers(&cl);
+        assert_eq!(detached, vec![NodeId(2), NodeId(3)]);
+        let c = cl.borrow();
+        assert_eq!(c.nodes[0].helper, None);
+        assert!(c.nodes[0].shipper.followers().is_empty());
+        assert!(c.helpers_active.is_empty());
+        assert!(c.helpers_powered.is_empty());
+        // Both helpers were standbys powered on for the duty: both return.
+        assert_eq!(c.nodes[2].state, NodeState::Standby);
+        assert_eq!(c.nodes[3].state, NodeState::Standby);
+    }
+
+    #[test]
+    fn detach_clears_cursors_no_helper_field_names_anymore() {
+        // The detach path must clear cursors *unconditionally*: a cursor
+        // whose helper no node's `helper` field names anymore (the stale
+        // state older code paths could leave) still goes away.
+        let cl = cluster(false);
+        let mut sim = Sim::new();
+        attach_helpers(&cl, &mut sim, &[NodeId(0)], &[NodeId(2)]);
+        {
+            // Simulate the stale state directly: the helper field moved on
+            // but the cursor was left behind.
+            let mut c = cl.borrow_mut();
+            c.nodes[0].helper = Some(NodeId(3));
+            c.helpers_active = vec![NodeId(2), NodeId(3)];
+            assert_eq!(c.nodes[0].shipper.followers(), vec![NodeId(2)]);
+        }
+        detach_helpers(&cl);
+        let c = cl.borrow();
+        assert!(
+            c.nodes[0].shipper.followers().is_empty(),
+            "stale cursor survived the detach"
+        );
+        assert_eq!(c.nodes[0].helper, None);
+    }
+
+    #[test]
+    fn detach_returns_only_duty_powered_helpers_to_standby() {
+        // Helper 1 was already active serving data; helper 2 was a
+        // standby powered on for the duty. Detach suspends only node 2 —
+        // powering off a data-holding node would violate §4's invariant
+        // (and used to panic).
+        let cl = cluster(true);
+        let mut sim = Sim::new();
+        attach_helpers(&cl, &mut sim, &[NodeId(0)], &[NodeId(1), NodeId(2)]);
+        // Pair a second source so both helpers serve someone.
+        attach_helpers(&cl, &mut sim, &[NodeId(1)], &[NodeId(2)]);
+        {
+            let c = cl.borrow();
+            assert_eq!(c.helpers_powered, vec![NodeId(2)], "only the standby");
+        }
+        detach_helpers(&cl);
+        let c = cl.borrow();
+        assert_eq!(c.nodes[1].state, NodeState::Active, "data node stays up");
+        assert_eq!(c.nodes[2].state, NodeState::Standby);
+        assert!(c.helpers_active.is_empty());
+    }
 }

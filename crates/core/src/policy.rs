@@ -15,7 +15,7 @@
 //! Scale-in picks the **coldest** drainable node (its segments are the
 //! cheapest to relocate), not the highest-numbered one.
 
-use wattdb_common::NodeId;
+use wattdb_common::{HelperPolicyConfig, NodeId};
 use wattdb_energy::NodeState;
 use wattdb_planner::Planner;
 use wattdb_sim::Sim;
@@ -23,7 +23,8 @@ use wattdb_sim::Sim;
 use crate::cluster::{ClusterRc, Scheme};
 use crate::heat;
 use crate::migration::{
-    nodes_in_flight, rebalancing, start_rebalance, start_rebalance_planned, SegmentMove,
+    attach_helper_plan, detach_helpers, nodes_in_flight, rebalancing, start_rebalance,
+    start_rebalance_planned, SegmentMove,
 };
 use crate::monitor::ClusterView;
 
@@ -65,6 +66,12 @@ pub struct PolicyConfig {
     /// bounding rebalance churn to at most one skew rebalance per
     /// `skew_cooldown + patience` windows.
     pub skew_cooldown: u32,
+    /// Helper escalation: when the skew trigger keeps re-firing without
+    /// the skew ever subsiding (transient skew — the last rebalance did
+    /// not fix it), the policy stops shipping segments and attaches
+    /// Fig. 8 helper nodes to the hot sources instead
+    /// ([`Decision::AttachHelpers`]). See [`HelperPolicyConfig`].
+    pub helper: HelperPolicyConfig,
 }
 
 impl Default for PolicyConfig {
@@ -80,6 +87,7 @@ impl Default for PolicyConfig {
             skew_rearm: 0.9,
             skew_min_heat: 1.0,
             skew_cooldown: 3,
+            helper: HelperPolicyConfig::default(),
         }
     }
 }
@@ -110,6 +118,25 @@ pub enum Decision {
         /// Cooler active nodes to receive the surplus.
         targets: Vec<NodeId>,
     },
+    /// Attach Fig. 8 helper nodes to the hot sources instead of shipping
+    /// segments. Fired when the skew trigger escalates: it kept re-firing
+    /// without the skew ever subsiding, so the skew is transient and a
+    /// rebalance would chase a hotspot that moves on before the copy
+    /// lands. Which helpers (and which of the sources deserve one) is
+    /// decided by the helper planner at apply time
+    /// ([`crate::heat::plan_helpers`]).
+    AttachHelpers {
+        /// Nodes carrying more than the mean heat — the planner ranks
+        /// these by their net/remote-heavy heat component.
+        sources: Vec<NodeId>,
+    },
+    /// Detach the currently attached helpers: the skew they answered has
+    /// subsided (fallen below the rearm band, or the cluster cooled below
+    /// the heat floor).
+    DetachHelpers {
+        /// Helpers attached at decision time.
+        helpers: Vec<NodeId>,
+    },
 }
 
 /// Stateful policy evaluated once per monitoring window.
@@ -120,6 +147,15 @@ pub struct ElasticityPolicy {
     low_streak: u32,
     skew_streak: u32,
     skew_cooldown_left: u32,
+    /// Consecutive skew fires with no subsidence in between — the
+    /// escalation signal: rebalances that never make the skew fall back
+    /// below the rearm band are chasing a transient hotspot.
+    skew_fires: u32,
+    /// Whether this window's skew had subsided (set by `tick_skew`;
+    /// always false while the trigger is inert): the signal the helper
+    /// detach branch reuses, so detach and streak/escalation reset can
+    /// never disagree on what "subsided" means.
+    subsided_now: bool,
 }
 
 impl ElasticityPolicy {
@@ -131,6 +167,8 @@ impl ElasticityPolicy {
             low_streak: 0,
             skew_streak: 0,
             skew_cooldown_left: 0,
+            skew_fires: 0,
+            subsided_now: false,
         }
     }
 
@@ -138,7 +176,11 @@ impl ElasticityPolicy {
     /// power on; `active_with_data` the nodes currently serving;
     /// `rebalancing` whether a migration is already in flight (a skew
     /// fire would only be deferred, so the trigger stays armed instead of
-    /// burning its streak and cooldown on a decision nobody can act on).
+    /// burning its streak and cooldown on a decision nobody can act on);
+    /// `helpers` the helper nodes currently attached — while any are, the
+    /// skew trigger holds its fire (the helpers *are* the response in
+    /// force) and the policy instead watches for subsidence to emit
+    /// [`Decision::DetachHelpers`].
     ///
     /// Precedence: CPU saturation (scale-out) beats everything — an
     /// overloaded cluster needs more hardware, not reshuffling. A
@@ -151,12 +193,27 @@ impl ElasticityPolicy {
         standby: &[NodeId],
         active_with_data: &[NodeId],
         rebalancing: bool,
+        helpers: &[NodeId],
     ) -> Decision {
         // The skew machinery ticks every window, whichever branch ends up
         // deciding: streak, hysteresis band, and cooldown must never go
         // stale just because the cluster spent a stretch in the all-low or
         // overloaded regime.
         let skew_ready = self.tick_skew(view, active_with_data);
+        // Attached helpers detach the moment the skew they answered
+        // subsides — before any other branch gets a say, so a cooling
+        // cluster releases its helpers before it starts scaling in.
+        // `subsided_now` comes from the tick above: the *same* predicate
+        // that resets the streak and the escalation counter (and it stays
+        // false while the trigger is inert, so a policy that cannot have
+        // attached helpers never detaches a scripted Fig. 8 run's —
+        // those are released by the migration engine on completion).
+        if !helpers.is_empty() && !rebalancing && self.subsided_now {
+            return Decision::DetachHelpers {
+                helpers: helpers.to_vec(),
+            };
+        }
+        let helpers_attached = !helpers.is_empty();
         let hot = view.overloaded(self.cfg.cpu_high);
         if !hot.is_empty() {
             // The hot streak counts breaching windows regardless of
@@ -175,7 +232,7 @@ impl ElasticityPolicy {
             }
             // No standby (or not patient yet): a skewed cluster can still
             // help itself by spreading heat over its existing nodes.
-            return self.fire_skew(view, skew_ready, rebalancing);
+            return self.fire_skew(view, skew_ready, rebalancing, helpers_attached);
         }
         // Scale-in: every active data node under the low bound and more
         // than one of them (never drain the last node).
@@ -202,7 +259,7 @@ impl ElasticityPolicy {
         }
         self.low_streak = 0;
         self.high_streak = 0;
-        self.fire_skew(view, skew_ready, rebalancing)
+        self.fire_skew(view, skew_ready, rebalancing, helpers_attached)
     }
 
     /// Advance the heat-skew trigger's state for this window: arm while
@@ -218,51 +275,67 @@ impl ElasticityPolicy {
     fn tick_skew(&mut self, view: &ClusterView, active_with_data: &[NodeId]) -> bool {
         let cfg = &self.cfg;
         if cfg.skew_threshold <= 0.0 || cfg.planner != Planner::HeatAware {
+            self.subsided_now = false;
             return false;
+        }
+        let (skew, mean_heat) = skew_signals(view);
+        // The single subsidence predicate: below the rearm band, or the
+        // cluster cooled below the heat floor. It resets the armed streak
+        // and the escalation counter, and drives the helper detach.
+        let subsided = skew < cfg.skew_threshold * cfg.skew_rearm.clamp(0.0, 1.0)
+            || mean_heat < cfg.skew_min_heat;
+        self.subsided_now = subsided;
+        // The escalation counter watches for subsidence every window —
+        // including cooldown windows, or a skew that briefly healed
+        // during the cooldown would still look transient.
+        if subsided {
+            self.skew_fires = 0;
         }
         if self.skew_cooldown_left > 0 {
             self.skew_cooldown_left -= 1;
             self.skew_streak = 0;
             return false;
         }
-        let active: Vec<_> = view.reports.iter().filter(|r| r.active).collect();
-        let mean_heat = if active.is_empty() {
-            0.0
-        } else {
-            active.iter().map(|r| r.heat).sum::<f64>() / active.len() as f64
-        };
-        let skew = view.heat_skew();
         let armed = skew > cfg.skew_threshold
             && mean_heat >= cfg.skew_min_heat
             && active_with_data.len() > 1;
         if armed {
             self.skew_streak += 1;
-        } else if skew < cfg.skew_threshold * cfg.skew_rearm.clamp(0.0, 1.0)
-            || mean_heat < cfg.skew_min_heat
-        {
+        } else if subsided {
             self.skew_streak = 0;
         }
         armed && self.skew_streak >= cfg.patience
     }
 
-    /// Emit the skew rebalance when the trigger is ready and no migration
+    /// Emit the skew response when the trigger is ready and no migration
     /// is in flight. Firing consumes the streak and arms the cooldown;
     /// a ready trigger held back by an in-flight rebalance keeps its
-    /// streak and fires on the first clear window instead.
-    fn fire_skew(&mut self, view: &ClusterView, ready: bool, rebalancing: bool) -> Decision {
-        if !ready || rebalancing {
+    /// streak and fires on the first clear window instead. A ready
+    /// trigger with helpers already attached holds too — the helpers are
+    /// the response in force, and detach is the only way forward.
+    ///
+    /// Each fire without an intervening subsidence counts towards helper
+    /// escalation: once `helper.escalation_fires` such fires accumulate,
+    /// the decision switches from shipping segments to attaching Fig. 8
+    /// helpers ([`Decision::AttachHelpers`]) — the skew is transient, and
+    /// a rebalance would chase it.
+    fn fire_skew(
+        &mut self,
+        view: &ClusterView,
+        ready: bool,
+        rebalancing: bool,
+        helpers_attached: bool,
+    ) -> Decision {
+        if !ready || rebalancing || helpers_attached {
             return Decision::Hold;
         }
         self.skew_streak = 0;
         self.skew_cooldown_left = self.cfg.skew_cooldown;
+        self.skew_fires += 1;
         // Sources shed towards cooler actives: above-mean nodes give,
         // the rest receive.
         let active: Vec<_> = view.reports.iter().filter(|r| r.active).collect();
-        let mean_heat = if active.is_empty() {
-            0.0
-        } else {
-            active.iter().map(|r| r.heat).sum::<f64>() / active.len() as f64
-        };
+        let (_, mean_heat) = skew_signals(view);
         let sources: Vec<NodeId> = active
             .iter()
             .filter(|r| r.heat > mean_heat)
@@ -276,6 +349,10 @@ impl ElasticityPolicy {
         if sources.is_empty() || targets.is_empty() {
             return Decision::Hold;
         }
+        let h = &self.cfg.helper;
+        if h.escalation_fires > 0 && h.max_helpers > 0 && self.skew_fires >= h.escalation_fires {
+            return Decision::AttachHelpers { sources };
+        }
         Decision::Rebalance { sources, targets }
     }
 
@@ -283,6 +360,17 @@ impl ElasticityPolicy {
     pub fn config(&self) -> &PolicyConfig {
         &self.cfg
     }
+}
+
+/// The heat-skew signals of a view: (skew ratio, mean active heat).
+fn skew_signals(view: &ClusterView) -> (f64, f64) {
+    let active: Vec<_> = view.reports.iter().filter(|r| r.active).collect();
+    let mean_heat = if active.is_empty() {
+        0.0
+    } else {
+        active.iter().map(|r| r.heat).sum::<f64>() / active.len() as f64
+    };
+    (view.heat_skew(), mean_heat)
 }
 
 /// The coldest drainable node: lowest reported heat, ties broken by
@@ -382,6 +470,56 @@ pub fn apply(
             }
             start_rebalance_planned(cl, sim, Planner::HeatAware, moves, targets);
             Some(Planner::HeatAware)
+        }
+        Decision::AttachHelpers { sources } => {
+            // Helper choice is a heat decision too: the planner ranks the
+            // sources by their net/remote-heavy heat component and pairs
+            // the heaviest with standbys / coldest actives.
+            if !heat_aware {
+                return None;
+            }
+            let plan = {
+                let c = cl.borrow();
+                heat::plan_helpers(&c, sim.now(), &cfg.helper, sources)
+            };
+            if attach_helper_plan(cl, sim, &plan) {
+                return Some(Planner::HeatAware);
+            }
+            // No helper worth attaching (nobody clears the net-heat floor,
+            // or every candidate is entangled): fall back to the rebalance
+            // this fire would otherwise have been. The escalation counter
+            // only resets on subsidence, so without this fallback a
+            // persistent-but-fixable skew would re-escalate into refused
+            // attachments forever, never shipping the segments that would
+            // fix it.
+            let targets: Vec<NodeId> = {
+                let c = cl.borrow();
+                c.active_nodes()
+                    .into_iter()
+                    .filter(|n| !sources.contains(n))
+                    .collect()
+            };
+            if targets.is_empty() {
+                return None;
+            }
+            let moves = {
+                let c = cl.borrow();
+                let plan =
+                    heat::plan_scale_out(&c, sim.now(), cfg.heat_tolerance, sources, &targets);
+                plan.moves.iter().map(SegmentMove::from).collect::<Vec<_>>()
+            };
+            if moves.is_empty() {
+                return None;
+            }
+            start_rebalance_planned(cl, sim, Planner::HeatAware, moves, &targets);
+            Some(Planner::HeatAware)
+        }
+        Decision::DetachHelpers { .. } => {
+            if detach_helpers(cl).is_empty() {
+                None
+            } else {
+                Some(cfg.planner)
+            }
         }
         Decision::ScaleIn { drain } => {
             // Never drain a node still entangled in a migration: until the
@@ -505,8 +643,11 @@ mod tests {
         let hot = view(&[(0, 0.95), (1, 0.5)]);
         let standby = [NodeId(2), NodeId(3)];
         let data = [NodeId(0), NodeId(1)];
-        assert_eq!(p.evaluate(&hot, &standby, &data, false), Decision::Hold);
-        match p.evaluate(&hot, &standby, &data, false) {
+        assert_eq!(
+            p.evaluate(&hot, &standby, &data, false, &[]),
+            Decision::Hold
+        );
+        match p.evaluate(&hot, &standby, &data, false, &[]) {
             Decision::ScaleOut { sources, targets } => {
                 assert_eq!(sources, vec![NodeId(0)]);
                 assert_eq!(targets, vec![NodeId(2)]);
@@ -522,7 +663,10 @@ mod tests {
             ..Default::default()
         });
         let hot = view(&[(0, 0.95)]);
-        assert_eq!(p.evaluate(&hot, &[], &[NodeId(0)], false), Decision::Hold);
+        assert_eq!(
+            p.evaluate(&hot, &[], &[NodeId(0)], false, &[]),
+            Decision::Hold
+        );
     }
 
     #[test]
@@ -536,11 +680,11 @@ mod tests {
         });
         let hot = view(&[(0, 0.95)]);
         let data = [NodeId(0)];
-        assert_eq!(p.evaluate(&hot, &[], &data, false), Decision::Hold);
-        assert_eq!(p.evaluate(&hot, &[], &data, false), Decision::Hold);
-        assert_eq!(p.evaluate(&hot, &[], &data, false), Decision::Hold);
+        assert_eq!(p.evaluate(&hot, &[], &data, false, &[]), Decision::Hold);
+        assert_eq!(p.evaluate(&hot, &[], &data, false, &[]), Decision::Hold);
+        assert_eq!(p.evaluate(&hot, &[], &data, false, &[]), Decision::Hold);
         let standby = [NodeId(2)];
-        match p.evaluate(&hot, &standby, &data, false) {
+        match p.evaluate(&hot, &standby, &data, false, &[]) {
             Decision::ScaleOut { sources, targets } => {
                 assert_eq!(sources, vec![NodeId(0)]);
                 assert_eq!(targets, vec![NodeId(2)]);
@@ -557,8 +701,8 @@ mod tests {
         });
         let idle = view(&[(0, 0.05), (1, 0.1)]);
         let data = [NodeId(0), NodeId(1)];
-        assert_eq!(p.evaluate(&idle, &[], &data, false), Decision::Hold);
-        match p.evaluate(&idle, &[], &data, false) {
+        assert_eq!(p.evaluate(&idle, &[], &data, false, &[]), Decision::Hold);
+        match p.evaluate(&idle, &[], &data, false, &[]) {
             Decision::ScaleIn { drain } => assert_eq!(drain, vec![NodeId(1)]),
             other => panic!("expected scale-in, got {other:?}"),
         }
@@ -577,7 +721,7 @@ mod tests {
             r.cpu = 0.05;
         }
         let data = [NodeId(0), NodeId(1), NodeId(2)];
-        match p.evaluate(&v, &[], &data, false) {
+        match p.evaluate(&v, &[], &data, false, &[]) {
             Decision::ScaleIn { drain } => assert_eq!(drain, vec![NodeId(2)]),
             other => panic!("expected coldest-node scale-in, got {other:?}"),
         }
@@ -598,7 +742,10 @@ mod tests {
             ..Default::default()
         });
         let idle = view(&[(0, 0.05)]);
-        assert_eq!(p.evaluate(&idle, &[], &[NodeId(0)], false), Decision::Hold);
+        assert_eq!(
+            p.evaluate(&idle, &[], &[NodeId(0)], false, &[]),
+            Decision::Hold
+        );
     }
 
     #[test]
@@ -611,10 +758,13 @@ mod tests {
         let cool = view(&[(0, 0.5)]);
         let standby = [NodeId(2)];
         let data = [NodeId(0)];
-        p.evaluate(&hot, &standby, &data, false);
-        p.evaluate(&hot, &standby, &data, false);
-        p.evaluate(&cool, &standby, &data, false); // streak resets
-        assert_eq!(p.evaluate(&hot, &standby, &data, false), Decision::Hold);
+        p.evaluate(&hot, &standby, &data, false, &[]);
+        p.evaluate(&hot, &standby, &data, false, &[]);
+        p.evaluate(&cool, &standby, &data, false, &[]); // streak resets
+        assert_eq!(
+            p.evaluate(&hot, &standby, &data, false, &[]),
+            Decision::Hold
+        );
     }
 
     #[test]
@@ -628,8 +778,8 @@ mod tests {
         // Node 0 carries 10 of 12 heat units: skew = 10 / 4 = 2.5.
         let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
         let data = [NodeId(0), NodeId(1), NodeId(2)];
-        assert_eq!(p.evaluate(&skewed, &[], &data, false), Decision::Hold);
-        match p.evaluate(&skewed, &[], &data, false) {
+        assert_eq!(p.evaluate(&skewed, &[], &data, false, &[]), Decision::Hold);
+        match p.evaluate(&skewed, &[], &data, false, &[]) {
             Decision::Rebalance { sources, targets } => {
                 assert_eq!(sources, vec![NodeId(0)]);
                 assert_eq!(targets, vec![NodeId(1), NodeId(2)]);
@@ -638,7 +788,7 @@ mod tests {
         }
         // Cooldown: the very next armed windows must not re-fire.
         for _ in 0..p.config().skew_cooldown {
-            assert_eq!(p.evaluate(&skewed, &[], &data, false), Decision::Hold);
+            assert_eq!(p.evaluate(&skewed, &[], &data, false, &[]), Decision::Hold);
         }
     }
 
@@ -654,12 +804,15 @@ mod tests {
         // Balanced: skew 1.0, never fires.
         let balanced = heat_view(&[(0, 6.0), (1, 6.0)]);
         for _ in 0..5 {
-            assert_eq!(p.evaluate(&balanced, &[], &data, false), Decision::Hold);
+            assert_eq!(
+                p.evaluate(&balanced, &[], &data, false, &[]),
+                Decision::Hold
+            );
         }
         // Skewed shape but negligible absolute heat: below the floor.
         let cold = heat_view(&[(0, 0.4), (1, 0.01)]);
         for _ in 0..5 {
-            assert_eq!(p.evaluate(&cold, &[], &data, false), Decision::Hold);
+            assert_eq!(p.evaluate(&cold, &[], &data, false, &[]), Decision::Hold);
         }
         // Disabled trigger never fires regardless of skew.
         let mut off = ElasticityPolicy::new(PolicyConfig {
@@ -669,7 +822,10 @@ mod tests {
         });
         let skewed = heat_view(&[(0, 100.0), (1, 1.0)]);
         for _ in 0..5 {
-            assert_eq!(off.evaluate(&skewed, &[], &data, false), Decision::Hold);
+            assert_eq!(
+                off.evaluate(&skewed, &[], &data, false, &[]),
+                Decision::Hold
+            );
         }
     }
 
@@ -688,7 +844,7 @@ mod tests {
         let skewed = heat_view(&[(0, 100.0), (1, 1.0)]);
         let data = [NodeId(0), NodeId(1)];
         for _ in 0..5 {
-            assert_eq!(p.evaluate(&skewed, &[], &data, false), Decision::Hold);
+            assert_eq!(p.evaluate(&skewed, &[], &data, false, &[]), Decision::Hold);
         }
     }
 
@@ -712,13 +868,13 @@ mod tests {
         for r in &mut idle_balanced.reports {
             r.cpu = 0.05; // all-low regime: the scale-in branch decides
         }
-        assert_eq!(p.evaluate(&armed, &[], &data, false), Decision::Hold);
-        assert_eq!(p.evaluate(&armed, &[], &data, false), Decision::Hold);
+        assert_eq!(p.evaluate(&armed, &[], &data, false, &[]), Decision::Hold);
+        assert_eq!(p.evaluate(&armed, &[], &data, false, &[]), Decision::Hold);
         // All-low window: scale-in path runs, but the balanced skew must
         // still reset the streak.
-        p.evaluate(&idle_balanced, &[], &data, false);
+        p.evaluate(&idle_balanced, &[], &data, false, &[]);
         assert_eq!(
-            p.evaluate(&armed, &[], &data, false),
+            p.evaluate(&armed, &[], &data, false, &[]),
             Decision::Hold,
             "stale streak must not fire after one armed window"
         );
@@ -736,13 +892,154 @@ mod tests {
         });
         let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
         let data = [NodeId(0), NodeId(1), NodeId(2)];
-        assert_eq!(p.evaluate(&skewed, &[], &data, false), Decision::Hold);
+        assert_eq!(p.evaluate(&skewed, &[], &data, false, &[]), Decision::Hold);
         // Ready, but a migration is in flight: held, not consumed.
-        assert_eq!(p.evaluate(&skewed, &[], &data, true), Decision::Hold);
-        assert_eq!(p.evaluate(&skewed, &[], &data, true), Decision::Hold);
-        match p.evaluate(&skewed, &[], &data, false) {
+        assert_eq!(p.evaluate(&skewed, &[], &data, true, &[]), Decision::Hold);
+        assert_eq!(p.evaluate(&skewed, &[], &data, true, &[]), Decision::Hold);
+        match p.evaluate(&skewed, &[], &data, false, &[]) {
             Decision::Rebalance { .. } => {}
             other => panic!("expected immediate fire on the clear window, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skew_refire_without_subsidence_escalates_to_helpers() {
+        // Default escalation (2 fires): the first skew fire rebalances;
+        // when the skew re-fires the moment cooldown + patience allow —
+        // without ever subsiding in between, so the rebalance evidently
+        // did not fix it — the second fire attaches helpers instead.
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 2,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            skew_cooldown: 1,
+            ..Default::default()
+        });
+        assert_eq!(p.config().helper.escalation_fires, 2);
+        let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(p.evaluate(&skewed, &[], &data, false, &[]), Decision::Hold);
+        match p.evaluate(&skewed, &[], &data, false, &[]) {
+            Decision::Rebalance { .. } => {}
+            other => panic!("first fire ships segments, got {other:?}"),
+        }
+        // Cooldown window, then the patience re-accumulates — the skew
+        // never subsided.
+        assert_eq!(p.evaluate(&skewed, &[], &data, false, &[]), Decision::Hold);
+        assert_eq!(p.evaluate(&skewed, &[], &data, false, &[]), Decision::Hold);
+        match p.evaluate(&skewed, &[], &data, false, &[]) {
+            Decision::AttachHelpers { sources } => assert_eq!(sources, vec![NodeId(0)]),
+            other => panic!("transient skew must escalate to helpers, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subsidence_between_fires_resets_the_escalation() {
+        // The skew subsides after the first rebalance (it worked): the
+        // next skew episode starts over with a fresh rebalance, never
+        // helpers.
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            skew_cooldown: 1,
+            ..Default::default()
+        });
+        let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
+        let balanced = heat_view(&[(0, 4.0), (1, 4.0), (2, 4.0)]);
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        for episode in 0..3 {
+            match p.evaluate(&skewed, &[], &data, false, &[]) {
+                Decision::Rebalance { .. } => {}
+                other => panic!("episode {episode}: expected a rebalance, got {other:?}"),
+            }
+            // Cooldown window, then the skew subsides for a stretch.
+            p.evaluate(&skewed, &[], &data, false, &[]);
+            for _ in 0..3 {
+                assert_eq!(
+                    p.evaluate(&balanced, &[], &data, false, &[]),
+                    Decision::Hold
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attached_helpers_suppress_the_trigger_and_detach_on_subsidence() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            skew_cooldown: 0,
+            ..Default::default()
+        });
+        let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        let helpers = [NodeId(3)];
+        // Armed and ready, but helpers are the response in force: hold.
+        for _ in 0..4 {
+            assert_eq!(
+                p.evaluate(&skewed, &[], &data, false, &helpers),
+                Decision::Hold
+            );
+        }
+        // The skew subsides: the helpers detach.
+        let balanced = heat_view(&[(0, 4.0), (1, 4.0), (2, 4.0)]);
+        match p.evaluate(&balanced, &[], &data, false, &helpers) {
+            Decision::DetachHelpers { helpers: h } => assert_eq!(h, vec![NodeId(3)]),
+            other => panic!("expected detach on subsidence, got {other:?}"),
+        }
+        // No helpers attached: subsidence is a plain hold.
+        assert_eq!(
+            p.evaluate(&balanced, &[], &data, false, &[]),
+            Decision::Hold
+        );
+    }
+
+    #[test]
+    fn helpers_first_escalation_never_ships() {
+        // escalation_fires = 1: every skew fire attaches helpers — the
+        // configuration for workloads known to be transient.
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            skew_cooldown: 0,
+            helper: wattdb_common::HelperPolicyConfig {
+                escalation_fires: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        match p.evaluate(&skewed, &[], &data, false, &[]) {
+            Decision::AttachHelpers { sources } => assert_eq!(sources, vec![NodeId(0)]),
+            other => panic!("helpers-first config must never rebalance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_escalation_fires_disables_helper_escalation() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            skew_cooldown: 0,
+            helper: wattdb_common::HelperPolicyConfig {
+                escalation_fires: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        // Fires forever, never escalates: the pre-helper behaviour.
+        for _ in 0..5 {
+            match p.evaluate(&skewed, &[], &data, false, &[]) {
+                Decision::Rebalance { .. } | Decision::Hold => {}
+                other => panic!("escalation disabled, got {other:?}"),
+            }
         }
     }
 
@@ -765,19 +1062,19 @@ mod tests {
         let below = heat_view(&[(0, 4.0), (1, 4.0), (2, 4.0)]); // 1.0
 
         let mut p = ElasticityPolicy::new(cfg);
-        p.evaluate(&above, &[], &data, false);
-        p.evaluate(&above, &[], &data, false);
-        p.evaluate(&band, &[], &data, false); // streak held, not advanced
-        match p.evaluate(&above, &[], &data, false) {
+        p.evaluate(&above, &[], &data, false, &[]);
+        p.evaluate(&above, &[], &data, false, &[]);
+        p.evaluate(&band, &[], &data, false, &[]); // streak held, not advanced
+        match p.evaluate(&above, &[], &data, false, &[]) {
             Decision::Rebalance { .. } => {}
             other => panic!("band preserved the streak, got {other:?}"),
         }
 
         let mut p = ElasticityPolicy::new(cfg);
-        p.evaluate(&above, &[], &data, false);
-        p.evaluate(&above, &[], &data, false);
-        p.evaluate(&below, &[], &data, false); // full reset
-        assert_eq!(p.evaluate(&above, &[], &data, false), Decision::Hold);
+        p.evaluate(&above, &[], &data, false, &[]);
+        p.evaluate(&above, &[], &data, false, &[]);
+        p.evaluate(&below, &[], &data, false, &[]); // full reset
+        assert_eq!(p.evaluate(&above, &[], &data, false, &[]), Decision::Hold);
     }
 
     mod props {
@@ -824,7 +1121,7 @@ mod tests {
                     let realized = v.heat_skew();
                     let armed_now = realized > threshold;
                     ever_armed |= armed_now;
-                    let d = p.evaluate(&v, &[], &data, false);
+                    let d = p.evaluate(&v, &[], &data, false, &[]);
                     let fired = matches!(d, Decision::Rebalance { .. });
                     if fired {
                         prop_assert!(armed_now, "fired on an unarmed window {i}");

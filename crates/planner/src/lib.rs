@@ -373,6 +373,191 @@ pub fn plan_drain(
     }
 }
 
+// ------------------------------------------------------------------ helpers
+
+/// One node's load row for helper planning: how hot it runs overall and
+/// how much of that heat is *net/remote-heavy* — the component a Fig. 8
+/// helper (log shipping + remote buffer extension) actually relieves.
+/// Under the cost-based heat signal the caller splits the components from
+/// per-segment cost vectors; under the count signal `net_heat` falls back
+/// to the total heat (the legacy signal cannot attribute components).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeLoadStat {
+    /// The (active) node carrying the load.
+    pub node: NodeId,
+    /// Total decayed heat of the node's segments.
+    pub heat: f64,
+    /// The net/remote-heavy component of that heat.
+    pub net_heat: f64,
+}
+
+/// One node eligible to serve as a helper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HelperCandidate {
+    /// Candidate node.
+    pub node: NodeId,
+    /// Its current decayed heat (zero for standbys).
+    pub heat: f64,
+    /// True when the node is in standby — the preferred helper pool: a
+    /// standby brings fresh DRAM and an idle NIC at the cost of powering
+    /// on, while an active node lends capacity it may still need.
+    pub standby: bool,
+}
+
+/// Helper-planning knobs (the planner-facing subset of the policy's
+/// `HelperPolicyConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct HelperConfig {
+    /// Most source→helper assignments in one plan.
+    pub max_helpers: usize,
+    /// Sources with less net heat than this get no helper.
+    pub min_net_heat: f64,
+}
+
+impl Default for HelperConfig {
+    fn default() -> Self {
+        Self {
+            max_helpers: 2,
+            min_net_heat: 0.0,
+        }
+    }
+}
+
+/// One planned helper attachment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HelperAssignment {
+    /// Hot source whose log shipping and buffer overflow the helper takes.
+    pub source: NodeId,
+    /// The helper node.
+    pub helper: NodeId,
+    /// The source's net-heat component at planning time — what the
+    /// attachment is predicted to relieve.
+    pub net_heat: f64,
+}
+
+/// A complete helper plan with its predicted effect.
+#[derive(Debug, Clone, Default)]
+pub struct HelperPlan {
+    /// Assignments in descending source net-heat order.
+    pub assignments: Vec<HelperAssignment>,
+    /// Total net/remote-heavy heat the plan relieves (the sum over the
+    /// helped sources).
+    pub predicted_relief: f64,
+}
+
+impl HelperPlan {
+    /// True when no helper is worth attaching.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// The helper nodes of the plan, in assignment order.
+    pub fn helpers(&self) -> Vec<NodeId> {
+        self.assignments.iter().map(|a| a.helper).collect()
+    }
+
+    /// The helped sources of the plan, in assignment order.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.assignments.iter().map(|a| a.source).collect()
+    }
+}
+
+/// Plan helper attachments: rank `sources` by their net/remote-heavy heat
+/// component and pair the heaviest with helpers drawn from `candidates`,
+/// one helper per source, at most `cfg.max_helpers` assignments.
+///
+/// Helper choice prefers standbys (coldest first), then the coldest
+/// active candidates. The plan never assigns:
+/// * a node listed in `excluded` (migration sources/targets, nodes
+///   already helping);
+/// * a source to itself (or to another helped source);
+/// * the master (`NodeId(0)`) while any alternative candidate exists;
+/// * more than one source to the same helper.
+///
+/// Sources below `cfg.min_net_heat` are not helped — their pain is not
+/// remote traffic. With a zero floor (the default) even a source with no
+/// net component qualifies, ranked last: a log-shipping helper still
+/// relieves its commit path. Cold sources (no heat at all) never get a
+/// helper. With distinct heat signals the choice depends only on the
+/// *signals*, so renumbering the nodes renames the answer without
+/// changing which physical nodes pair up.
+pub fn plan_helpers(
+    sources: &[NodeLoadStat],
+    candidates: &[HelperCandidate],
+    excluded: &[NodeId],
+    cfg: &HelperConfig,
+) -> HelperPlan {
+    let mut plan = HelperPlan::default();
+    if cfg.max_helpers == 0 {
+        return plan;
+    }
+    // Net-heaviest sources first; deterministic tie-break on id.
+    let mut ranked: Vec<&NodeLoadStat> = sources
+        .iter()
+        .filter(|s| s.heat > 0.0 && s.net_heat >= cfg.min_net_heat)
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.net_heat
+            .partial_cmp(&a.net_heat)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                b.heat
+                    .partial_cmp(&a.heat)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    // One row per node, best-ranked occurrence wins: duplicate input rows
+    // sort apart by their heats, so adjacent-only dedup would let a node
+    // collect two helpers.
+    let mut seen = std::collections::BTreeSet::new();
+    ranked.retain(|s| seen.insert(s.node));
+
+    // Eligible helpers: not excluded, not a source. Standbys first, then
+    // the coldest actives; the master only as the pool of last resort.
+    let is_source = |n: NodeId| sources.iter().any(|s| s.node == n);
+    let eligible: Vec<&HelperCandidate> = candidates
+        .iter()
+        .filter(|c| !excluded.contains(&c.node) && !is_source(c.node))
+        .collect();
+    let mut pool: Vec<&HelperCandidate> = eligible
+        .iter()
+        .copied()
+        .filter(|c| c.node != NodeId(0))
+        .collect();
+    if pool.is_empty() {
+        pool = eligible;
+    }
+    pool.sort_by(|a, b| {
+        b.standby
+            .cmp(&a.standby)
+            .then_with(|| {
+                a.heat
+                    .partial_cmp(&b.heat)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    // As above: best-ranked occurrence per node, or a duplicate candidate
+    // row would let the same helper serve two sources.
+    let mut seen = std::collections::BTreeSet::new();
+    pool.retain(|c| seen.insert(c.node));
+
+    let mut next = pool.into_iter();
+    for src in ranked.into_iter().take(cfg.max_helpers) {
+        let Some(helper) = next.next() else {
+            break;
+        };
+        plan.predicted_relief += src.net_heat;
+        plan.assignments.push(HelperAssignment {
+            source: src.node,
+            helper: helper.node,
+            net_heat: src.net_heat,
+        });
+    }
+    plan
+}
+
 /// The legacy fraction heuristic expressed in planner terms, for
 /// apples-to-apples comparison: per (table, source), keep the lower
 /// `1 − fraction` of key-ordered segments and move the rest to targets
@@ -578,6 +763,170 @@ mod tests {
             max_heat(&frac_plan)
         );
         assert!(heat_plan.bytes_planned <= frac_plan.bytes_planned);
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    fn load(node: u16, heat: f64, net: f64) -> NodeLoadStat {
+        NodeLoadStat {
+            node: NodeId(node),
+            heat,
+            net_heat: net,
+        }
+    }
+
+    fn cand(node: u16, heat: f64, standby: bool) -> HelperCandidate {
+        HelperCandidate {
+            node: NodeId(node),
+            heat,
+            standby,
+        }
+    }
+
+    #[test]
+    fn helpers_go_to_the_net_heaviest_sources() {
+        // Node 1 is hottest overall but node 2 carries the most *net*
+        // heat: node 2 gets the first (standby) helper.
+        let sources = [load(1, 100.0, 5.0), load(2, 60.0, 40.0)];
+        let cands = [cand(3, 0.0, true), cand(4, 0.0, true)];
+        let plan = plan_helpers(&sources, &cands, &[], &HelperConfig::default());
+        assert_eq!(plan.assignments.len(), 2);
+        assert_eq!(plan.assignments[0].source, NodeId(2));
+        assert_eq!(plan.assignments[0].helper, NodeId(3));
+        assert_eq!(plan.assignments[1].source, NodeId(1));
+        assert_eq!(plan.assignments[1].helper, NodeId(4));
+        assert!((plan.predicted_relief - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn helper_pool_prefers_standbys_then_coldest_actives() {
+        let sources = [load(1, 50.0, 50.0)];
+        // A cold active, an even colder active, and one standby: the
+        // standby wins despite the actives' low heat.
+        let cands = [cand(2, 1.0, false), cand(3, 0.5, false), cand(4, 0.0, true)];
+        let plan = plan_helpers(&sources, &cands, &[], &HelperConfig::default());
+        assert_eq!(plan.helpers(), vec![NodeId(4)]);
+        // Without the standby, the coldest active is next in line.
+        let plan = plan_helpers(&sources, &cands[..2], &[], &HelperConfig::default());
+        assert_eq!(plan.helpers(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn helpers_never_come_from_excluded_or_source_nodes() {
+        let sources = [load(1, 50.0, 50.0), load(2, 40.0, 30.0)];
+        let cands = [
+            cand(1, 50.0, false), // a source — never helps itself
+            cand(2, 40.0, false), // the other source
+            cand(3, 0.0, true),   // excluded (e.g. migration target)
+            cand(4, 0.0, true),
+        ];
+        let plan = plan_helpers(
+            &sources,
+            &cands,
+            &[NodeId(3)],
+            &HelperConfig {
+                max_helpers: 4,
+                min_net_heat: 0.0,
+            },
+        );
+        assert_eq!(plan.helpers(), vec![NodeId(4)], "{plan:?}");
+        assert_eq!(plan.sources(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn master_helps_only_as_last_resort() {
+        let sources = [load(1, 50.0, 50.0)];
+        let with_alternative = [cand(0, 0.0, false), cand(2, 5.0, false)];
+        let plan = plan_helpers(&sources, &with_alternative, &[], &HelperConfig::default());
+        assert_eq!(plan.helpers(), vec![NodeId(2)], "master spared: {plan:?}");
+        let master_only = [cand(0, 0.0, false)];
+        let plan = plan_helpers(&sources, &master_only, &[], &HelperConfig::default());
+        assert_eq!(plan.helpers(), vec![NodeId(0)], "last resort: {plan:?}");
+    }
+
+    #[test]
+    fn duplicate_rows_collapse_to_the_best_ranked_occurrence() {
+        // Duplicate source rows sort apart by their heats; the node must
+        // still collect exactly one helper (from its best-ranked row).
+        let sources = [load(1, 50.0, 10.0), load(2, 40.0, 5.0), load(1, 10.0, 3.0)];
+        let cands = [cand(3, 0.0, true), cand(4, 0.0, true), cand(5, 0.0, true)];
+        let plan = plan_helpers(
+            &sources,
+            &cands,
+            &[],
+            &HelperConfig {
+                max_helpers: 3,
+                min_net_heat: 0.0,
+            },
+        );
+        assert_eq!(plan.sources(), vec![NodeId(1), NodeId(2)], "{plan:?}");
+        // Same for candidates: a helper listed twice (with differing
+        // heats) serves at most one source.
+        let sources = [load(1, 50.0, 10.0), load(2, 40.0, 5.0)];
+        let dup_cands = [
+            cand(3, 2.0, false),
+            cand(3, 1.0, false),
+            cand(4, 5.0, false),
+        ];
+        let plan = plan_helpers(
+            &sources,
+            &dup_cands,
+            &[],
+            &HelperConfig {
+                max_helpers: 3,
+                min_net_heat: 0.0,
+            },
+        );
+        assert_eq!(plan.helpers(), vec![NodeId(3), NodeId(4)], "{plan:?}");
+    }
+
+    #[test]
+    fn net_heat_floor_and_cap_bound_the_plan() {
+        let sources = [load(1, 9.0, 9.0), load(2, 8.0, 8.0), load(3, 1.0, 0.4)];
+        let cands = [cand(4, 0.0, true), cand(5, 0.0, true), cand(6, 0.0, true)];
+        // The floor silences node 3; the cap keeps one assignment.
+        let plan = plan_helpers(
+            &sources,
+            &cands,
+            &[],
+            &HelperConfig {
+                max_helpers: 1,
+                min_net_heat: 1.0,
+            },
+        );
+        assert_eq!(plan.assignments.len(), 1);
+        assert_eq!(plan.assignments[0].source, NodeId(1));
+        // A zero-net source still gets a helper under the zero floor (log
+        // shipping relieves its commit path), ranked behind any net-heavy
+        // source — but any positive floor excludes it.
+        let cpu_only = [load(1, 9.0, 0.0), load(2, 5.0, 3.0)];
+        let plan = plan_helpers(&cpu_only, &cands, &[], &HelperConfig::default());
+        assert_eq!(plan.sources(), vec![NodeId(2), NodeId(1)], "{plan:?}");
+        let plan = plan_helpers(
+            &cpu_only,
+            &cands,
+            &[],
+            &HelperConfig {
+                max_helpers: 2,
+                min_net_heat: 0.5,
+            },
+        );
+        assert_eq!(plan.sources(), vec![NodeId(2)], "{plan:?}");
+        // A cold source (no heat at all) never gets one.
+        let cold = [load(1, 0.0, 0.0)];
+        let plan = plan_helpers(&cold, &cands, &[], &HelperConfig::default());
+        assert!(plan.is_empty(), "{plan:?}");
+        // max_helpers = 0 disables planning outright.
+        let plan = plan_helpers(
+            &sources,
+            &cands,
+            &[],
+            &HelperConfig {
+                max_helpers: 0,
+                min_net_heat: 0.0,
+            },
+        );
+        assert!(plan.is_empty());
     }
 
     #[test]

@@ -159,6 +159,9 @@ fn assert_triggers_logged(events: &[ControlEvent]) {
             (_, Decision::ScaleOut { .. }) => assert_eq!(e.trigger, "cpu-high", "{e:?}"),
             (_, Decision::ScaleIn { .. }) => assert_eq!(e.trigger, "cpu-low", "{e:?}"),
             (_, Decision::Rebalance { .. }) => assert_eq!(e.trigger, "heat-skew", "{e:?}"),
+            (_, Decision::AttachHelpers { .. }) | (_, Decision::DetachHelpers { .. }) => {
+                assert_eq!(e.trigger, "helper", "{e:?}")
+            }
             (_, Decision::Hold) => panic!("hold decisions are never logged: {e:?}"),
         }
     }
@@ -281,6 +284,19 @@ fn stationary_hot_range_rebalances_with_zero_node_count_change() {
     let (h0, h1) = (db.node_heat(NodeId(0)), db.node_heat(NodeId(1)));
     assert!(h1 > 0.0, "heat arrived on the cold node");
     let skew_after = h0.max(h1) / ((h0 + h1) / 2.0);
+    // Stationary skew is what rebalancing *fixes*: under the default
+    // helper escalation the trigger never escalates — no helper is ever
+    // attached, and every skew decision stays a segment rebalance.
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.decision, Decision::AttachHelpers { .. })),
+        "stationary skew must never attach helpers: {events:?}"
+    );
+    assert!(
+        db.helpers_active().is_empty(),
+        "no helper left attached after a stationary run"
+    );
     println!(
         "[stationary/skew-only] rebalances={} skew after={skew_after:.2} heats=({h0:.0},{h1:.0})",
         history.len()
@@ -311,6 +327,243 @@ fn cpu_only_config_ignores_skew() {
             .iter()
             .any(|e| matches!(e.decision, Decision::ScaleOut { .. })),
         "idle CPUs cannot scale out: {events:?}"
+    );
+}
+
+// ------------------------------------------------- transient skew: helpers
+
+/// A transient-bimodal deployment: three data nodes, the hot range
+/// flapping between nodes 0 and 1 while node 2 stays cold — the skew
+/// ratio holds above the threshold throughout, but *which* node is hot
+/// alternates, so any segments a rebalance ships are wrong by the time
+/// they land. The helper policy runs helpers-first
+/// (`escalation_fires: 1`): every skew fire attaches Fig. 8 helpers
+/// instead of shipping.
+fn transient_bimodal_db() -> WattDb {
+    let policy = PolicyConfig {
+        cpu_high: 1.1,
+        cpu_low: 0.0,
+        patience: 2,
+        skew_threshold: 1.5,
+        skew_min_heat: 1.0,
+        skew_cooldown: 4,
+        helper: wattdb_common::HelperPolicyConfig {
+            escalation_fires: 1,
+            max_helpers: 2,
+            min_net_heat: 0.0,
+        },
+        ..Default::default()
+    };
+    WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(6)
+        .density(0.05)
+        .segment_pages(8)
+        .seed(31)
+        .initial_data_nodes(&[NodeId(0), NodeId(1), NodeId(2)])
+        .policy(policy)
+        .monitoring(SimDuration::from_secs(WINDOW_SECS))
+        .autopilot(true)
+        .build()
+}
+
+/// Drive the flap: heavy heat on node 0's segments for `flip` windows,
+/// then on node 1's, alternating; node 2 stays cold throughout.
+fn drive_bimodal_flap(db: &mut WattDb, windows: u64, flip: u64) {
+    let hot0: Vec<SegmentId> = segments_on(db, NodeId(0)).into_iter().take(3).collect();
+    let hot1: Vec<SegmentId> = segments_on(db, NodeId(1)).into_iter().take(3).collect();
+    drive(db, windows, move |w, c, now| {
+        let hot = if (w / flip).is_multiple_of(2) {
+            &hot0
+        } else {
+            &hot1
+        };
+        for &s in hot {
+            bump(c, s, now, 60);
+        }
+    });
+}
+
+#[test]
+fn transient_bimodal_skew_attaches_helpers_and_never_ships() {
+    let mut db = transient_bimodal_db();
+    assert!(!segments_on(&db, NodeId(2)).is_empty(), "node 2 holds data");
+    drive_bimodal_flap(&mut db, 24, 3);
+    let events = db.events();
+    assert_triggers_logged(&events);
+    // The escalated response fired and was applied.
+    let attaches: Vec<&ControlEvent> = events
+        .iter()
+        .filter(|e| matches!(e.decision, Decision::AttachHelpers { .. }))
+        .collect();
+    let applied: Vec<&&ControlEvent> = attaches
+        .iter()
+        .filter(|e| e.outcome == Outcome::Applied)
+        .collect();
+    assert!(
+        !applied.is_empty(),
+        "transient skew must attach helpers: {events:?}"
+    );
+    let attach = applied[0];
+    assert_eq!(attach.trigger, "helper");
+    assert!(
+        attach.relief > 0.0,
+        "applied attachment logs its predicted relief: {attach:?}"
+    );
+    // Not a single segment shipped: no rebalance decision, no history,
+    // zero bytes.
+    assert!(
+        rebalance_events(&events).is_empty(),
+        "transient skew must never ship segments: {events:?}"
+    );
+    assert!(db.rebalance_history().is_empty(), "zero rebalances");
+    assert!(db.last_rebalance().is_none());
+    // Planner-chosen helpers: attached, and drawn from nodes that are
+    // neither the hot sources nor the master.
+    let helpers = db.helpers_active();
+    assert!(!helpers.is_empty(), "helpers still attached under the flap");
+    for h in &helpers {
+        assert!(
+            *h != NodeId(0) && *h != NodeId(1),
+            "helper {h} must not be a flapping hot source: {helpers:?}"
+        );
+    }
+    // The helped source ships its log to the helper.
+    db.with_cluster(|c| {
+        let helped: Vec<NodeId> = c
+            .nodes
+            .iter()
+            .filter(|n| n.helper.is_some())
+            .map(|n| n.id)
+            .collect();
+        assert!(!helped.is_empty(), "a hot source is wired to its helper");
+        for n in &c.nodes {
+            if let Some(h) = n.helper {
+                assert!(c.helpers_active.contains(&h));
+                assert_eq!(n.shipper.followers(), vec![h]);
+            }
+        }
+    });
+    println!(
+        "[transient/helpers-first] attaches={} helpers={helpers:?} relief={:.1}",
+        applied.len(),
+        attach.relief
+    );
+}
+
+#[test]
+fn helpers_detach_once_the_skew_subsides() {
+    let mut db = transient_bimodal_db();
+    drive_bimodal_flap(&mut db, 18, 3);
+    assert!(
+        !db.helpers_active().is_empty(),
+        "precondition: helpers attached under the flap: {:?}",
+        db.events()
+    );
+    let powered_helpers = db.helpers_active();
+    // The flap ends and the load spreads evenly: the skew falls through
+    // the rearm band and the helpers must be released.
+    let all: Vec<SegmentId> = db.with_cluster(|c| c.seg_dir.iter().map(|m| m.id).collect());
+    drive(&mut db, 12, move |_, c, now| {
+        for &s in &all {
+            bump(c, s, now, 8);
+        }
+    });
+    let events = db.events();
+    assert_triggers_logged(&events);
+    let detach = events
+        .iter()
+        .find(|e| matches!(e.decision, Decision::DetachHelpers { .. }))
+        .unwrap_or_else(|| panic!("no detach on subsidence: {events:?}"));
+    assert_eq!(detach.trigger, "helper");
+    assert_eq!(detach.outcome, Outcome::Applied);
+    assert!(db.helpers_active().is_empty(), "helpers released");
+    // Helpers powered on for the duty returned to standby; every log-
+    // shipping cursor is gone.
+    db.with_cluster(|c| {
+        for h in &powered_helpers {
+            if c.seg_dir.on_node(*h).next().is_none() {
+                assert_eq!(
+                    c.nodes[h.raw() as usize].state,
+                    wattdb_energy::NodeState::Standby,
+                    "duty-powered helper {h} suspended again"
+                );
+            }
+        }
+        for n in &c.nodes {
+            assert_eq!(n.helper, None);
+            assert!(n.shipper.followers().is_empty(), "cursor left on {}", n.id);
+        }
+    });
+    // Still: not a byte shipped across the whole run.
+    assert!(db.rebalance_history().is_empty());
+    println!("[transient/detach] helpers released: {powered_helpers:?}");
+}
+
+#[test]
+fn empty_helper_plan_falls_back_to_rebalancing() {
+    // Escalation wants helpers but the net-heat floor is unreachable, so
+    // every helper plan comes back empty. The controller must not wedge
+    // (escalated fire → refused attach → cooldown → re-escalate, forever):
+    // it falls back to the rebalance the fire would otherwise have been,
+    // and the stationary skew still gets fixed by shipping segments.
+    let policy = PolicyConfig {
+        cpu_high: 1.1,
+        cpu_low: 0.0,
+        patience: 2,
+        skew_threshold: 1.5,
+        skew_min_heat: 1.0,
+        skew_cooldown: 4,
+        helper: wattdb_common::HelperPolicyConfig {
+            escalation_fires: 1, // every fire escalates...
+            max_helpers: 2,
+            min_net_heat: 1e12, // ...but no source ever clears the floor
+        },
+        ..Default::default()
+    };
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(4)
+        .density(0.05)
+        .segment_pages(8)
+        .seed(17)
+        .initial_data_nodes(&[NodeId(0), NodeId(1)])
+        .policy(policy)
+        .monitoring(SimDuration::from_secs(WINDOW_SECS))
+        .autopilot(true)
+        .build();
+    let track = node0_track(&db);
+    let hot: Vec<SegmentId> = track.iter().copied().take(4).collect();
+    drive(&mut db, 30, move |_, c, now| {
+        for &s in &hot {
+            bump(c, s, now, 40);
+        }
+    });
+    let events = db.events();
+    assert_triggers_logged(&events);
+    // The escalated decision was applied — as a rebalance.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.decision, Decision::AttachHelpers { .. })
+                && e.outcome == Outcome::Applied),
+        "escalated fire must still act: {events:?}"
+    );
+    assert!(
+        db.helpers_active().is_empty(),
+        "no helper cleared the floor"
+    );
+    let history = db.rebalance_history();
+    assert!(
+        !history.is_empty(),
+        "fallback must ship segments: {events:?}"
+    );
+    assert!(history[0].heat_moved > 0.0);
+    assert!(
+        db.node_heat(NodeId(1)) > 0.0,
+        "the stationary skew actually got fixed"
     );
 }
 
