@@ -215,6 +215,11 @@ fn main() {
         helped.helper_attaches > 0,
         "the helpers policy must have attached helpers"
     );
+    assert!(
+        helped.helper_detaches > 0,
+        "helpers must actually detach when a flap's skew subsides — \
+         a wedged subsidence predicate keeps them powered forever"
+    );
     assert_eq!(
         helped.row.bytes_moved, 0,
         "helpers-first must ship zero segment bytes, shipped {}",

@@ -447,13 +447,30 @@ impl WattDb {
         match helpers.into() {
             HelperSet::Manual(list) => {
                 migration::attach_helpers(&self.cluster, &mut self.sim, sources, list);
+                migration::start_rebalance(
+                    &self.cluster,
+                    &mut self.sim,
+                    fraction,
+                    sources,
+                    targets,
+                );
             }
             HelperSet::Planned => {
+                // Start the rebalance first so the helper planner's
+                // in-flight exclusion sees this rebalance's own sources
+                // and targets: a node about to receive shipped segments
+                // never moonlights as a log-shipping/buffer helper.
+                migration::start_rebalance(
+                    &self.cluster,
+                    &mut self.sim,
+                    fraction,
+                    sources,
+                    targets,
+                );
                 let plan = self.plan_helpers(sources);
-                migration::attach_helper_plan(&self.cluster, &mut self.sim, &plan);
+                migration::attach_helper_plan(&self.cluster, &mut self.sim, &plan, true);
             }
         }
-        migration::start_rebalance(&self.cluster, &mut self.sim, fraction, sources, targets);
     }
 
     /// Plan (but do not attach) helper placements for `sources`, using the
@@ -469,10 +486,12 @@ impl WattDb {
     }
 
     /// Attach an externally produced helper plan (see
-    /// [`WattDb::plan_helpers`]). Helpers detach when the next rebalance
-    /// completes, or on [`WattDb::detach_helpers`].
+    /// [`WattDb::plan_helpers`]). Facade attachments are scripted: the
+    /// helpers detach when the next rebalance completes, or on
+    /// [`WattDb::detach_helpers`]. (Helpers the autopilot attaches for
+    /// transient skew instead stay until the skew subsides.)
     pub fn attach_helpers(&mut self, plan: &HelperPlan) -> bool {
-        migration::attach_helper_plan(&self.cluster, &mut self.sim, plan)
+        migration::attach_helper_plan(&self.cluster, &mut self.sim, plan, true)
     }
 
     /// Detach every attached helper now; returns the nodes released.

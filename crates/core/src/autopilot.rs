@@ -214,7 +214,20 @@ impl AutoPilot {
             // Observe *after* any suspension, so a node just returned to
             // standby is immediately available as a scale-out target.
             let (standby, with_data) = observe(cl);
-            let helpers = cl.borrow().helpers_active.clone();
+            // The policy manages only the helpers it attached itself: a
+            // scripted `rebalance_with_helpers` set belongs to the
+            // migration engine (it detaches with its rebalance's
+            // completion) and must be invisible here — the policy must
+            // neither hold its skew fire for it nor tear it down on
+            // subsidence.
+            let helpers: Vec<NodeId> = {
+                let c = cl.borrow();
+                c.helpers_active
+                    .iter()
+                    .copied()
+                    .filter(|h| !c.helpers_scripted.contains(h))
+                    .collect()
+            };
             let decision = policy.evaluate(view, &standby, &with_data, rebalancing, &helpers);
             if decision != Decision::Hold {
                 let trigger = trigger_of(&decision);

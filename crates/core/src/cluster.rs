@@ -269,6 +269,13 @@ pub struct Cluster {
     /// duty (standbys at attach time): these return to standby on detach,
     /// while a helper that was already serving data stays active.
     pub helpers_powered: Vec<NodeId>,
+    /// The subset of `helpers_active` attached by a *scripted* rebalance
+    /// path (`rebalance_with_helpers`, or a facade-attached plan): these
+    /// auto-detach when the in-flight rebalance completes (Fig. 8).
+    /// Helpers the elasticity policy attached for transient skew are NOT
+    /// in this set — they ride out unrelated migrations and are released
+    /// only by `Decision::DetachHelpers` when the skew subsides.
+    pub helpers_scripted: Vec<NodeId>,
     /// Predicted net/remote-traffic relief of the helper plan currently
     /// attached (zero for manual attachments and when no helper runs).
     pub helper_relief: f64,
@@ -325,6 +332,7 @@ impl Cluster {
             auto_resubmit: true,
             helpers_active: Vec::new(),
             helpers_powered: Vec::new(),
+            helpers_scripted: Vec::new(),
             helper_relief: 0.0,
         }))
     }

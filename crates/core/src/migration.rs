@@ -947,9 +947,13 @@ fn maybe_finish(c: &mut Cluster, now: SimTime) {
     };
     c.last_rebalance = Some(report);
     c.metrics.record_rebalance(report);
-    // Helpers detach (Fig. 8: "after rebalancing, the additional nodes
-    // should be turned off again").
-    detach_all_helpers(c);
+    // Scripted helpers detach (Fig. 8: "after rebalancing, the additional
+    // nodes should be turned off again"). Helpers the elasticity policy
+    // attached for transient skew are deliberately NOT released here: an
+    // unrelated scale-out or drain finishing must not tear down a
+    // response whose skew still persists — those detach only via
+    // `Decision::DetachHelpers` on subsidence.
+    detach_scripted_helpers(c);
 }
 
 /// Summary of the last completed rebalance.
@@ -993,18 +997,24 @@ pub fn attach_helpers(cl: &ClusterRc, _sim: &mut Sim, sources: &[NodeId], helper
         .map(|(i, &src)| (src, helpers[i % helpers.len()]))
         .collect();
     // Every *listed* helper powers on and is tracked, paired or not — the
-    // legacy manual contract.
-    attach_helper_pairs(&mut cl.borrow_mut(), helpers, &pairs, 0.0);
+    // legacy manual contract. A manual list is a scripted Fig. 8 run:
+    // the helpers detach when the accompanying rebalance completes.
+    attach_helper_pairs(&mut cl.borrow_mut(), helpers, &pairs, 0.0, true);
 }
 
 /// Attach a planner-produced [`wattdb_planner::HelperPlan`]: one helper
 /// per assignment, with the plan's predicted net-traffic relief recorded
-/// for the control log. Returns false (and attaches nothing) on an empty
-/// plan.
+/// for the control log. `scripted` marks the helpers as belonging to a
+/// scripted Fig. 8 rebalance — they auto-detach when the in-flight
+/// rebalance completes; policy-attached helpers (`scripted: false`) stay
+/// until [`Decision::DetachHelpers`](crate::policy::Decision) releases
+/// them on skew subsidence. Returns false (and attaches nothing) on an
+/// empty plan.
 pub fn attach_helper_plan(
     cl: &ClusterRc,
     _sim: &mut Sim,
     plan: &wattdb_planner::HelperPlan,
+    scripted: bool,
 ) -> bool {
     if plan.is_empty() {
         return false;
@@ -1020,6 +1030,7 @@ pub fn attach_helper_plan(
         &helpers,
         &pairs,
         plan.predicted_relief,
+        scripted,
     );
     true
 }
@@ -1035,6 +1046,7 @@ fn attach_helper_pairs(
     helpers: &[NodeId],
     pairs: &[(NodeId, NodeId)],
     relief: f64,
+    scripted: bool,
 ) {
     use wattdb_energy::NodeState;
     let remote_pages = c.cfg.buffer_pages;
@@ -1046,6 +1058,9 @@ fn attach_helper_pairs(
         c.power_on(h);
         if !c.helpers_active.contains(&h) {
             c.helpers_active.push(h);
+        }
+        if scripted && !c.helpers_scripted.contains(&h) {
+            c.helpers_scripted.push(h);
         }
     }
     for &(src, h) in pairs {
@@ -1063,16 +1078,26 @@ fn attach_helper_pairs(
     c.helper_relief = relief;
 }
 
-/// Detach every active helper: sources fall back to local log flushes and
-/// plain buffer pools, shipping cursors are cleared — including any stale
-/// cursor left by a mid-flight helper reassignment — and helpers that
-/// were powered on *for* the duty return to standby (one that was already
-/// serving data stays active). Returns the helpers detached.
-pub fn detach_all_helpers(c: &mut Cluster) -> Vec<NodeId> {
-    let helpers = std::mem::take(&mut c.helpers_active);
-    let powered = std::mem::take(&mut c.helpers_powered);
-    c.helper_relief = 0.0;
-    for &h in &helpers {
+/// Detach the given helpers: their sources fall back to local log flushes
+/// and plain buffer pools, shipping cursors are cleared — including any
+/// stale cursor left by a mid-flight helper reassignment — and every
+/// detached helper left with no segments to serve suspends to standby
+/// (one holding data stays active). Returns the helpers detached.
+fn detach_helper_set(c: &mut Cluster, set: &[NodeId]) -> Vec<NodeId> {
+    let mut detached = Vec::new();
+    c.helpers_active.retain(|h| {
+        let keep = !set.contains(h);
+        if !keep {
+            detached.push(*h);
+        }
+        keep
+    });
+    c.helpers_powered.retain(|h| !detached.contains(h));
+    c.helpers_scripted.retain(|h| !detached.contains(h));
+    if c.helpers_active.is_empty() {
+        c.helper_relief = 0.0;
+    }
+    for &h in &detached {
         for n in &mut c.nodes {
             if n.helper == Some(h) {
                 n.helper = None;
@@ -1084,20 +1109,49 @@ pub fn detach_all_helpers(c: &mut Cluster) -> Vec<NodeId> {
             n.shipper.detach(h);
         }
     }
-    for h in powered {
-        // A helper can only have gained segments by also becoming a
-        // rebalance target meanwhile; then it must stay up.
-        if c.seg_dir.on_node(h).next().is_none() {
+    for &h in &detached {
+        // A detached helper with nothing left to serve suspends: the
+        // duty-powered standbys return to standby, and so does an active
+        // node that was drained empty *during* its duty — leaving it up
+        // would idle it at full power with no code path left to suspend
+        // it. A helper holding segments (it was serving data at attach
+        // time, or became a rebalance target meanwhile) stays up; the
+        // master never suspends.
+        if h != NodeId(0)
+            && c.seg_dir.on_node(h).next().is_none()
+            && c.nodes[h.raw() as usize].state == wattdb_energy::NodeState::Active
+        {
             c.power_off(h);
         }
     }
-    helpers
+    detached
 }
 
-/// [`detach_all_helpers`] over the shared handle (the policy-side detach
-/// on skew subsidence).
+/// `detach_helper_set` over every attached helper, scripted or not.
+pub fn detach_all_helpers(c: &mut Cluster) -> Vec<NodeId> {
+    let all = c.helpers_active.clone();
+    detach_helper_set(c, &all)
+}
+
+/// Detach only the helpers a scripted rebalance attached (the
+/// migration-completion release); policy-attached helpers stay wired.
+fn detach_scripted_helpers(c: &mut Cluster) -> Vec<NodeId> {
+    let set = std::mem::take(&mut c.helpers_scripted);
+    detach_helper_set(c, &set)
+}
+
+/// [`detach_all_helpers`] over the shared handle (the facade's
+/// release-everything entry point).
 pub fn detach_helpers(cl: &ClusterRc) -> Vec<NodeId> {
     detach_all_helpers(&mut cl.borrow_mut())
+}
+
+/// Detach exactly the named helpers over the shared handle — the
+/// policy-side detach on skew subsidence, which must release only the
+/// set the policy attached and leave a concurrently scripted Fig. 8
+/// set to its own migration-completion lifecycle.
+pub fn detach_named_helpers(cl: &ClusterRc, set: &[NodeId]) -> Vec<NodeId> {
+    detach_helper_set(&mut cl.borrow_mut(), set)
 }
 
 /// Is a rebalance still running?
@@ -1247,5 +1301,93 @@ mod tests {
         assert_eq!(c.nodes[1].state, NodeState::Active, "data node stays up");
         assert_eq!(c.nodes[2].state, NodeState::Standby);
         assert!(c.helpers_active.is_empty());
+    }
+
+    #[test]
+    fn detach_suspends_an_empty_active_helper() {
+        // A helper that was active-but-empty at attach time (so never in
+        // `helpers_powered`) has nothing left to serve after detach:
+        // leaving it up would idle a segmentless node at full power with
+        // no remaining code path to suspend it — the same fate awaits an
+        // active data helper drained empty mid-duty by a scale-in.
+        let cl = cluster(false);
+        let mut sim = Sim::new();
+        attach_helpers(&cl, &mut sim, &[NodeId(0)], &[NodeId(1)]);
+        assert!(
+            cl.borrow().helpers_powered.is_empty(),
+            "node 1 was already active, not duty-powered"
+        );
+        detach_helpers(&cl);
+        let c = cl.borrow();
+        assert_eq!(
+            c.nodes[1].state,
+            NodeState::Standby,
+            "an empty ex-helper must not stay powered"
+        );
+    }
+
+    #[test]
+    fn policy_helpers_ride_out_unrelated_migration_completion() {
+        // A completing migration releases only the helpers a *scripted*
+        // Fig. 8 rebalance attached. Helpers the elasticity policy wired
+        // up for transient skew answer a hotspot that outlives any one
+        // migration: tearing them down with an unrelated drain or
+        // scale-out would force churn (cooldown + patience must
+        // re-accumulate before they come back).
+        let cl = Cluster::new(
+            ClusterConfig {
+                nodes: 6,
+                segment_pages: 16,
+                buffer_pages: 256,
+                ..Default::default()
+            },
+            &[NodeId(0), NodeId(1)],
+        );
+        cl.borrow_mut()
+            .load_tpcc(
+                wattdb_tpcc::TpccConfig {
+                    warehouses: 2,
+                    density: 0.01,
+                    payload_bytes: 8,
+                    seed: 7,
+                },
+                &[NodeId(0), NodeId(1)],
+            )
+            .unwrap();
+        let mut sim = Sim::new();
+        // Policy attach (scripted: false): node 4 helps node 0.
+        let plan = wattdb_planner::HelperPlan {
+            assignments: vec![wattdb_planner::HelperAssignment {
+                source: NodeId(0),
+                helper: NodeId(4),
+                net_heat: 1.0,
+            }],
+            predicted_relief: 1.0,
+        };
+        assert!(attach_helper_plan(&cl, &mut sim, &plan, false));
+        // Scripted attach alongside: node 5 helps node 1 for the
+        // rebalance below.
+        attach_helpers(&cl, &mut sim, &[NodeId(1)], &[NodeId(5)]);
+        assert_eq!(cl.borrow().helpers_scripted, vec![NodeId(5)]);
+        start_rebalance(&cl, &mut sim, 0.5, &[NodeId(1)], &[NodeId(2)]);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(600));
+        {
+            let c = cl.borrow();
+            assert!(c.mover.is_none(), "rebalance completed");
+            // The scripted helper went with the completion...
+            assert_eq!(c.nodes[1].helper, None);
+            assert_eq!(c.nodes[5].state, NodeState::Standby);
+            // ...while the policy helper is still wired.
+            assert_eq!(c.helpers_active, vec![NodeId(4)]);
+            assert_eq!(c.nodes[0].helper, Some(NodeId(4)));
+            assert_eq!(c.nodes[0].shipper.followers(), vec![NodeId(4)]);
+            assert!(c.helpers_scripted.is_empty());
+        }
+        // The policy-side release still lets go of everything.
+        assert_eq!(detach_helpers(&cl), vec![NodeId(4)]);
+        let c = cl.borrow();
+        assert!(c.helpers_active.is_empty());
+        assert_eq!(c.nodes[0].helper, None);
+        assert_eq!(c.nodes[4].state, NodeState::Standby);
     }
 }

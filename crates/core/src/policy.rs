@@ -23,7 +23,7 @@ use wattdb_sim::Sim;
 use crate::cluster::{ClusterRc, Scheme};
 use crate::heat;
 use crate::migration::{
-    attach_helper_plan, detach_helpers, nodes_in_flight, rebalancing, start_rebalance,
+    attach_helper_plan, detach_named_helpers, nodes_in_flight, rebalancing, start_rebalance,
     start_rebalance_planned, SegmentMove,
 };
 use crate::monitor::ClusterView;
@@ -129,6 +129,10 @@ pub enum Decision {
         /// Nodes carrying more than the mean heat — the planner ranks
         /// these by their net/remote-heavy heat component.
         sources: Vec<NodeId>,
+        /// Cooler active nodes — the targets of the [`Decision::Rebalance`]
+        /// this fire would otherwise have been, which `apply` falls back
+        /// to when the helper plan comes back empty.
+        targets: Vec<NodeId>,
     },
     /// Detach the currently attached helpers: the skew they answered has
     /// subsided (fallen below the rearm band, or the cluster cooled below
@@ -177,10 +181,15 @@ impl ElasticityPolicy {
     /// `rebalancing` whether a migration is already in flight (a skew
     /// fire would only be deferred, so the trigger stays armed instead of
     /// burning its streak and cooldown on a decision nobody can act on);
-    /// `helpers` the helper nodes currently attached — while any are, the
-    /// skew trigger holds its fire (the helpers *are* the response in
-    /// force) and the policy instead watches for subsidence to emit
-    /// [`Decision::DetachHelpers`].
+    /// `helpers` the helper nodes the *policy itself* attached (callers
+    /// must not include a scripted `rebalance_with_helpers` set — those
+    /// belong to the migration engine and detach with its completion) —
+    /// while any are, the skew trigger holds its fire (the helpers *are*
+    /// the response in force) and the policy instead watches for
+    /// subsidence to emit [`Decision::DetachHelpers`]. Attached helpers
+    /// are excluded from the skew signals themselves: they are active
+    /// nodes holding no heat, and counting them would inflate the ratio
+    /// enough to mask every subsidence (see `skew_signals`).
     ///
     /// Precedence: CPU saturation (scale-out) beats everything — an
     /// overloaded cluster needs more hardware, not reshuffling. A
@@ -199,21 +208,21 @@ impl ElasticityPolicy {
         // deciding: streak, hysteresis band, and cooldown must never go
         // stale just because the cluster spent a stretch in the all-low or
         // overloaded regime.
-        let skew_ready = self.tick_skew(view, active_with_data);
+        let skew_ready = self.tick_skew(view, active_with_data, helpers);
         // Attached helpers detach the moment the skew they answered
         // subsides — before any other branch gets a say, so a cooling
         // cluster releases its helpers before it starts scaling in.
         // `subsided_now` comes from the tick above: the *same* predicate
-        // that resets the streak and the escalation counter (and it stays
-        // false while the trigger is inert, so a policy that cannot have
-        // attached helpers never detaches a scripted Fig. 8 run's —
-        // those are released by the migration engine on completion).
+        // that resets the streak and the escalation counter. The caller
+        // passes only the helpers the *policy* attached — a scripted
+        // Fig. 8 run's set is invisible here (and released by the
+        // migration engine on its rebalance's completion), so the
+        // decision below can never name a helper the policy doesn't own.
         if !helpers.is_empty() && !rebalancing && self.subsided_now {
             return Decision::DetachHelpers {
                 helpers: helpers.to_vec(),
             };
         }
-        let helpers_attached = !helpers.is_empty();
         let hot = view.overloaded(self.cfg.cpu_high);
         if !hot.is_empty() {
             // The hot streak counts breaching windows regardless of
@@ -232,7 +241,7 @@ impl ElasticityPolicy {
             }
             // No standby (or not patient yet): a skewed cluster can still
             // help itself by spreading heat over its existing nodes.
-            return self.fire_skew(view, skew_ready, rebalancing, helpers_attached);
+            return self.fire_skew(view, skew_ready, rebalancing, helpers);
         }
         // Scale-in: every active data node under the low bound and more
         // than one of them (never drain the last node).
@@ -259,7 +268,7 @@ impl ElasticityPolicy {
         }
         self.low_streak = 0;
         self.high_streak = 0;
-        self.fire_skew(view, skew_ready, rebalancing, helpers_attached)
+        self.fire_skew(view, skew_ready, rebalancing, helpers)
     }
 
     /// Advance the heat-skew trigger's state for this window: arm while
@@ -272,13 +281,18 @@ impl ElasticityPolicy {
     /// planner is not heat-aware: skew is a heat signal, and firing
     /// decisions the fraction planner cannot execute would churn the
     /// event log forever without moving a byte.
-    fn tick_skew(&mut self, view: &ClusterView, active_with_data: &[NodeId]) -> bool {
+    fn tick_skew(
+        &mut self,
+        view: &ClusterView,
+        active_with_data: &[NodeId],
+        helpers: &[NodeId],
+    ) -> bool {
         let cfg = &self.cfg;
         if cfg.skew_threshold <= 0.0 || cfg.planner != Planner::HeatAware {
             self.subsided_now = false;
             return false;
         }
-        let (skew, mean_heat) = skew_signals(view);
+        let (skew, mean_heat) = skew_signals(view, helpers);
         // The single subsidence predicate: below the rearm band, or the
         // cluster cooled below the heat floor. It resets the armed streak
         // and the escalation counter, and drives the helper detach.
@@ -312,30 +326,35 @@ impl ElasticityPolicy {
     /// a ready trigger held back by an in-flight rebalance keeps its
     /// streak and fires on the first clear window instead. A ready
     /// trigger with helpers already attached holds too — the helpers are
-    /// the response in force, and detach is the only way forward.
+    /// the response in force, and detach is the only way forward. A fire
+    /// that decides nothing (no source above or no target at the mean)
+    /// is a plain hold: it consumes neither the streak nor the cooldown,
+    /// and never counts towards escalation.
     ///
-    /// Each fire without an intervening subsidence counts towards helper
-    /// escalation: once `helper.escalation_fires` such fires accumulate,
-    /// the decision switches from shipping segments to attaching Fig. 8
-    /// helpers ([`Decision::AttachHelpers`]) — the skew is transient, and
-    /// a rebalance would chase it.
+    /// Each decisive fire without an intervening subsidence counts
+    /// towards helper escalation: once `helper.escalation_fires` such
+    /// fires accumulate, the decision switches from shipping segments to
+    /// attaching Fig. 8 helpers ([`Decision::AttachHelpers`]) — the skew
+    /// is transient, and a rebalance would chase it.
     fn fire_skew(
         &mut self,
         view: &ClusterView,
         ready: bool,
         rebalancing: bool,
-        helpers_attached: bool,
+        helpers: &[NodeId],
     ) -> Decision {
-        if !ready || rebalancing || helpers_attached {
+        if !ready || rebalancing || !helpers.is_empty() {
             return Decision::Hold;
         }
-        self.skew_streak = 0;
-        self.skew_cooldown_left = self.cfg.skew_cooldown;
-        self.skew_fires += 1;
         // Sources shed towards cooler actives: above-mean nodes give,
-        // the rest receive.
-        let active: Vec<_> = view.reports.iter().filter(|r| r.active).collect();
-        let (_, mean_heat) = skew_signals(view);
+        // the rest receive. Attached helpers are neither — they hold no
+        // heat of their own (though none can be attached on this path).
+        let active: Vec<_> = view
+            .reports
+            .iter()
+            .filter(|r| r.active && !helpers.contains(&r.node))
+            .collect();
+        let (_, mean_heat) = skew_signals(view, helpers);
         let sources: Vec<NodeId> = active
             .iter()
             .filter(|r| r.heat > mean_heat)
@@ -349,9 +368,12 @@ impl ElasticityPolicy {
         if sources.is_empty() || targets.is_empty() {
             return Decision::Hold;
         }
+        self.skew_streak = 0;
+        self.skew_cooldown_left = self.cfg.skew_cooldown;
+        self.skew_fires += 1;
         let h = &self.cfg.helper;
         if h.escalation_fires > 0 && h.max_helpers > 0 && self.skew_fires >= h.escalation_fires {
-            return Decision::AttachHelpers { sources };
+            return Decision::AttachHelpers { sources, targets };
         }
         Decision::Rebalance { sources, targets }
     }
@@ -362,15 +384,30 @@ impl ElasticityPolicy {
     }
 }
 
-/// The heat-skew signals of a view: (skew ratio, mean active heat).
-fn skew_signals(view: &ClusterView) -> (f64, f64) {
-    let active: Vec<_> = view.reports.iter().filter(|r| r.active).collect();
-    let mean_heat = if active.is_empty() {
+/// The heat-skew signals of a view: (skew ratio, mean active heat),
+/// computed over the active nodes *serving data* — attached helpers are
+/// excluded. A helper is an active node holding (near-)zero heat by
+/// construction: counting it would dilute the mean and inflate the skew
+/// ratio (two balanced data nodes plus two helpers would read as skew
+/// 2.0), so the subsidence predicate could never pass and attached
+/// helpers would stay powered forever.
+fn skew_signals(view: &ClusterView, helpers: &[NodeId]) -> (f64, f64) {
+    let heats: Vec<f64> = view
+        .reports
+        .iter()
+        .filter(|r| r.active && !helpers.contains(&r.node))
+        .map(|r| r.heat)
+        .collect();
+    if heats.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean_heat = heats.iter().sum::<f64>() / heats.len() as f64;
+    let skew = if mean_heat <= 0.0 {
         0.0
     } else {
-        active.iter().map(|r| r.heat).sum::<f64>() / active.len() as f64
+        heats.iter().copied().fold(0.0, f64::max) / mean_heat
     };
-    (view.heat_skew(), mean_heat)
+    (skew, mean_heat)
 }
 
 /// The coldest drainable node: lowest reported heat, ties broken by
@@ -453,25 +490,9 @@ pub fn apply(
             Some(Planner::Fraction)
         }
         Decision::Rebalance { sources, targets } => {
-            // Skew is a heat signal; without the heat-aware planner (or
-            // under logical partitioning, which moves ranges) there is no
-            // sound way to act on it.
-            if !heat_aware || targets.is_empty() {
-                return None;
-            }
-            let moves = {
-                let c = cl.borrow();
-                let plan =
-                    heat::plan_scale_out(&c, sim.now(), cfg.heat_tolerance, sources, targets);
-                plan.moves.iter().map(SegmentMove::from).collect::<Vec<_>>()
-            };
-            if moves.is_empty() {
-                return None; // nothing movable improves the balance
-            }
-            start_rebalance_planned(cl, sim, Planner::HeatAware, moves, targets);
-            Some(Planner::HeatAware)
+            skew_rebalance(cl, sim, cfg, heat_aware, sources, targets)
         }
-        Decision::AttachHelpers { sources } => {
+        Decision::AttachHelpers { sources, targets } => {
             // Helper choice is a heat decision too: the planner ranks the
             // sources by their net/remote-heavy heat component and pairs
             // the heaviest with standbys / coldest actives.
@@ -482,40 +503,26 @@ pub fn apply(
                 let c = cl.borrow();
                 heat::plan_helpers(&c, sim.now(), &cfg.helper, sources)
             };
-            if attach_helper_plan(cl, sim, &plan) {
+            // Policy helpers are not scripted: they ride out unrelated
+            // migrations and detach only on skew subsidence.
+            if attach_helper_plan(cl, sim, &plan, false) {
                 return Some(Planner::HeatAware);
             }
             // No helper worth attaching (nobody clears the net-heat floor,
             // or every candidate is entangled): fall back to the rebalance
-            // this fire would otherwise have been. The escalation counter
-            // only resets on subsidence, so without this fallback a
-            // persistent-but-fixable skew would re-escalate into refused
-            // attachments forever, never shipping the segments that would
-            // fix it.
-            let targets: Vec<NodeId> = {
-                let c = cl.borrow();
-                c.active_nodes()
-                    .into_iter()
-                    .filter(|n| !sources.contains(n))
-                    .collect()
-            };
-            if targets.is_empty() {
-                return None;
-            }
-            let moves = {
-                let c = cl.borrow();
-                let plan =
-                    heat::plan_scale_out(&c, sim.now(), cfg.heat_tolerance, sources, &targets);
-                plan.moves.iter().map(SegmentMove::from).collect::<Vec<_>>()
-            };
-            if moves.is_empty() {
-                return None;
-            }
-            start_rebalance_planned(cl, sim, Planner::HeatAware, moves, &targets);
-            Some(Planner::HeatAware)
+            // this fire would otherwise have been — same targets, same
+            // planning path. The escalation counter only resets on
+            // subsidence, so without this fallback a persistent-but-
+            // fixable skew would re-escalate into refused attachments
+            // forever, never shipping the segments that would fix it.
+            skew_rebalance(cl, sim, cfg, heat_aware, sources, targets)
         }
-        Decision::DetachHelpers { .. } => {
-            if detach_helpers(cl).is_empty() {
+        Decision::DetachHelpers { helpers } => {
+            // Release exactly the helpers the decision names — the set
+            // the policy attached. A scripted `rebalance_with_helpers`
+            // set attached alongside belongs to the migration engine and
+            // must survive a policy-side subsidence detach.
+            if detach_named_helpers(cl, helpers).is_empty() {
                 None
             } else {
                 Some(cfg.planner)
@@ -570,6 +577,35 @@ pub fn apply(
             Some(Planner::Fraction)
         }
     }
+}
+
+/// Plan and start the heat-planned segment rebalance a skew decision
+/// calls for (shared by [`Decision::Rebalance`] and the empty-helper-plan
+/// fallback of [`Decision::AttachHelpers`]). Skew is a heat signal;
+/// without the heat-aware planner — or under logical partitioning, which
+/// moves ranges — there is no sound way to act on it, and a plan that
+/// finds nothing movable starts nothing.
+fn skew_rebalance(
+    cl: &ClusterRc,
+    sim: &mut Sim,
+    cfg: &PolicyConfig,
+    heat_aware: bool,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> Option<Planner> {
+    if !heat_aware || targets.is_empty() {
+        return None;
+    }
+    let moves = {
+        let c = cl.borrow();
+        let plan = heat::plan_scale_out(&c, sim.now(), cfg.heat_tolerance, sources, targets);
+        plan.moves.iter().map(SegmentMove::from).collect::<Vec<_>>()
+    };
+    if moves.is_empty() {
+        return None; // nothing movable improves the balance
+    }
+    start_rebalance_planned(cl, sim, Planner::HeatAware, moves, targets);
+    Some(Planner::HeatAware)
 }
 
 /// Power off every active node that holds no segments and runs no helper
@@ -928,7 +964,7 @@ mod tests {
         assert_eq!(p.evaluate(&skewed, &[], &data, false, &[]), Decision::Hold);
         assert_eq!(p.evaluate(&skewed, &[], &data, false, &[]), Decision::Hold);
         match p.evaluate(&skewed, &[], &data, false, &[]) {
-            Decision::AttachHelpers { sources } => assert_eq!(sources, vec![NodeId(0)]),
+            Decision::AttachHelpers { sources, .. } => assert_eq!(sources, vec![NodeId(0)]),
             other => panic!("transient skew must escalate to helpers, got {other:?}"),
         }
     }
@@ -997,6 +1033,40 @@ mod tests {
     }
 
     #[test]
+    fn helper_zero_heat_never_masks_subsidence() {
+        // The attached helpers appear in the view as active zero-heat
+        // nodes (powered for the duty, serving no segments). Two balanced
+        // data nodes plus two helpers would read skew = max/mean = 2.0 if
+        // the helpers counted — above any sane rearm band, so the
+        // subsidence predicate would never pass and the helpers would
+        // stay powered forever. The signals must ignore them: balanced
+        // data nodes release their helpers.
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            skew_cooldown: 0,
+            ..Default::default()
+        });
+        let data = [NodeId(0), NodeId(1)];
+        let helpers = [NodeId(2), NodeId(3)];
+        let balanced = heat_view(&[(0, 6.0), (1, 6.0), (2, 0.0), (3, 0.0)]);
+        match p.evaluate(&balanced, &[], &data, false, &helpers) {
+            Decision::DetachHelpers { helpers: h } => {
+                assert_eq!(h, vec![NodeId(2), NodeId(3)]);
+            }
+            other => panic!("balanced data nodes must release the helpers, got {other:?}"),
+        }
+        // Conversely a *real* data-node skew keeps them attached.
+        let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 0.0), (3, 0.0)]);
+        assert_eq!(
+            p.evaluate(&skewed, &[], &data, false, &helpers),
+            Decision::Hold,
+            "helpers stay while the data-node skew persists"
+        );
+    }
+
+    #[test]
     fn helpers_first_escalation_never_ships() {
         // escalation_fires = 1: every skew fire attaches helpers — the
         // configuration for workloads known to be transient.
@@ -1014,7 +1084,7 @@ mod tests {
         let skewed = heat_view(&[(0, 10.0), (1, 1.0), (2, 1.0)]);
         let data = [NodeId(0), NodeId(1), NodeId(2)];
         match p.evaluate(&skewed, &[], &data, false, &[]) {
-            Decision::AttachHelpers { sources } => assert_eq!(sources, vec![NodeId(0)]),
+            Decision::AttachHelpers { sources, .. } => assert_eq!(sources, vec![NodeId(0)]),
             other => panic!("helpers-first config must never rebalance, got {other:?}"),
         }
     }

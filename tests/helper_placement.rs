@@ -154,6 +154,76 @@ fn planner_never_picks_migration_nodes_or_attached_helpers() {
 }
 
 #[test]
+fn facade_attached_helpers_survive_the_autopilot() {
+    // A facade attachment is scripted: it releases when the next
+    // rebalance completes or on an explicit `detach_helpers`, never
+    // because the autopilot's skew happens to be subsided. Balanced heat
+    // keeps the skew below the rearm band the whole run — the policy's
+    // subsidence detach must not tear the user's helpers down.
+    let mut db = builder(4, &[NodeId(0), NodeId(1)])
+        .policy(wattdb_core::PolicyConfig {
+            cpu_high: 1.1, // neither CPU bound reachable: skew-only policy
+            cpu_low: 0.0,
+            ..Default::default()
+        })
+        .autopilot(true)
+        .build();
+    charge(&mut db, NodeId(0), 10, 8192, 200);
+    charge(&mut db, NodeId(1), 10, 8192, 200);
+    let plan = db.plan_helpers(&[NodeId(1)]);
+    assert!(db.attach_helpers(&plan));
+    let attached = db.helpers_active();
+    assert!(!attached.is_empty());
+    db.run_for(SimDuration::from_secs(60)); // a dozen monitoring windows
+    assert_eq!(
+        db.helpers_active(),
+        attached,
+        "the policy must not detach a scripted attachment: {:?}",
+        db.events()
+    );
+    assert!(
+        db.events()
+            .iter()
+            .all(|e| !matches!(e.decision, wattdb_core::Decision::DetachHelpers { .. })),
+        "no policy-side detach decision: {:?}",
+        db.events()
+    );
+    // The explicit facade release still works.
+    db.detach_helpers();
+    assert!(db.helpers_active().is_empty());
+}
+
+#[test]
+fn planned_rebalance_never_enlists_its_own_targets_as_helpers() {
+    // `rebalance_with_helpers(HelperSet::Planned)` plans the helper set
+    // for the rebalance it starts: the rebalance's own targets are
+    // migration-entangled and must be off the candidate pool. Data on
+    // 0/1, standbys 2/3, shipping 0 → 2: were the exclusion missing, the
+    // planner would happily take standby 2 — a node about to receive
+    // shipped segments — as node 0's log-shipping/buffer helper.
+    let mut db = builder(4, &[NodeId(0), NodeId(1)]).build();
+    charge(&mut db, NodeId(0), 10, 8192, 200);
+    db.rebalance_with_helpers(
+        0.5,
+        &[NodeId(0)],
+        &[NodeId(2)],
+        wattdb_core::HelperSet::Planned,
+    );
+    assert!(db.rebalancing(), "rebalance started");
+    assert_eq!(
+        db.helpers_active(),
+        vec![NodeId(3)],
+        "the rebalance target must not moonlight as a helper"
+    );
+    db.run_for(SimDuration::from_secs(300));
+    assert!(!db.rebalancing(), "rebalance completed");
+    assert!(
+        db.helpers_active().is_empty(),
+        "planned helpers on a scripted rebalance release with its completion"
+    );
+}
+
+#[test]
 fn master_helps_only_when_no_alternative_exists() {
     // Data on nodes 1 and 2, both hot sources; the candidate pool is the
     // master (node 0) and standby node 3. The first plan takes the
