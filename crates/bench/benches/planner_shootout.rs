@@ -27,9 +27,9 @@
 //! upload the perf trajectory as a machine-readable artifact.
 
 use wattdb_bench::{
-    run_drift_shootout, run_mixed_shootout, run_planner_shootout, run_transient_shootout,
-    shootout_json, BenchJsonRow, DriftShootout, MixedShootout, PlannerShootout, PlannerShootoutRow,
-    TransientShootout,
+    run_drift_shootout, run_failover_recovery, run_failover_shootout, run_mixed_shootout,
+    run_planner_shootout, run_transient_shootout, shootout_json, BenchJsonRow, DriftShootout,
+    FailoverShootout, MixedShootout, PlannerShootout, PlannerShootoutRow, TransientShootout,
 };
 use wattdb_common::SimDuration;
 use wattdb_core::Planner;
@@ -72,11 +72,13 @@ fn main() {
         phase: "stationary",
         variant: "fraction".into(),
         row: frac,
+        extra: String::new(),
     });
     json.push(BenchJsonRow {
         phase: "stationary",
         variant: "heat-aware".into(),
         row: heat,
+        extra: String::new(),
     });
 
     let verdict = if heat.post_max_cpu < frac.post_max_cpu && heat.bytes_moved <= frac.bytes_moved {
@@ -101,11 +103,13 @@ fn main() {
         phase: "advancing",
         variant: "historical".into(),
         row: historical,
+        extra: String::new(),
     });
     json.push(BenchJsonRow {
         phase: "advancing",
         variant: "projected".into(),
         row: projected,
+        extra: String::new(),
     });
     let verdict = if projected.post_max_cpu < historical.post_max_cpu
         && projected.bytes_moved <= historical.bytes_moved
@@ -135,11 +139,13 @@ fn main() {
         phase: "mixed",
         variant: "count-heat".into(),
         row: count,
+        extra: String::new(),
     });
     json.push(BenchJsonRow {
         phase: "mixed",
         variant: "cost-heat".into(),
         row: cost,
+        extra: String::new(),
     });
     println!("\nTransient skew — the hot node flaps; helpers vs segment-shipping");
     header("response");
@@ -154,11 +160,65 @@ fn main() {
         phase: "transient",
         variant: "segment-shipping".into(),
         row: shipping.row,
+        extra: String::new(),
     });
     json.push(BenchJsonRow {
         phase: "transient",
         variant: "helpers".into(),
         row: helped.row,
+        extra: String::new(),
+    });
+
+    println!("\nReplication — hot reads fanned out across follower copies");
+    header("replicas");
+    let base = run_failover_shootout(FailoverShootout {
+        factor: 0,
+        ..Default::default()
+    });
+    row("off", &base.row);
+    let rep = run_failover_shootout(FailoverShootout::default());
+    row("factor-1", &rep.row);
+    json.push(BenchJsonRow {
+        phase: "failover",
+        variant: "no-replicas".into(),
+        row: base.row,
+        extra: format!(
+            ", \"replica_reads\": {}, \"replica_shipped_bytes\": {}, \"completed\": {}",
+            base.replica_reads, base.replica_shipped_bytes, base.completed
+        ),
+    });
+    json.push(BenchJsonRow {
+        phase: "failover",
+        variant: "replicated".into(),
+        row: rep.row,
+        extra: format!(
+            ", \"replica_reads\": {}, \"replica_shipped_bytes\": {}, \"completed\": {}",
+            rep.replica_reads, rep.replica_shipped_bytes, rep.completed
+        ),
+    });
+    let recovery = run_failover_recovery(FailoverShootout::default());
+    println!(
+        "\nNode kill: {} orphaned segments re-led and factor restored in {:.1}s \
+         ({} B re-replicated)",
+        recovery.orphaned, recovery.recovery_secs, recovery.rereplication_bytes,
+    );
+    json.push(BenchJsonRow {
+        phase: "failover",
+        variant: "node-kill".into(),
+        row: PlannerShootoutRow {
+            planner: wattdb_core::Planner::HeatAware,
+            rebalanced: recovery.recovered,
+            bytes_moved: recovery.rereplication_bytes,
+            segments_moved: recovery.orphaned as u64,
+            heat_planned: 0.0,
+            heat_moved: 0.0,
+            post_max_cpu: 0.0,
+            post_max_heat_share: 0.0,
+        },
+        extra: format!(
+            ", \"recovery_secs\": {:.1}, \"rereplication_bytes\": {}, \"orphaned\": {}",
+            recovery.recovery_secs, recovery.rereplication_bytes, recovery.orphaned
+        ),
     });
 
     // Write the artifact BEFORE the acceptance gates, and land it at the
@@ -239,5 +299,43 @@ fn main() {
         shipping.row.post_max_cpu * 100.0,
         helped.helper_attaches,
         helped.helper_detaches,
+    );
+
+    // Replication phase: fanning the hot reads over a follower must
+    // realize a strictly lower max CPU, for a wire cost bounded by the
+    // WAL itself (each flushed record ships at most once per follower).
+    assert!(
+        rep.replica_reads > 0,
+        "the replicated run must serve reads from followers"
+    );
+    assert!(
+        rep.row.post_max_cpu < base.row.post_max_cpu,
+        "read fan-out must lower the hot node's CPU: {:.1}% vs {:.1}%",
+        rep.row.post_max_cpu * 100.0,
+        base.row.post_max_cpu * 100.0
+    );
+    assert!(
+        rep.replica_shipped_bytes > 0 && rep.replica_shipped_bytes <= rep.wal_flushed_bytes,
+        "replica shipping must stay within the WAL bound: {} B shipped, {} B flushed",
+        rep.replica_shipped_bytes,
+        rep.wal_flushed_bytes
+    );
+    assert!(
+        recovery.recovered,
+        "the node kill must recover inside the horizon ({} orphaned)",
+        recovery.orphaned
+    );
+    assert!(
+        recovery.orphaned > 0 && recovery.rereplication_bytes > 0,
+        "recovery must promote orphans and re-replicate"
+    );
+    println!(
+        "\nreplicas win the read fan-out: {:.1}% vs {:.1}% max CPU for {} B of WAL shipping \
+         ({} follower reads); node kill recovered in {:.1}s",
+        rep.row.post_max_cpu * 100.0,
+        base.row.post_max_cpu * 100.0,
+        rep.replica_shipped_bytes,
+        rep.replica_reads,
+        recovery.recovery_secs,
     );
 }

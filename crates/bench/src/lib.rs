@@ -723,6 +723,219 @@ pub fn run_transient_shootout(cfg: TransientShootout) -> TransientShootoutRow {
     }
 }
 
+/// Configuration of the replication shootout's read-scaling phase: a
+/// read-heavy population hammering one warehouse on the first of two
+/// data nodes, served with (`factor: 1`) or without (`factor: 0`)
+/// follower replicas. With replicas, the executor's heat-aware read
+/// routing rotates eligible reads across the leader and its caught-up
+/// follower, splitting the hot node's CPU; the wire cost is bounded by
+/// the WAL itself (each flushed record ships at most once per follower).
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverShootout {
+    /// Replication factor (0 = baseline, no replication subsystem).
+    pub factor: usize,
+    /// OLTP clients.
+    pub clients: u32,
+    /// Mean client think time.
+    pub think: SimDuration,
+    /// Percentage of Payment (update) transactions; the rest OrderStatus
+    /// reads — read-heavy, the regime follower read scaling targets.
+    pub update_pct: u32,
+    /// Fraction of clients homed on the hot warehouse.
+    pub hot_fraction: f64,
+    /// TPC-C warehouses, split across the two data nodes.
+    pub warehouses: u32,
+    /// Warm-up before the measurement window.
+    pub warm: SimDuration,
+    /// Measurement window (max active-node CPU on a fresh status probe).
+    pub measure: SimDuration,
+    /// Bulk-I/O scale.
+    pub io_scale: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for FailoverShootout {
+    fn default() -> Self {
+        Self {
+            factor: 1,
+            // Hot but unsaturated: the baseline's hot node must sit below
+            // 100 % CPU, or the fan-out's split hides inside the clip.
+            clients: 16,
+            think: SimDuration::from_millis(60),
+            update_pct: 10,
+            hot_fraction: 0.9,
+            warehouses: 4,
+            warm: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(60),
+            io_scale: 10,
+            seed: 3,
+        }
+    }
+}
+
+/// Outcome of one read-scaling run: the standard row (its `bytes_moved`
+/// is the replica WAL shipped) plus the replication counters the bench
+/// gates on.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverShootoutRow {
+    /// Standard shootout measurements.
+    pub row: PlannerShootoutRow,
+    /// Reads served by follower replicas.
+    pub replica_reads: u64,
+    /// WAL bytes shipped to followers over the run.
+    pub replica_shipped_bytes: u64,
+    /// WAL bytes the leaders flushed over the run — the shipping bound.
+    pub wal_flushed_bytes: u64,
+    /// Transactions completed.
+    pub completed: u64,
+}
+
+/// Run the read-scaling phase: two data nodes, a hot warehouse on the
+/// first, no autopilot (nothing rebalances — the comparison isolates
+/// what read fan-out alone buys).
+pub fn run_failover_shootout(cfg: FailoverShootout) -> FailoverShootoutRow {
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(cfg.warehouses)
+        .density(0.02)
+        .segment_pages(16)
+        .io_scale(cfg.io_scale)
+        .costs(scaled_costs(40))
+        .seed(cfg.seed)
+        .initial_data_nodes(&[NodeId(0), NodeId(1)])
+        .replication(cfg.factor)
+        .build();
+    db.with_cluster_mut(|c| {
+        c.auto_resubmit = false;
+        c.spawn_clients_skewed(
+            cfg.clients,
+            wattdb_tpcc::ClientConfig {
+                think_time: cfg.think,
+                ..Default::default()
+            },
+            cfg.hot_fraction,
+            1,
+        );
+    });
+    db.with_runtime(|cl, sim| start_mixed_clients(cl, sim, cfg.update_pct));
+    db.run_for(cfg.warm);
+    // Measurement on a fresh status window.
+    let _ = db.status();
+    db.run_for(cfg.measure);
+    let status = db.status();
+    let post_max_cpu = status
+        .nodes
+        .iter()
+        .filter(|n| n.state == wattdb_energy::NodeState::Active)
+        .map(|n| n.cpu)
+        .fold(0.0, f64::max);
+    let total_heat: f64 = status.nodes.iter().map(|n| n.heat).sum();
+    let post_max_heat_share = if total_heat > 0.0 {
+        status.nodes.iter().map(|n| n.heat).fold(0.0, f64::max) / total_heat
+    } else {
+        0.0
+    };
+    FailoverShootoutRow {
+        row: PlannerShootoutRow {
+            planner: wattdb_core::Planner::HeatAware,
+            rebalanced: false,
+            bytes_moved: db.replica_shipped_bytes(),
+            segments_moved: 0,
+            heat_planned: 0.0,
+            heat_moved: 0.0,
+            post_max_cpu,
+            post_max_heat_share,
+        },
+        replica_reads: db.replica_reads(),
+        replica_shipped_bytes: db.replica_shipped_bytes(),
+        wal_flushed_bytes: db.with_cluster(|c| c.nodes.iter().map(|n| n.log.flushed_bytes()).sum()),
+        completed: db.completed(),
+    }
+}
+
+/// Outcome of the node-kill recovery measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverRecovery {
+    /// Did the cluster reach full recovery inside the horizon?
+    pub recovered: bool,
+    /// Simulated seconds from the kill to recovery: every orphaned
+    /// segment promoted, the dead node erased from the replica map, and
+    /// the replication factor restored.
+    pub recovery_secs: f64,
+    /// Bytes shipped to seed the replacement followers.
+    pub rereplication_bytes: u64,
+    /// Segments the victim led at the kill (all of them get promoted).
+    pub orphaned: usize,
+}
+
+/// Run the node-kill phase: three data nodes under factor 1, autopilot
+/// on a failover-only policy, the middle node killed after warm-up.
+/// Polls each simulated second until the factor is restored.
+pub fn run_failover_recovery(cfg: FailoverShootout) -> FailoverRecovery {
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(cfg.warehouses.max(6))
+        .density(0.02)
+        .segment_pages(16)
+        .io_scale(cfg.io_scale)
+        .costs(scaled_costs(40))
+        .seed(cfg.seed)
+        .initial_data_nodes(&[NodeId(0), NodeId(1), NodeId(2)])
+        .replication(cfg.factor.max(1))
+        .policy(wattdb_core::PolicyConfig {
+            cpu_high: 1.1, // failover-only: every elasticity trigger inert
+            cpu_low: 0.0,
+            skew_threshold: 0.0,
+            net_high: 2.0,
+            ..Default::default()
+        })
+        .monitoring(SimDuration::from_secs(5))
+        .autopilot(true)
+        .build();
+    db.with_cluster_mut(|c| {
+        c.auto_resubmit = false;
+        c.spawn_clients_skewed(
+            cfg.clients,
+            wattdb_tpcc::ClientConfig {
+                think_time: cfg.think,
+                ..Default::default()
+            },
+            cfg.hot_fraction,
+            1,
+        );
+    });
+    db.with_runtime(|cl, sim| start_mixed_clients(cl, sim, cfg.update_pct));
+    db.run_for(cfg.warm);
+    let victim = NodeId(1);
+    let orphaned = db.replica_map().led_by(victim).len();
+    db.fail_node(victim);
+    let killed_at = db.now();
+    let horizon = SimDuration::from_secs(600);
+    let mut recovered = false;
+    while db.now() - killed_at < horizon {
+        db.run_for(SimDuration::from_secs(1));
+        let done = db.with_cluster(|c| {
+            !c.replicas.references(victim)
+                && c.replicas
+                    .under_replicated(c.cfg.replication.factor)
+                    .is_empty()
+        });
+        if done {
+            recovered = true;
+            break;
+        }
+    }
+    FailoverRecovery {
+        recovered,
+        recovery_secs: (db.now() - killed_at).as_secs_f64(),
+        rereplication_bytes: db.rereplication_bytes(),
+        orphaned,
+    }
+}
+
 /// One labelled row of the machine-readable shootout summary.
 #[derive(Debug, Clone)]
 pub struct BenchJsonRow {
@@ -732,6 +945,9 @@ pub struct BenchJsonRow {
     pub variant: String,
     /// The measured row.
     pub row: PlannerShootoutRow,
+    /// Extra JSON key/value pairs spliced verbatim into the row object
+    /// (each must start with `, `); empty for the standard phases.
+    pub extra: String,
 }
 
 /// Serialize the shootout summary as JSON (hand-rolled — the build is
@@ -746,7 +962,7 @@ pub fn shootout_json(rows: &[BenchJsonRow]) -> String {
                 "    {{\"phase\": \"{}\", \"variant\": \"{}\", \"rebalanced\": {}, ",
                 "\"segments_moved\": {}, \"bytes_moved\": {}, \"heat_planned\": {:.3}, ",
                 "\"heat_moved\": {:.3}, \"post_max_cpu\": {:.4}, ",
-                "\"post_max_heat_share\": {:.4}}}{}\n"
+                "\"post_max_heat_share\": {:.4}{}}}{}\n"
             ),
             r.phase,
             r.variant,
@@ -757,6 +973,7 @@ pub fn shootout_json(rows: &[BenchJsonRow]) -> String {
             r.row.heat_moved,
             r.row.post_max_cpu,
             r.row.post_max_heat_share,
+            r.extra,
             sep,
         ));
     }

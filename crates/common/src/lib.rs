@@ -15,6 +15,7 @@ pub mod error;
 pub mod heat;
 pub mod ids;
 pub mod key;
+pub mod replica;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -29,6 +30,7 @@ pub use ids::{
     TxnId,
 };
 pub use key::{Key, KeyRange};
+pub use replica::ReplicaConfig;
 pub use rng::DetRng;
 pub use stats::{Counter, Ewma, Histogram, OnlineStats, TimeBuckets};
 pub use time::{SimDuration, SimTime};

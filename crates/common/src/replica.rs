@@ -1,0 +1,65 @@
+//! Replication configuration: how many follower copies each segment
+//! keeps, and when followers may serve reads.
+//!
+//! The paper's cluster keeps one copy of every segment; replication adds
+//! N log-shipped follower copies per segment so a node loss is survivable
+//! (the most-caught-up follower promotes to leader) and a read hotspot
+//! can *fan out* across its replicas instead of merely moving. The
+//! replica map itself lives in `wattdb_replica`; this is the policy
+//! surface the cluster builder exposes.
+
+/// Replication knobs.
+///
+/// Writes always go to the segment's leader (the owning node). Reads may
+/// be served by a **caught-up** follower: one whose acknowledged shipped
+/// LSN has reached the segment's last write, so the read observes every
+/// committed write to that segment. A transaction that has written
+/// anything reads from leaders only for the rest of its life
+/// (read-your-writes), regardless of follower catch-up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaConfig {
+    /// Follower replicas per segment. Zero disables replication entirely
+    /// (the paper's single-copy behaviour, and the default).
+    pub factor: usize,
+    /// Allow caught-up followers to serve reads. With `false`, followers
+    /// exist purely for durability/failover and all reads stay on the
+    /// leader.
+    pub read_routing: bool,
+    /// Per-segment heat floor for read fan-out: only segments at or above
+    /// this heat spread their reads across replicas; colder segments read
+    /// from the leader, preserving its buffer locality. Zero (the
+    /// default) fans out every eligible read.
+    pub read_heat_min: f64,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        Self {
+            factor: 0,
+            read_routing: true,
+            read_heat_min: 0.0,
+        }
+    }
+}
+
+impl ReplicaConfig {
+    /// True when replication is on at all.
+    pub fn enabled(&self) -> bool {
+        self.factor > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_copy() {
+        let cfg = ReplicaConfig::default();
+        assert_eq!(cfg.factor, 0);
+        assert!(!cfg.enabled());
+        assert!(cfg.read_routing);
+        assert_eq!(cfg.read_heat_min, 0.0);
+        assert!(ReplicaConfig { factor: 2, ..cfg }.enabled());
+    }
+}

@@ -29,11 +29,12 @@
 //! ```
 
 use wattdb_common::{
-    CostModel, DriftConfig, HeatConfig, HelperPolicyConfig, KeyRange, NodeId, SimDuration, SimTime,
-    TableId, Watts,
+    CostModel, DriftConfig, HeatConfig, HelperPolicyConfig, KeyRange, NodeId, ReplicaConfig,
+    SimDuration, SimTime, TableId, Watts,
 };
 use wattdb_energy::NodeState;
 use wattdb_planner::{HelperPlan, Plan, Planner};
+use wattdb_replica::ReplicaMap;
 use wattdb_sim::{Sim, UtilizationProbe};
 use wattdb_tpcc::{ClientConfig, TpccConfig};
 use wattdb_txn::CcMode;
@@ -42,7 +43,7 @@ use crate::autopilot::{AutoPilot, AutoPilotConfig, ControlEvent};
 use crate::cluster::{Cluster, ClusterConfig, ClusterRc, Scheme};
 use crate::executor;
 use crate::heat::{self, SegmentDriftStat, SegmentHeatStat};
-use crate::migration::{self, RebalanceReport, SegmentMove};
+use crate::migration::{self, HelperReport, RebalanceReport, SegmentMove};
 use crate::policy::PolicyConfig;
 
 /// Builder for a ready-to-run WattDB deployment.
@@ -184,6 +185,24 @@ impl WattDbBuilder {
         self
     }
 
+    /// Per-segment replication: `factor` log-shipped follower copies per
+    /// segment (0, the default, is the paper's single-copy behaviour).
+    /// Followers are placed by the heat-aware planner at build time —
+    /// coldest nodes first, never the leader's own node — fed from the
+    /// leader's WAL, and serve caught-up reads when
+    /// [`ReplicaConfig::read_routing`] allows.
+    pub fn replication(mut self, factor: usize) -> Self {
+        self.cfg.replication.factor = factor;
+        self
+    }
+
+    /// Full replication knobs: factor, read routing, and the per-segment
+    /// heat floor for read fan-out.
+    pub fn replication_config(mut self, r: ReplicaConfig) -> Self {
+        self.cfg.replication = r;
+        self
+    }
+
     /// Experiment seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.cfg.seed = s;
@@ -228,6 +247,7 @@ impl WattDbBuilder {
             let mut c = cluster.borrow_mut();
             c.load_tpcc(self.tpcc, &self.initial)
                 .expect("dataset loads");
+            c.bootstrap_replicas(sim.now());
         }
         Cluster::start_power_sampler(&cluster, &mut sim);
         let autopilot = self.autopilot.then(|| {
@@ -561,6 +581,54 @@ impl WattDb {
     /// Every completed rebalance of the run, in completion order.
     pub fn rebalance_history(&self) -> Vec<RebalanceReport> {
         self.cluster.borrow().metrics.rebalances.clone()
+    }
+
+    // --------------------------------------------------------- replication
+
+    /// Fault injection: kill `node` mid-anything. The node stops serving
+    /// immediately (routing to it spins until failover re-points), its
+    /// pending migration moves are dropped, and — with an autopilot
+    /// engaged — the next monitoring window detects the loss, promotes
+    /// the most-caught-up follower for every segment it led, and
+    /// schedules re-replication. Idempotent.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.cluster.borrow_mut().fail_node(node);
+    }
+
+    /// Nodes killed by [`WattDb::fail_node`], in id order.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        self.cluster.borrow().failed.iter().copied().collect()
+    }
+
+    /// Snapshot of the per-segment replica map (leader + follower set,
+    /// epoch-versioned).
+    pub fn replica_map(&self) -> ReplicaMap {
+        self.cluster.borrow().replicas.clone()
+    }
+
+    /// Reads served by a follower instead of the leader so far.
+    pub fn replica_reads(&self) -> u64 {
+        self.cluster.borrow().replica_reads
+    }
+
+    /// Total bytes of WAL shipped leader → follower for replication (the
+    /// wire cost of read fan-out and durability; helper log shipping is
+    /// counted separately).
+    pub fn replica_shipped_bytes(&self) -> u64 {
+        self.cluster.borrow().replica_shipped_bytes()
+    }
+
+    /// Total bytes shipped to rebuild follower copies after failures.
+    pub fn rereplication_bytes(&self) -> u64 {
+        self.cluster.borrow().rereplication_bytes
+    }
+
+    /// Predicted-vs-realized relief for the last completed helper
+    /// engagement (first attach to last detach): the planner's predicted
+    /// net-heat relief next to the bytes actually shipped and the remote
+    /// buffer hits actually served.
+    pub fn last_helper_report(&self) -> Option<HelperReport> {
+        self.cluster.borrow().last_helper_report.clone()
     }
 
     // ------------------------------------------------------------- readout

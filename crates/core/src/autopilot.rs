@@ -117,7 +117,8 @@ pub struct ControlEvent {
     /// Which threshold drove the decision: `"cpu-high"` (scale-out),
     /// `"cpu-low"` (scale-in), `"heat-skew"` (rebalance-in-place),
     /// `"helper"` (helper attach/detach — the skew trigger escalated or
-    /// its skew subsided), or `""` for bookkeeping entries like
+    /// its skew subsided), `"failover"` (a failed node's segments were
+    /// promoted to followers), or `""` for bookkeeping entries like
     /// post-drain suspension.
     pub trigger: &'static str,
     /// What the controller did about it.
@@ -143,6 +144,7 @@ fn trigger_of(decision: &Decision) -> &'static str {
         Decision::ScaleIn { .. } => "cpu-low",
         Decision::Rebalance { .. } => "heat-skew",
         Decision::AttachHelpers { .. } | Decision::DetachHelpers { .. } => "helper",
+        Decision::Promote { .. } => "failover",
     }
 }
 
@@ -195,6 +197,53 @@ impl AutoPilot {
             let at = sim.now();
             let summary = ViewSummary::of(view);
             let rebalancing = cl.borrow().mover.is_some();
+            // Failover detection outranks every threshold: a failed node
+            // still referenced by the replica map means orphaned segments
+            // and dangling follower slots, and `policy::apply` acts on a
+            // promotion even while a rebalance is in flight. One node per
+            // window keeps the event log legible.
+            let dead = {
+                let c = cl.borrow();
+                c.failed.iter().copied().find(|&n| c.replicas.references(n))
+            };
+            if let Some(failed) = dead {
+                let orphaned = cl.borrow().replicas.led_by(failed);
+                let decision = Decision::Promote { failed, orphaned };
+                let used = policy::apply(cl, sim, &decision, &policy_cfg);
+                sh.events.push(ControlEvent {
+                    at,
+                    view: summary,
+                    decision,
+                    trigger: "failover",
+                    outcome: match used {
+                        Some(_) => Outcome::Applied,
+                        None => Outcome::Deferred {
+                            reason: "no applicable plan",
+                        },
+                    },
+                    planner: used.unwrap_or(policy_cfg.planner),
+                    signal,
+                    relief: 0.0,
+                });
+            }
+            // Background factor repair: a re-replication copy voided
+            // mid-flight (its host died, or a migration moved leadership
+            // while the bytes were on the wire) leaves segments under the
+            // factor with no failover left to re-fire. Once the wire is
+            // clear, re-plan whatever is still missing a follower; with
+            // no eligible host this plans nothing and costs nothing.
+            let needs_repair = {
+                let c = cl.borrow();
+                c.cfg.replication.enabled()
+                    && c.rereplication_inflight == 0
+                    && !c
+                        .replicas
+                        .under_replicated(c.cfg.replication.factor)
+                        .is_empty()
+            };
+            if needs_repair {
+                crate::failover::schedule_rereplication(cl, sim);
+            }
             // A scale-in's drain finished since the last window: §3.4's
             // "shutdown the nodes currently not needed".
             if !rebalancing && !sh.draining.is_empty() {
@@ -220,15 +269,28 @@ impl AutoPilot {
             // completion) and must be invisible here — the policy must
             // neither hold its skew fire for it nor tear it down on
             // subsidence.
-            let helpers: Vec<NodeId> = {
+            // The pairing is passed through so a single subsided source
+            // can release just its own helper (partial detach) while the
+            // others keep theirs. A policy helper whose source vanished
+            // (failed or drained away) pairs with itself: it reads as a
+            // subsided zero-heat source and is released.
+            let pairs: Vec<(NodeId, NodeId)> = {
                 let c = cl.borrow();
-                c.helpers_active
+                let mut pairs: Vec<(NodeId, NodeId)> = c
+                    .nodes
                     .iter()
-                    .copied()
-                    .filter(|h| !c.helpers_scripted.contains(h))
-                    .collect()
+                    .filter_map(|n| n.helper.map(|h| (n.id, h)))
+                    .filter(|(_, h)| !c.helpers_scripted.contains(h))
+                    .collect();
+                for &h in &c.helpers_active {
+                    if !c.helpers_scripted.contains(&h) && !pairs.iter().any(|&(_, p)| p == h) {
+                        pairs.push((h, h));
+                    }
+                }
+                pairs
             };
-            let decision = policy.evaluate(view, &standby, &with_data, rebalancing, &helpers);
+            let decision =
+                policy.evaluate_with_pairs(view, &standby, &with_data, rebalancing, &pairs);
             if decision != Decision::Hold {
                 let trigger = trigger_of(&decision);
                 if rebalancing {
@@ -323,10 +385,12 @@ impl AutoPilot {
 /// power on and which hold data.
 fn observe(cl: &ClusterRc) -> (Vec<NodeId>, Vec<NodeId>) {
     let c = cl.borrow();
+    // A failed node reports as standby (fail_node forces the state) but
+    // must never be picked as a scale-out target.
     let standby: Vec<NodeId> = c
         .nodes
         .iter()
-        .filter(|n| n.state == NodeState::Standby)
+        .filter(|n| n.state == NodeState::Standby && !c.failed.contains(&n.id))
         .map(|n| n.id)
         .collect();
     let mut with_data: Vec<NodeId> = c

@@ -14,12 +14,13 @@ use std::rc::Rc;
 use wattdb_common::config::DiskKind;
 use wattdb_common::{
     ByteSize, CostModel, CostParams, DetRng, DiskId, DriftConfig, HardwareSpec, HeatConfig, Key,
-    KeyRange, NetworkSpec, NodeId, PartitionId, PowerSpec, Result, SegmentId, SimDuration, SimTime,
-    TableId, Watts,
+    KeyRange, Lsn, NetworkSpec, NodeId, PartitionId, PowerSpec, ReplicaConfig, Result, SegmentId,
+    SimDuration, SimTime, TableId, Watts,
 };
 use wattdb_energy::{EnergyMeter, NodeState, PowerModel};
 use wattdb_index::{GlobalRouter, SegmentIndex, TopIndex};
 use wattdb_net::Network;
+use wattdb_replica::ReplicaMap;
 use wattdb_sim::{Resource, ResourceHandle, Sim, UtilizationProbe};
 use wattdb_storage::{BufferPool, PageStore, Record, SegmentDirectory, SimDisk, PAGE_SIZE};
 use wattdb_tpcc::{Client, ClientConfig, GenRow, TpccConfig, TpccTable, TpccWorkload};
@@ -98,6 +99,8 @@ pub struct ClusterConfig {
     /// Heat-drift tracking: velocity EWMA horizon and the projection
     /// horizon the planner plans against (zero horizon = historical heat).
     pub drift: DriftConfig,
+    /// Per-segment replication: follower count, read fan-out policy.
+    pub replication: ReplicaConfig,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -121,6 +124,7 @@ impl Default for ClusterConfig {
             heat: HeatConfig::default(),
             cost_model: Some(CostModel::default()),
             drift: DriftConfig::default(),
+            replication: ReplicaConfig::default(),
             seed: 42,
         }
     }
@@ -142,6 +146,11 @@ pub struct NodeRuntime {
     pub log: LogManager,
     /// Log shipping cursors (helper mode).
     pub shipper: LogShipper,
+    /// Log shipping cursors feeding this node's **replica followers**.
+    /// Kept separate from `shipper`: helper detach clears helper cursors
+    /// on every node unconditionally, and must never destroy replication
+    /// state when a node is both helper and replica leader.
+    pub replica_shipper: LogShipper,
     /// Ship log flushes to this helper instead of local disk.
     pub helper: Option<NodeId>,
     /// Probe for power sampling windows.
@@ -176,6 +185,7 @@ impl NodeRuntime {
             buffer: BufferPool::new(buffer_pages.max(64)),
             log: LogManager::new(),
             shipper: LogShipper::new(),
+            replica_shipper: LogShipper::new(),
             helper: None,
             power_probe: UtilizationProbe::new(),
             monitor_probe: UtilizationProbe::new(),
@@ -279,6 +289,38 @@ pub struct Cluster {
     /// Predicted net/remote-traffic relief of the helper plan currently
     /// attached (zero for manual attachments and when no helper runs).
     pub helper_relief: f64,
+    /// Shipped-bytes / remote-buffer-hit baselines captured when the
+    /// current helper set attached (consumed by the detach-time
+    /// predicted-vs-realized relief report).
+    pub helper_baseline: Option<crate::migration::HelperBaseline>,
+    /// Predicted-vs-realized relief of the last fully detached helper set.
+    pub last_helper_report: Option<crate::migration::HelperReport>,
+    /// Per-segment leader/follower placement (empty while
+    /// `cfg.replication.factor == 0`).
+    pub replicas: ReplicaMap,
+    /// Nodes killed by fault injection: out of every planning pool, never
+    /// returned to service.
+    pub failed: std::collections::BTreeSet<NodeId>,
+    /// Last windowed NIC egress utilization per node, persisted by the
+    /// monitoring loop. Planners read this instead of sampling: the
+    /// probes are stateful window samplers and an ad-hoc sample would
+    /// disturb the monitoring windows.
+    pub net_util: Vec<f64>,
+    /// Per-segment LSN of the last write, in the leader's log space — the
+    /// catch-up bar a follower must clear before serving that segment's
+    /// reads.
+    pub seg_last_write: HashMap<SegmentId, Lsn>,
+    /// Per-segment round-robin cursor over read-eligible replicas.
+    pub replica_rr: HashMap<SegmentId, usize>,
+    /// Reads served by follower replicas (lifetime).
+    pub replica_reads: u64,
+    /// Bytes shipped to seed replacement followers after a loss (lifetime).
+    pub rereplication_bytes: u64,
+    /// Re-replication copies currently on the wire. The autopilot holds
+    /// its background factor repair while any are in flight, then
+    /// re-plans whatever is still under-replicated (copies voided by a
+    /// mid-flight death or leadership move).
+    pub rereplication_inflight: usize,
 }
 
 impl Cluster {
@@ -295,6 +337,7 @@ impl Cluster {
             })
             .collect();
         let net = Network::new(cfg.nodes as usize, cfg.network);
+        let net_util = vec![0.0; cfg.nodes as usize];
         let rng = DetRng::new(cfg.seed);
         let metrics = Metrics::new(SimTime::ZERO, cfg.bucket);
         let power_model = PowerModel::new(cfg.power);
@@ -334,6 +377,16 @@ impl Cluster {
             helpers_powered: Vec::new(),
             helpers_scripted: Vec::new(),
             helper_relief: 0.0,
+            helper_baseline: None,
+            last_helper_report: None,
+            replicas: ReplicaMap::new(),
+            failed: std::collections::BTreeSet::new(),
+            net_util,
+            seg_last_write: HashMap::new(),
+            replica_rr: HashMap::new(),
+            replica_reads: 0,
+            rereplication_bytes: 0,
+            rereplication_inflight: 0,
         }))
     }
 
@@ -360,6 +413,105 @@ impl Cluster {
             "cannot power off {node}: segments present"
         );
         self.nodes[node.raw() as usize].state = NodeState::Standby;
+    }
+
+    /// Fault injection: kill `node` mid-anything. The node drops out of
+    /// every planning pool, its helper entanglements are severed, and any
+    /// queued migration moves touching it are cancelled. Unlike
+    /// [`Cluster::power_off`] this deliberately bypasses the
+    /// "no segments on disk" invariant — that is the whole point of a
+    /// failure: the segments it led are orphaned until the autopilot
+    /// promotes their most-caught-up followers. The dead node's own
+    /// replica shipping cursors are *kept* — promotion reads them to find
+    /// the follower that loses the least committed history.
+    pub fn fail_node(&mut self, node: NodeId) {
+        if !self.failed.insert(node) {
+            return;
+        }
+        self.nodes[node.raw() as usize].state = NodeState::Standby;
+        self.nodes[node.raw() as usize].helper = None;
+        for n in &mut self.nodes {
+            if n.helper == Some(node) {
+                n.helper = None;
+            }
+            // Helper cursors pointing at the dead node are garbage; its
+            // *replica* cursors on surviving leaders stay until the
+            // failover decision rewrites the map.
+            n.shipper.detach(node);
+        }
+        self.helpers_active.retain(|&h| h != node);
+        self.helpers_powered.retain(|&h| h != node);
+        self.helpers_scripted.retain(|&h| h != node);
+        if let Some(m) = &mut self.mover {
+            m.drop_node(node);
+        }
+    }
+
+    /// True if the node has been killed by fault injection.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// Build the initial replica map: every segment gets
+    /// `cfg.replication.factor` followers placed by the planner (coldest
+    /// healthy nodes first, never the leader's node), and each leader's
+    /// replica shipping cursors are attached. No-op with replication off.
+    pub fn bootstrap_replicas(&mut self, now: SimTime) {
+        if !self.cfg.replication.enabled() {
+            return;
+        }
+        let plan = crate::heat::plan_replicas(self, now);
+        for p in &plan.placements {
+            match self.replicas.get(p.seg) {
+                None => self.replicas.set(p.seg, p.leader, p.followers.clone()),
+                Some(_) => {
+                    for &f in &p.followers {
+                        self.replicas.add_follower(p.seg, f);
+                    }
+                }
+            }
+        }
+        self.sync_replica_cursors();
+    }
+
+    /// Reconcile every node's replica shipping cursors with the replica
+    /// map: each leader ships to exactly the union of its segments'
+    /// follower sets. Attach is idempotent (a fresh cursor starts at the
+    /// leader's log end), detach drops cursors the map no longer wants.
+    /// Call after any replica-map mutation.
+    pub fn sync_replica_cursors(&mut self) {
+        let mut desired: Vec<std::collections::BTreeSet<NodeId>> =
+            vec![std::collections::BTreeSet::new(); self.nodes.len()];
+        for (_, set) in self.replicas.iter() {
+            for &f in &set.followers {
+                desired[set.leader.raw() as usize].insert(f);
+            }
+        }
+        for (node, wanted) in self.nodes.iter_mut().zip(&desired) {
+            let NodeRuntime {
+                log,
+                replica_shipper,
+                ..
+            } = node;
+            for f in replica_shipper.followers() {
+                if !wanted.contains(&f) {
+                    replica_shipper.detach(f);
+                }
+            }
+            for &f in wanted {
+                replica_shipper.attach(f, log);
+            }
+        }
+    }
+
+    /// Total bytes shipped to replica followers across all leaders — the
+    /// wire cost of read fan-out and durability, distinct from helper
+    /// log shipping.
+    pub fn replica_shipped_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.replica_shipper.shipped_bytes())
+            .sum()
     }
 
     /// Current operating phase (Fig. 7 attribution).

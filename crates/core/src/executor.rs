@@ -25,8 +25,8 @@
 //! constants of its own.
 
 use wattdb_common::{
-    ByteSize, CostVector, Error, Key, NodeId, PageId, PartitionId, SegmentId, SimDuration, SimTime,
-    TxnId,
+    ByteSize, CostVector, Error, Key, Lsn, NodeId, PageId, PartitionId, SegmentId, SimDuration,
+    SimTime, TxnId,
 };
 use wattdb_query::CostParams;
 use wattdb_sim::{CostCategory, CostProfile, EventFn, Resource, Sim};
@@ -256,6 +256,38 @@ impl Cluster {
                 CostCategory::Other,
             );
         };
+        // A dead owner cannot serve: spin until failover re-points the
+        // routing (promotion rewrites the dual pointers within one
+        // monitoring window).
+        if self.failed.contains(&node) {
+            let cur = self.jobs[&job_id].current_node;
+            let spin_on = if self.failed.contains(&cur) {
+                NodeId::MASTER
+            } else {
+                cur
+            };
+            return Action::Cpu(
+                spin_on,
+                self.cfg.costs.route_retry_spin,
+                CostCategory::Other,
+            );
+        }
+        // Heat-aware read scaling: an MVCC read in a transaction that has
+        // written nothing yet may be served by a caught-up follower instead
+        // of the leader. Staleness is bounded by the follower's
+        // acknowledged shipping LSN; a transaction that has written
+        // anything keeps reading leaders (read-your-writes).
+        let node = if op.kind == OpKind::Read
+            && self.cfg.replication.enabled()
+            && self.cfg.replication.read_routing
+            && self.txn.mode() == CcMode::Mvcc
+            && self.jobs[&job_id].write_nodes.is_empty()
+        {
+            let at = self.jobs[&job_id].current_node;
+            self.replica_read_target(seg, node, at, now).unwrap_or(node)
+        } else {
+            node
+        };
         let job = self.jobs.get_mut(&job_id).expect("live job");
         job.cur = Some((pid, node, seg));
         // Ship the operation to its owner if we're elsewhere.
@@ -292,6 +324,64 @@ impl Cluster {
         let job = self.jobs.get_mut(&job_id).expect("live job");
         job.stage = OpStage::Cpu;
         Action::Loop
+    }
+
+    /// Pick the copy to serve a read of `seg`, or `None` to stay on the
+    /// leader. The segment must be hot enough to fan out
+    /// ([`wattdb_common::ReplicaConfig::read_heat_min`]) and a follower
+    /// only joins the pool when live and **caught up**: its acknowledged
+    /// shipping LSN at or past the segment's last write, so every
+    /// committed write is visible. The leader is always in the pool — the
+    /// rotation splits the read load across the copies instead of pushing
+    /// it all onto the followers. A job already sitting on an eligible
+    /// follower stays there (the start stage re-runs after each hop and
+    /// must not ping-pong); otherwise the copies rotate round-robin per
+    /// segment.
+    fn replica_read_target(
+        &mut self,
+        seg: SegmentId,
+        leader: NodeId,
+        at: NodeId,
+        now: SimTime,
+    ) -> Option<NodeId> {
+        if self.replicas.leader_of(seg) != Some(leader) {
+            return None; // map out of step with routing: serve the owner
+        }
+        if self.heat.heat_of(seg, now).value() < self.cfg.replication.read_heat_min {
+            return None;
+        }
+        let floor = self.seg_last_write.get(&seg).copied().unwrap_or(Lsn::ZERO);
+        let shipper = &self.nodes[leader.raw() as usize].replica_shipper;
+        let eligible: Vec<NodeId> = self
+            .replicas
+            .followers_of(seg)
+            .iter()
+            .copied()
+            .filter(|f| !self.failed.contains(f))
+            .filter(|&f| shipper.acked_lsn(f).is_some_and(|a| a >= floor))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        // A job already sitting on a caught-up follower stays: `op_start`
+        // re-runs after every hop, and re-rolling the rotation there would
+        // bounce the job between copies forever.
+        if eligible.contains(&at) {
+            return Some(at);
+        }
+        // The leader stays in the rotation — fan-out *splits* the read
+        // load across every live copy rather than re-homing it wholesale
+        // onto the followers (which would merely relocate the hotspot).
+        let pool_len = eligible.len() + 1;
+        let rr = self.replica_rr.entry(seg).or_insert(0);
+        let slot = *rr % pool_len;
+        *rr = rr.wrapping_add(1);
+        let pick = if slot == 0 {
+            leader
+        } else {
+            eligible[slot - 1]
+        };
+        Some(pick)
     }
 
     fn locks_for(
@@ -356,10 +446,23 @@ impl Cluster {
             return Action::Loop; // nothing resident to touch (miss read)
         };
         // Storage location: under physical partitioning a segment may be
-        // stored away from its owner.
+        // stored away from its owner. A follower serving a routed read
+        // holds its own log-shipped copy, so the page comes off the
+        // executing node's local disk — that locality is the whole point
+        // of read fan-out.
         let meta = self.seg_dir.get(seg).expect("segment meta");
-        let storage_node = meta.node;
-        let disk = meta.disk.index;
+        let (storage_node, disk) =
+            if meta.node != exec_node && self.replicas.followers_of(seg).contains(&exec_node) {
+                let n_disks = self.nodes[exec_node.raw() as usize].disks.len();
+                let disk = if n_disks > 1 {
+                    1 + (seg.raw() as usize % (n_disks - 1))
+                } else {
+                    0
+                };
+                (exec_node, disk as u8)
+            } else {
+                (meta.node, meta.disk.index)
+            };
         let costed = self.heat.cost_model().is_some();
         let writeback_latch = self.cfg.costs.writeback_latch;
         let buffer_hit = self.cfg.costs.buffer_hit;
@@ -430,7 +533,12 @@ impl Cluster {
         // model the operation's accumulated CostVector — its *actual*
         // operator cost — is what gets charged; without one the legacy
         // flat-weight calls run at the original sites.
-        if let Some((_, _, seg)) = self.jobs[&job_id].cur {
+        if let Some((_, node, seg)) = self.jobs[&job_id].cur {
+            // An off-leader read is a replica-served read (apply runs once
+            // per operation, so this counts each fan-out exactly once).
+            if op.kind == OpKind::Read && self.replicas.leader_of(seg).is_some_and(|l| l != node) {
+                self.replica_reads += 1;
+            }
             let kind = match op.kind {
                 OpKind::Read => crate::heat::AccessKind::Read,
                 _ => crate::heat::AccessKind::Write,
@@ -512,7 +620,12 @@ impl Cluster {
                             after: vec![0; bytes],
                         },
                     };
-                    self.nodes[node.raw() as usize].log.append(txn, payload);
+                    let lsn = self.nodes[node.raw() as usize].log.append(txn, payload);
+                    if self.cfg.replication.enabled() {
+                        // Followers must acknowledge up to here before they
+                        // may serve this segment's reads.
+                        self.seg_last_write.insert(seg, lsn);
+                    }
                     let job = self.jobs.get_mut(&job_id).expect("live job");
                     if !job.write_nodes.contains(&node) {
                         job.write_nodes.push(node);
@@ -809,6 +922,9 @@ fn flush_node_log(cl: &ClusterRc, sim: &mut Sim, node: NodeId) {
             let mut c = handle.borrow_mut();
             c.nodes[node.raw() as usize].log.mark_durable(last_lsn);
         }
+        // The freshly durable tail fans out to this node's replica
+        // followers in the background; commits do not wait on it.
+        ship_replica_batches(&handle, sim, node);
         for job_id in jobs {
             commit_ack(&handle, sim, job_id);
         }
@@ -831,6 +947,48 @@ fn flush_node_log(cl: &ClusterRc, sim: &mut Sim, node: NodeId) {
                 done,
             );
         }
+    }
+}
+
+/// Ship the durable log tail to every live replica follower attached to
+/// `node`: one wire transfer per follower cursor with new records,
+/// acknowledged on delivery — which advances the staleness bound that
+/// gates follower-served reads. An endpoint that fails mid-flight voids
+/// its delivery silently.
+fn ship_replica_batches(cl: &ClusterRc, sim: &mut Sim, node: NodeId) {
+    let ships: Vec<(NodeId, u64, Lsn)> = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        if c.failed.contains(&node) {
+            return;
+        }
+        let failed = &c.failed;
+        let n = &mut c.nodes[node.raw() as usize];
+        n.replica_shipper
+            .cursors()
+            .into_iter()
+            .filter(|(f, _, _)| !failed.contains(f))
+            .filter_map(|(f, _, _)| {
+                let (_, bytes) = n.replica_shipper.take_batch(f, &n.log)?;
+                let to = n.replica_shipper.shipped_lsn(f)?;
+                Some((f, bytes as u64, to))
+            })
+            .collect()
+    };
+    for (f, bytes, to) in ships {
+        let handle = cl.clone();
+        let done: EventFn = Box::new(move |_sim| {
+            let mut c = handle.borrow_mut();
+            if c.failed.contains(&node) || c.failed.contains(&f) {
+                return;
+            }
+            c.nodes[node.raw() as usize]
+                .replica_shipper
+                .acknowledge(f, to);
+        });
+        cl.borrow()
+            .net
+            .send(sim, node, f, ByteSize::bytes(bytes), done);
     }
 }
 

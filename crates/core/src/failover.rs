@@ -1,0 +1,209 @@
+//! Failover: re-covering the key space after a node loss.
+//!
+//! The paper's cluster keeps a single copy of every segment, so §3's
+//! master can only *move* data off a node that is still alive. With
+//! per-segment replication ([`wattdb_replica`]) a node loss becomes
+//! survivable: every segment the dead node led is handed to its
+//! **most-caught-up follower** (highest acknowledged LSN on the dead
+//! leader's shipping cursors — the candidate that loses the least
+//! committed history), the master's routing re-points, and the heat-aware
+//! planner schedules fresh followers to restore the replication factor.
+//!
+//! The ownership switch deliberately mirrors the §4.3 physiological
+//! protocol's final step — master first, top-index detach/attach, segment
+//! directory relocation — but ships no bytes: the follower already holds
+//! the segment via log shipping. Only *re-replication* (new followers for
+//! the now under-replicated segments) pays wire time.
+
+use wattdb_common::{ByteSize, Lsn, NodeId, SegmentId, SimTime};
+use wattdb_sim::{EventFn, Sim};
+
+use crate::cluster::{Cluster, ClusterRc};
+
+/// Promote a follower for every segment the failed node led, re-pointing
+/// routing and placement at the winners. Returns `(segment, new leader)`
+/// per promotion, in segment order. The failed node must already be
+/// marked via [`Cluster::fail_node`].
+pub fn promote_orphans(c: &mut Cluster, now: SimTime, failed: NodeId) -> Vec<(SegmentId, NodeId)> {
+    let orphaned = c.replicas.led_by(failed);
+    let mut promotions = Vec::new();
+    for seg in orphaned {
+        // Most-caught-up live follower, per the dead leader's own shipping
+        // cursors (they survive `fail_node` for exactly this read).
+        let candidates: Vec<(NodeId, Lsn)> = c
+            .replicas
+            .followers_of(seg)
+            .iter()
+            .filter(|f| !c.failed.contains(f))
+            .map(|&f| {
+                let acked = c.nodes[failed.raw() as usize]
+                    .replica_shipper
+                    .acked_lsn(f)
+                    .unwrap_or(Lsn::ZERO);
+                (f, acked)
+            })
+            .collect();
+        let follower_winner = wattdb_replica::pick_promotion(&candidates);
+        // Every follower died with the leader: fall back to the coldest
+        // live node (an archive-rebuild stand-in — the sim's record store
+        // survives node death, so re-pointing ownership suffices).
+        let winner = follower_winner.or_else(|| coldest_live(c, now, failed));
+        let Some(winner) = winner else {
+            continue; // no live node at all: nothing to re-cover onto
+        };
+        // Find the partition (and key range) the segment serves on the
+        // dead node.
+        let Some((src_pid, table, range)) = c.partitions.values().find_map(|p| {
+            if p.node != failed {
+                return None;
+            }
+            p.top
+                .segments()
+                .into_iter()
+                .find(|(s, _)| *s == seg)
+                .map(|(_, r)| (p.id, p.table, r))
+        }) else {
+            // The map is stale: the segment no longer lives on the dead
+            // node (a migration landed it elsewhere before the failure
+            // was noticed). Re-point the map at the actual owner so
+            // detection converges instead of re-firing every window.
+            match c.seg_dir.get(seg).ok() {
+                Some(meta) if meta.node != failed => c.replicas.set_leader(seg, meta.node),
+                _ => c.replicas.remove(seg),
+            }
+            continue;
+        };
+        // §4.3-style ownership switch, master first. A migration that died
+        // mid-flight may still hold its dual pointer for this range: roll
+        // it back before re-pointing.
+        let dst_pid = c.partition_on(table, winner);
+        if c.router.begin_move(table, range, dst_pid, winner).is_err() {
+            c.router.abort_move(table, range).ok();
+            c.router
+                .begin_move(table, range, dst_pid, winner)
+                .expect("re-point after rollback");
+        }
+        c.partitions
+            .get_mut(&src_pid)
+            .expect("src")
+            .top
+            .detach(seg)
+            .expect("attached");
+        c.partitions
+            .get_mut(&dst_pid)
+            .expect("dst")
+            .top
+            .attach(seg, range)
+            .expect("tiles");
+        let n_disks = c.nodes[winner.raw() as usize].disks.len();
+        let disk_idx = if n_disks > 1 {
+            1 + (seg.raw() as usize % (n_disks - 1))
+        } else {
+            0
+        };
+        c.seg_dir
+            .relocate(
+                seg,
+                winner,
+                wattdb_common::DiskId::new(winner, disk_idx as u8),
+            )
+            .expect("relocate");
+        c.router.complete_move(table, range).expect("complete move");
+        if follower_winner.is_some() {
+            c.replicas.promote(seg, winner);
+        } else {
+            // Rebuilt from scratch: the old set is history.
+            c.replicas.set(seg, winner, Vec::new());
+        }
+        // The new leader's log is now the segment's staleness reference.
+        let lsn = c.nodes[winner.raw() as usize].log.last_lsn();
+        c.seg_last_write.insert(seg, lsn);
+        promotions.push((seg, winner));
+    }
+    promotions
+}
+
+/// Coldest live active node — the archive-rebuild fallback target.
+fn coldest_live(c: &Cluster, now: SimTime, failed: NodeId) -> Option<NodeId> {
+    use wattdb_energy::NodeState;
+    c.nodes
+        .iter()
+        .filter(|n| n.id != failed && n.state == NodeState::Active && !c.failed.contains(&n.id))
+        .map(|n| (n.id, c.heat.node_heat(&c.seg_dir, n.id, now).value()))
+        .min_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        })
+        .map(|(n, _)| n)
+}
+
+/// Restore the replication factor: ask the heat-aware planner for fresh
+/// follower placements and ship each segment's footprint to its new host
+/// over the wire. The follower joins the map (and the leader's shipping
+/// cursors) only when its copy lands; a host or leader that dies in the
+/// meantime voids the delivery. Returns the number of copies scheduled.
+pub fn schedule_rereplication(cl: &ClusterRc, sim: &mut Sim) -> usize {
+    let plan = {
+        let c = cl.borrow();
+        crate::heat::plan_replicas(&c, sim.now())
+    };
+    let mut scheduled = 0;
+    for p in &plan.placements {
+        let (seg, leader) = (p.seg, p.leader);
+        for &f in &p.followers {
+            let bytes = {
+                let c = cl.borrow();
+                let Ok(meta) = c.seg_dir.get(seg) else {
+                    continue;
+                };
+                meta.disk_footprint()
+                    .as_u64()
+                    .max(wattdb_storage::PAGE_SIZE as u64)
+                    * c.cfg.io_scale
+            };
+            let handle = cl.clone();
+            let done: EventFn = Box::new(move |_sim| {
+                let mut c = handle.borrow_mut();
+                c.rereplication_inflight = c.rereplication_inflight.saturating_sub(1);
+                // Void if either end died or leadership moved mid-copy.
+                if c.failed.contains(&f)
+                    || c.failed.contains(&leader)
+                    || c.replicas.leader_of(seg) != Some(leader)
+                {
+                    return;
+                }
+                c.replicas.add_follower(seg, f);
+                c.rereplication_bytes += bytes;
+                c.sync_replica_cursors();
+            });
+            {
+                let mut c = cl.borrow_mut();
+                c.rereplication_inflight += 1;
+            }
+            cl.borrow()
+                .net
+                .send(sim, leader, f, ByteSize::bytes(bytes), done);
+            scheduled += 1;
+        }
+    }
+    scheduled
+}
+
+/// Full failover for one dead node: promote every segment it led, erase
+/// it from all follower sets, re-wire shipping cursors, and schedule
+/// re-replication for whatever is now under-replicated (both its led
+/// segments, which lost their promotee as a follower, and segments it
+/// merely followed). Returns the promotions performed.
+pub fn handle_failure(cl: &ClusterRc, sim: &mut Sim, failed: NodeId) -> Vec<(SegmentId, NodeId)> {
+    let promotions = {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        let promotions = promote_orphans(c, sim.now(), failed);
+        c.replicas.drop_follower_node(failed);
+        c.sync_replica_cursors();
+        promotions
+    };
+    schedule_rereplication(cl, sim);
+    promotions
+}

@@ -413,10 +413,16 @@ pub fn plan_helpers(
         .map(|n| wattdb_planner::HelperCandidate {
             node: n.id,
             heat: c.heat.node_heat(&c.seg_dir, n.id, now).value(),
+            // Last windowed NIC egress, persisted by the monitoring loop:
+            // among equally attractive actives the planner takes the one
+            // with the idlest interconnect, since helper duty is pure
+            // network traffic.
+            net: c.net_util.get(n.id.raw() as usize).copied().unwrap_or(0.0),
             standby: n.state == NodeState::Standby,
         })
         .collect();
     let mut excluded: Vec<NodeId> = crate::migration::nodes_in_flight(c).into_iter().collect();
+    excluded.extend(c.failed.iter().copied());
     excluded.extend(c.helpers_active.iter().copied());
     // The full source list stays out of the candidate pool even where a
     // member was dropped from the loads above (already helped): a node
@@ -433,6 +439,59 @@ pub fn plan_helpers(
             min_net_heat: cfg.min_net_heat,
         },
     )
+}
+
+/// Replica placement plan over the live cluster state: one
+/// [`wattdb_planner::ReplicaNeed`] per segment whose follower count is
+/// below `cfg.replication.factor` (leader = the current owner in the
+/// segment catalog), hosted on the active, non-failed nodes. Host rows
+/// carry total decayed heat plus the *measured* NIC utilization persisted
+/// by the monitoring loop, so followers land on cold nodes with idle
+/// interconnects — the same failure-domain spread the planner enforces
+/// (never the leader's node, distinct nodes per segment). The single
+/// entry point shared by bootstrap and post-failover re-replication.
+pub fn plan_replicas(c: &crate::cluster::Cluster, now: SimTime) -> wattdb_planner::ReplicaPlan {
+    use wattdb_energy::NodeState;
+    let factor = c.cfg.replication.factor;
+    if factor == 0 {
+        return wattdb_planner::ReplicaPlan {
+            placements: Vec::new(),
+        };
+    }
+    let needs: Vec<wattdb_planner::ReplicaNeed> = c
+        .seg_dir
+        .iter()
+        .filter(|m| !c.failed.contains(&m.node))
+        .filter_map(|m| {
+            let existing: Vec<NodeId> = c
+                .replicas
+                .followers_of(m.id)
+                .iter()
+                .copied()
+                .filter(|f| !c.failed.contains(f))
+                .collect();
+            if existing.len() < factor {
+                Some(wattdb_planner::ReplicaNeed {
+                    seg: m.id,
+                    leader: m.node,
+                    existing,
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    let hosts: Vec<wattdb_planner::NodeLoadStat> = c
+        .nodes
+        .iter()
+        .filter(|n| n.state == NodeState::Active && !c.failed.contains(&n.id))
+        .map(|n| wattdb_planner::NodeLoadStat {
+            node: n.id,
+            heat: c.heat.node_heat(&c.seg_dir, n.id, now).value(),
+            net_heat: c.net_util.get(n.id.raw() as usize).copied().unwrap_or(0.0),
+        })
+        .collect();
+    wattdb_planner::plan_replicas(&needs, &hosts, factor)
 }
 
 /// Planner inputs for the whole catalog: footprint bytes scaled by

@@ -18,6 +18,9 @@
 //!   operators weigh more than point reads; the [`heat::drift`] velocity
 //!   layer lets the planner plan against *projected* heat (moving
 //!   hotspots);
+//! * [`failover`] — node-loss recovery over the per-segment replica map:
+//!   most-caught-up follower promotion, key-space re-covering, and
+//!   planner-driven re-replication;
 //! * [`scan`] — analytic range scans over live segments, evaluated and
 //!   costed by `wattdb_query` and replayed through the shared resources;
 //! * [`monitor`] / [`policy`] — utilization monitoring and the 80 %-CPU
@@ -37,6 +40,7 @@ pub mod api;
 pub mod autopilot;
 pub mod cluster;
 pub mod executor;
+pub mod failover;
 pub mod heat;
 pub mod metrics;
 pub mod migration;
@@ -53,12 +57,13 @@ pub use heat::{
     SegmentHeatStat,
 };
 pub use metrics::{Metrics, Phase};
-pub use migration::{MoveController, RebalanceReport, SegmentMove};
+pub use migration::{HelperBaseline, HelperReport, MoveController, RebalanceReport, SegmentMove};
 pub use monitor::{ClusterView, NodeReport};
 pub use policy::{coldest_drain_target, Decision, ElasticityPolicy, PolicyConfig};
 pub use scan::{submit_scan, ScanReport};
-pub use wattdb_common::{CostModel, CostVector, HelperPolicyConfig};
+pub use wattdb_common::{CostModel, CostVector, HelperPolicyConfig, ReplicaConfig};
 pub use wattdb_planner::{
     HelperAssignment, HelperCandidate, HelperConfig, HelperPlan, NodeLoadStat, Plan, PlanConfig,
-    PlannedMove, Planner, SegmentStat,
+    PlannedMove, Planner, ReplicaNeed, ReplicaPlacement, ReplicaPlan, SegmentStat,
 };
+pub use wattdb_replica::{pick_promotion, ReplicaMap, ReplicaSet};

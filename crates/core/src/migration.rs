@@ -122,6 +122,18 @@ impl MoveController {
     pub fn all_done(&self) -> bool {
         self.chains.iter().all(|c| c.done)
     }
+
+    /// Drop every *pending* move that sources from or targets `node` — the
+    /// failover path's way of keeping a dead node out of the remaining
+    /// plan. A move already in flight is left alone here;
+    /// `segment_copy_done`'s failed-node guard voids it when the copy
+    /// completes against a corpse.
+    pub fn drop_node(&mut self, node: NodeId) {
+        for ch in &mut self.chains {
+            ch.segments.retain(|m| m.from != node && m.to != node);
+            ch.ranges.retain(|m| m.from != node && m.to != node);
+        }
+    }
 }
 
 /// Plan which segments leave each source: the upper `fraction` of each
@@ -508,81 +520,104 @@ fn segment_copy_done(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
         let m = c.mover.as_mut().expect("mover active");
         let mv = m.chains[chain as usize].current.take().expect("current");
         let txn = m.chains[chain as usize].txn.take().expect("mover txn");
-        m.segments_moved += 1;
-        m.heat_moved += c.heat.heat_of(mv.seg, now).value();
-        match scheme {
-            Scheme::Physiological => {
-                // §4.3 step 4: ownership switch — detach from the source's
-                // top index, attach to the target's; the per-segment PK
-                // index travels untouched. Then the master drops the old
-                // pointer.
-                let src_pid = c
-                    .partitions
-                    .values()
-                    .find(|p| p.table == mv.table && p.node == mv.from)
-                    .map(|p| p.id)
-                    .expect("source partition");
-                let dst_pid = c.partition_on(mv.table, mv.to);
-                c.partitions
-                    .get_mut(&src_pid)
-                    .expect("src")
-                    .top
-                    .detach(mv.seg)
-                    .expect("attached");
-                c.partitions
-                    .get_mut(&dst_pid)
-                    .expect("dst")
-                    .top
-                    .attach(mv.seg, mv.range)
-                    .expect("tiles");
-                // Storage follows ownership (shared nothing): place on the
-                // target's SSD.
-                let n_disks = c.nodes[mv.to.raw() as usize].disks.len();
-                let disk_idx = if n_disks > 1 {
-                    1 + (mv.seg.raw() as usize % (n_disks - 1))
-                } else {
-                    0
-                };
-                c.seg_dir
-                    .relocate(
-                        mv.seg,
-                        mv.to,
-                        wattdb_common::DiskId::new(mv.to, disk_idx as u8),
-                    )
-                    .expect("relocate");
-                c.router
-                    .complete_move(mv.table, mv.range)
-                    .expect("complete move");
-                // Old buffered pages are dropped at the source.
-                c.nodes[mv.from.raw() as usize].buffer.evict_segment(mv.seg);
+        if c.failed.contains(&mv.from) || c.failed.contains(&mv.to) {
+            // An endpoint died mid-copy: the copy's result is void. The
+            // master's dual pointer rolls back (physiological only — the
+            // other schemes never touched routing) and placement stays
+            // put; failover re-covers ownership separately. The lock
+            // releases so parked writers resume against the survivors.
+            if scheme == Scheme::Physiological {
+                c.router.abort_move(mv.table, mv.range).ok();
             }
-            Scheme::Physical => {
-                // §4.1: only the physical placement changes; ownership and
-                // routing stay at the source. Future accesses pay the wire.
-                let n_disks = c.nodes[mv.to.raw() as usize].disks.len();
-                let disk_idx = if n_disks > 1 {
-                    1 + (mv.seg.raw() as usize % (n_disks - 1))
-                } else {
-                    0
-                };
-                c.seg_dir
-                    .relocate(
-                        mv.seg,
-                        mv.to,
-                        wattdb_common::DiskId::new(mv.to, disk_idx as u8),
-                    )
-                    .expect("relocate");
-                c.nodes[mv.from.raw() as usize].buffer.evict_segment(mv.seg);
+            let (_, grants) = c.txn.commit(txn, &mut c.store).expect("system commit");
+            grants
+        } else {
+            m.segments_moved += 1;
+            m.heat_moved += c.heat.heat_of(mv.seg, now).value();
+            match scheme {
+                Scheme::Physiological => {
+                    // §4.3 step 4: ownership switch — detach from the source's
+                    // top index, attach to the target's; the per-segment PK
+                    // index travels untouched. Then the master drops the old
+                    // pointer.
+                    let src_pid = c
+                        .partitions
+                        .values()
+                        .find(|p| p.table == mv.table && p.node == mv.from)
+                        .map(|p| p.id)
+                        .expect("source partition");
+                    let dst_pid = c.partition_on(mv.table, mv.to);
+                    c.partitions
+                        .get_mut(&src_pid)
+                        .expect("src")
+                        .top
+                        .detach(mv.seg)
+                        .expect("attached");
+                    c.partitions
+                        .get_mut(&dst_pid)
+                        .expect("dst")
+                        .top
+                        .attach(mv.seg, mv.range)
+                        .expect("tiles");
+                    // Storage follows ownership (shared nothing): place on the
+                    // target's SSD.
+                    let n_disks = c.nodes[mv.to.raw() as usize].disks.len();
+                    let disk_idx = if n_disks > 1 {
+                        1 + (mv.seg.raw() as usize % (n_disks - 1))
+                    } else {
+                        0
+                    };
+                    c.seg_dir
+                        .relocate(
+                            mv.seg,
+                            mv.to,
+                            wattdb_common::DiskId::new(mv.to, disk_idx as u8),
+                        )
+                        .expect("relocate");
+                    c.router
+                        .complete_move(mv.table, mv.range)
+                        .expect("complete move");
+                    // Old buffered pages are dropped at the source.
+                    c.nodes[mv.from.raw() as usize].buffer.evict_segment(mv.seg);
+                    // Leadership follows ownership: the replica map tracks the
+                    // move, the new leader's log becomes the segment's
+                    // staleness reference, and shipping cursors re-wire to the
+                    // new leader.
+                    if c.cfg.replication.enabled() && c.replicas.get(mv.seg).is_some() {
+                        c.replicas.set_leader(mv.seg, mv.to);
+                        let lsn = c.nodes[mv.to.raw() as usize].log.last_lsn();
+                        c.seg_last_write.insert(mv.seg, lsn);
+                        c.sync_replica_cursors();
+                    }
+                }
+                Scheme::Physical => {
+                    // §4.1: only the physical placement changes; ownership and
+                    // routing stay at the source. Future accesses pay the wire.
+                    let n_disks = c.nodes[mv.to.raw() as usize].disks.len();
+                    let disk_idx = if n_disks > 1 {
+                        1 + (mv.seg.raw() as usize % (n_disks - 1))
+                    } else {
+                        0
+                    };
+                    c.seg_dir
+                        .relocate(
+                            mv.seg,
+                            mv.to,
+                            wattdb_common::DiskId::new(mv.to, disk_idx as u8),
+                        )
+                        .expect("relocate");
+                    c.nodes[mv.from.raw() as usize].buffer.evict_segment(mv.seg);
+                }
+                Scheme::Logical => unreachable!("segment moves not used logically"),
             }
-            Scheme::Logical => unreachable!("segment moves not used logically"),
+            c.nodes[mv.from.raw() as usize]
+                .log
+                .append(TxnId::NONE, LogPayload::SegmentMoveEnd { segment: mv.seg });
+            // Release the segment lock: queued writers resume, redirected to
+            // the new owner by routing on their next op.
+            let (_, grants) = c.txn.commit(txn, &mut c.store).expect("system commit");
+            grants
         }
-        c.nodes[mv.from.raw() as usize]
-            .log
-            .append(TxnId::NONE, LogPayload::SegmentMoveEnd { segment: mv.seg });
-        // Release the segment lock: queued writers resume, redirected to
-        // the new owner by routing on their next op.
-        let (_, grants) = c.txn.commit(txn, &mut c.store).expect("system commit");
-        grants
     };
     resume_grants(cl, sim, grants);
     next_segment_move(cl, sim, chain);
@@ -981,13 +1016,45 @@ pub struct RebalanceReport {
     pub heat_moved: f64,
 }
 
+/// Net-traffic counters captured when the first helper of a response
+/// attaches: the baseline against which realized relief is measured.
+#[derive(Debug, Clone, Copy)]
+pub struct HelperBaseline {
+    /// Attach time of the first helper in the response.
+    pub at: SimTime,
+    /// Predicted net-traffic relief, summed over the response's attaches.
+    pub predicted: f64,
+    /// Cumulative helper-shipped log bytes across all nodes at attach.
+    pub shipped_bytes: u64,
+    /// Cumulative remote-buffer hits across all nodes at attach.
+    pub remote_hits: u64,
+}
+
+/// Predicted-vs-realized relief for a completed helper response — the
+/// helper-side analogue of [`RebalanceReport`]'s planned-vs-moved heat
+/// accounting. Emitted when the last helper detaches.
+#[derive(Debug, Clone)]
+pub struct HelperReport {
+    /// When the response's first helper attached.
+    pub attached: SimTime,
+    /// Predicted net-traffic relief recorded at attach time.
+    pub predicted: f64,
+    /// Log bytes actually shipped to helpers while attached.
+    pub shipped_bytes: u64,
+    /// Reads served out of helper DRAM (remote-buffer hits) while
+    /// attached.
+    pub remote_hits: u64,
+    /// The helpers released at the end of the response.
+    pub helpers: Vec<NodeId>,
+}
+
 /// Attach helper nodes for the improved physiological run (Fig. 8): each
 /// source ships its log to a helper and extends its buffer pool into the
 /// helper's DRAM. The manual entry point pairs `sources[i]` with
 /// `helpers[i % helpers.len()]` — the legacy mapping scripted experiments
 /// rely on; planner-chosen attachments go through
 /// [`attach_helper_plan`].
-pub fn attach_helpers(cl: &ClusterRc, _sim: &mut Sim, sources: &[NodeId], helpers: &[NodeId]) {
+pub fn attach_helpers(cl: &ClusterRc, sim: &mut Sim, sources: &[NodeId], helpers: &[NodeId]) {
     if helpers.is_empty() {
         return;
     }
@@ -999,7 +1066,7 @@ pub fn attach_helpers(cl: &ClusterRc, _sim: &mut Sim, sources: &[NodeId], helper
     // Every *listed* helper powers on and is tracked, paired or not — the
     // legacy manual contract. A manual list is a scripted Fig. 8 run:
     // the helpers detach when the accompanying rebalance completes.
-    attach_helper_pairs(&mut cl.borrow_mut(), helpers, &pairs, 0.0, true);
+    attach_helper_pairs(&mut cl.borrow_mut(), helpers, &pairs, 0.0, true, sim.now());
 }
 
 /// Attach a planner-produced [`wattdb_planner::HelperPlan`]: one helper
@@ -1012,7 +1079,7 @@ pub fn attach_helpers(cl: &ClusterRc, _sim: &mut Sim, sources: &[NodeId], helper
 /// empty plan.
 pub fn attach_helper_plan(
     cl: &ClusterRc,
-    _sim: &mut Sim,
+    sim: &mut Sim,
     plan: &wattdb_planner::HelperPlan,
     scripted: bool,
 ) -> bool {
@@ -1031,6 +1098,7 @@ pub fn attach_helper_plan(
         &pairs,
         plan.predicted_relief,
         scripted,
+        sim.now(),
     );
     true
 }
@@ -1047,9 +1115,24 @@ fn attach_helper_pairs(
     pairs: &[(NodeId, NodeId)],
     relief: f64,
     scripted: bool,
+    now: SimTime,
 ) {
     use wattdb_energy::NodeState;
     let remote_pages = c.cfg.buffer_pages;
+    // Relief accounting: the first attach of a response snapshots the
+    // shipped-bytes and remote-hit counters; later attaches while helpers
+    // remain wired fold their prediction into the same response.
+    match &mut c.helper_baseline {
+        None => {
+            c.helper_baseline = Some(HelperBaseline {
+                at: now,
+                predicted: relief,
+                shipped_bytes: c.nodes.iter().map(|n| n.shipper.shipped_bytes()).sum(),
+                remote_hits: c.nodes.iter().map(|n| n.buffer.stats().remote_hits).sum(),
+            });
+        }
+        Some(b) => b.predicted += relief,
+    }
     for &h in helpers {
         if c.nodes[h.raw() as usize].state == NodeState::Standby && !c.helpers_powered.contains(&h)
         {
@@ -1096,6 +1179,20 @@ fn detach_helper_set(c: &mut Cluster, set: &[NodeId]) -> Vec<NodeId> {
     c.helpers_scripted.retain(|h| !detached.contains(h));
     if c.helpers_active.is_empty() {
         c.helper_relief = 0.0;
+        // The response is over: realized relief is whatever the helpers
+        // absorbed since the baseline — log bytes they persisted plus
+        // reads their DRAM answered.
+        if let Some(b) = c.helper_baseline.take() {
+            let shipped: u64 = c.nodes.iter().map(|n| n.shipper.shipped_bytes()).sum();
+            let hits: u64 = c.nodes.iter().map(|n| n.buffer.stats().remote_hits).sum();
+            c.last_helper_report = Some(HelperReport {
+                attached: b.at,
+                predicted: b.predicted,
+                shipped_bytes: shipped.saturating_sub(b.shipped_bytes),
+                remote_hits: hits.saturating_sub(b.remote_hits),
+                helpers: detached.clone(),
+            });
+        }
     }
     for &h in &detached {
         for n in &mut c.nodes {

@@ -55,6 +55,10 @@ pub fn sample_node(c: &mut Cluster, node: NodeId, now: SimTime) -> NodeReport {
     }
     let tx_res = c.net.tx_resource(node).clone();
     let net_tx = c.nodes[idx].net_probe.sample(&tx_res, now);
+    // Persist the NIC reading: planners rank helper and replica hosts by
+    // interconnect idleness, and the probe itself must only ever be
+    // sampled here (it is a stateful window sampler).
+    c.net_util[idx] = net_tx;
     let stats = c.nodes[idx].buffer.stats();
     let heat = c.heat.node_heat(&c.seg_dir, node, now).value();
     NodeReport {

@@ -15,7 +15,7 @@
 //! Scale-in picks the **coldest** drainable node (its segments are the
 //! cheapest to relocate), not the highest-numbered one.
 
-use wattdb_common::{HelperPolicyConfig, NodeId};
+use wattdb_common::{HelperPolicyConfig, NodeId, SegmentId};
 use wattdb_energy::NodeState;
 use wattdb_planner::Planner;
 use wattdb_sim::Sim;
@@ -72,6 +72,12 @@ pub struct PolicyConfig {
     /// Fig. 8 helper nodes to the hot sources instead
     /// ([`Decision::AttachHelpers`]). See [`HelperPolicyConfig`].
     pub helper: HelperPolicyConfig,
+    /// NIC egress utilization above which a node counts as saturated when
+    /// the policy sizes the cluster — so an attached helper drowning in
+    /// shipped log traffic and remote buffer reads weighs into the
+    /// scale-out signal even though its *CPU* stays modest. Values ≥ 1
+    /// disable the NIC signal.
+    pub net_high: f64,
 }
 
 impl Default for PolicyConfig {
@@ -88,6 +94,7 @@ impl Default for PolicyConfig {
             skew_min_heat: 1.0,
             skew_cooldown: 3,
             helper: HelperPolicyConfig::default(),
+            net_high: 0.9,
         }
     }
 }
@@ -136,10 +143,24 @@ pub enum Decision {
     },
     /// Detach the currently attached helpers: the skew they answered has
     /// subsided (fallen below the rearm band, or the cluster cooled below
-    /// the heat floor).
+    /// the heat floor). May name a *subset* of the attached helpers when
+    /// only some sources subsided (see
+    /// [`ElasticityPolicy::evaluate_with_pairs`]).
     DetachHelpers {
         /// Helpers attached at decision time.
         helpers: Vec<NodeId>,
+    },
+    /// Fail over a dead node: promote the most-caught-up follower of
+    /// every segment it led, re-cover the key space, and schedule
+    /// re-replication ([`crate::failover`]). Fired by the autopilot the
+    /// window it notices a failed node still referenced in the replica
+    /// map; outranks every other decision and applies even while a
+    /// rebalance is in flight.
+    Promote {
+        /// The failed node.
+        failed: NodeId,
+        /// Segments the dead node led at decision time, in id order.
+        orphaned: Vec<SegmentId>,
     },
 }
 
@@ -160,6 +181,13 @@ pub struct ElasticityPolicy {
     /// detach branch reuses, so detach and streak/escalation reset can
     /// never disagree on what "subsided" means.
     subsided_now: bool,
+    /// Consecutive windows each helped *source* has spent below the
+    /// per-source rearm band ([`ElasticityPolicy::evaluate_with_pairs`]):
+    /// a source's helper is only released once its streak outlasts
+    /// `skew_cooldown`, so a flapping hotspot that cools for a couple of
+    /// windows keeps its helper instead of churning through
+    /// detach/re-attach cycles.
+    cool_streaks: std::collections::BTreeMap<NodeId, u32>,
 }
 
 impl ElasticityPolicy {
@@ -173,6 +201,7 @@ impl ElasticityPolicy {
             skew_cooldown_left: 0,
             skew_fires: 0,
             subsided_now: false,
+            cool_streaks: std::collections::BTreeMap::new(),
         }
     }
 
@@ -223,7 +252,23 @@ impl ElasticityPolicy {
                 helpers: helpers.to_vec(),
             };
         }
-        let hot = view.overloaded(self.cfg.cpu_high);
+        // A node saturates on CPU *or* on its NIC: an attached helper
+        // absorbing log shipping and remote buffer reads loads its
+        // interconnect rather than its CPU, and must still count when
+        // sizing the cluster. The NIC signal is muted while a rebalance
+        // is in flight — bulk segment copies saturate the source's egress
+        // by design, and reading that self-inflicted burst as load would
+        // demand scale-out (hence more copying) from a cluster that is
+        // merely reorganizing itself.
+        let hot: Vec<NodeId> = view
+            .reports
+            .iter()
+            .filter(|r| {
+                r.active
+                    && (r.cpu > self.cfg.cpu_high || (!rebalancing && r.net_tx > self.cfg.net_high))
+            })
+            .map(|r| r.node)
+            .collect();
         if !hot.is_empty() {
             // The hot streak counts breaching windows regardless of
             // standby availability: a cluster that has been hot for longer
@@ -269,6 +314,87 @@ impl ElasticityPolicy {
         self.low_streak = 0;
         self.high_streak = 0;
         self.fire_skew(view, skew_ready, rebalancing, helpers)
+    }
+
+    /// [`ElasticityPolicy::evaluate`] with the `(source, helper)` pairing
+    /// visible, enabling **partial detach**: when the cluster-wide skew
+    /// persists (so the all-or-nothing subsidence detach stays silent)
+    /// but an *individual* source has cooled below the rearm band, that
+    /// source's helper is released on its own — instead of staying wired
+    /// until every source subsides at once. A helper still serving any
+    /// hot source stays; a helper whose source vanished from the view
+    /// (drained or failed) is released too. Release waits out a
+    /// per-source cool streak of `max(skew_cooldown, 1)` windows, so a
+    /// hotspot flapping between nodes keeps both helpers wired instead
+    /// of churning through detach/re-attach cycles every flip.
+    ///
+    /// Every other decision delegates to `evaluate` unchanged, so the two
+    /// entry points can never disagree on streaks or escalation.
+    pub fn evaluate_with_pairs(
+        &mut self,
+        view: &ClusterView,
+        standby: &[NodeId],
+        active_with_data: &[NodeId],
+        rebalancing: bool,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Decision {
+        let mut helpers: Vec<NodeId> = pairs.iter().map(|&(_, h)| h).collect();
+        helpers.sort_unstable();
+        helpers.dedup();
+        let decision = self.evaluate(view, standby, active_with_data, rebalancing, &helpers);
+        if decision != Decision::Hold || helpers.is_empty() || rebalancing {
+            return decision;
+        }
+        let (_, mean_heat) = skew_signals(view, &helpers);
+        if mean_heat < self.cfg.skew_min_heat {
+            // A cooling cluster is the *global* subsidence case — the
+            // delegate above owns it (and just chose to hold).
+            return decision;
+        }
+        // A source has subsided when its own heat sits below the rearm
+        // band relative to the mean — the per-node restriction of the
+        // cluster-wide predicate in `tick_skew`.
+        let band = self.cfg.skew_threshold * self.cfg.skew_rearm.clamp(0.0, 1.0);
+        let subsided = |src: NodeId| {
+            view.reports
+                .iter()
+                .find(|r| r.node == src && r.active)
+                .map(|r| r.heat < mean_heat * band)
+                .unwrap_or(true) // source gone: nothing left to relieve
+        };
+        // Hysteresis: one cool window is not subsidence — a bimodal flap
+        // parks each source below the band for a few windows at a time,
+        // and tearing its helper away mid-flap just re-attaches it on the
+        // next flip. A source must stay cool for more than `skew_cooldown`
+        // consecutive windows (at least one) before its helper lets go —
+        // the same horizon that bounds the skew trigger's own churn.
+        let mut sources: Vec<NodeId> = pairs.iter().map(|&(src, _)| src).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        self.cool_streaks.retain(|src, _| sources.contains(src));
+        for &src in &sources {
+            let streak = self.cool_streaks.entry(src).or_insert(0);
+            *streak = if subsided(src) { *streak + 1 } else { 0 };
+        }
+        let need = self.cfg.skew_cooldown.max(1);
+        let released = |src: NodeId| self.cool_streaks.get(&src).copied().unwrap_or(0) >= need;
+        let keep: Vec<NodeId> = pairs
+            .iter()
+            .filter(|&&(src, _)| !released(src))
+            .map(|&(_, h)| h)
+            .collect();
+        let mut release: Vec<NodeId> = pairs
+            .iter()
+            .filter(|&&(src, h)| released(src) && !keep.contains(&h))
+            .map(|&(_, h)| h)
+            .collect();
+        release.sort_unstable();
+        release.dedup();
+        if release.is_empty() {
+            decision
+        } else {
+            Decision::DetachHelpers { helpers: release }
+        }
     }
 
     /// Advance the heat-skew trigger's state for this window: arm while
@@ -460,6 +586,14 @@ pub fn apply(
     decision: &Decision,
     cfg: &PolicyConfig,
 ) -> Option<Planner> {
+    // Failover outranks the one-rebalance-at-a-time rule: a dead node
+    // cannot wait out a migration — the migration may itself be wedged on
+    // the corpse (its pending moves were dropped by `fail_node`, its
+    // in-flight copy voids on completion).
+    if let Decision::Promote { failed, .. } = decision {
+        crate::failover::handle_failure(cl, sim, *failed);
+        return Some(cfg.planner);
+    }
     if rebalancing(cl) {
         return None; // one rebalance at a time
     }
@@ -519,15 +653,17 @@ pub fn apply(
         }
         Decision::DetachHelpers { helpers } => {
             // Release exactly the helpers the decision names — the set
-            // the policy attached. A scripted `rebalance_with_helpers`
-            // set attached alongside belongs to the migration engine and
-            // must survive a policy-side subsidence detach.
+            // the policy attached (possibly a per-source subset). A
+            // scripted `rebalance_with_helpers` set attached alongside
+            // belongs to the migration engine and must survive a
+            // policy-side subsidence detach.
             if detach_named_helpers(cl, helpers).is_empty() {
                 None
             } else {
                 Some(cfg.planner)
             }
         }
+        Decision::Promote { .. } => None, // handled before the guard above
         Decision::ScaleIn { drain } => {
             // Never drain a node still entangled in a migration: until the
             // in-flight moves land, the segment directory understates what
@@ -1063,6 +1199,78 @@ mod tests {
             p.evaluate(&skewed, &[], &data, false, &helpers),
             Decision::Hold,
             "helpers stay while the data-node skew persists"
+        );
+    }
+
+    #[test]
+    fn saturated_helper_nic_counts_towards_scale_out() {
+        // Node 2's CPU is modest but its NIC drowns in shipped log
+        // traffic and remote buffer reads (the shape a busy helper or
+        // replica host presents): the scale-out signal must see it when
+        // sizing the cluster.
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            ..Default::default()
+        });
+        let mut v = view(&[(0, 0.5), (1, 0.5), (2, 0.3)]);
+        v.reports[2].net_tx = 0.95;
+        let standby = [NodeId(3)];
+        let data = [NodeId(0), NodeId(1)];
+        match p.evaluate(&v, &standby, &data, false, &[]) {
+            Decision::ScaleOut { sources, .. } => assert_eq!(sources, vec![NodeId(2)]),
+            other => panic!("NIC-saturated node must size the cluster up, got {other:?}"),
+        }
+        // With the NIC signal disabled the same view holds.
+        let mut off = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            net_high: 1.0,
+            ..Default::default()
+        });
+        assert_eq!(
+            off.evaluate(&v, &standby, &data, false, &[]),
+            Decision::Hold
+        );
+    }
+
+    #[test]
+    fn partial_detach_releases_only_the_subsided_sources_helper() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            skew_cooldown: 0,
+            ..Default::default()
+        });
+        // Sources 0 and 1 each wired to their own helper (3, 4). Source 0
+        // stays hot — the cluster-wide skew persists, so the global
+        // subsidence detach stays silent — while source 1 cooled below
+        // the band: only *its* helper is released.
+        let v = heat_view(&[(0, 10.0), (1, 0.2), (2, 2.0), (3, 0.0), (4, 0.0)]);
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        let pairs = [(NodeId(0), NodeId(3)), (NodeId(1), NodeId(4))];
+        match p.evaluate_with_pairs(&v, &[], &data, false, &pairs) {
+            Decision::DetachHelpers { helpers } => assert_eq!(helpers, vec![NodeId(4)]),
+            other => panic!("expected a per-source detach, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_helper_stays_while_any_of_its_sources_is_hot() {
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            skew_threshold: 1.5,
+            skew_min_heat: 0.1,
+            skew_cooldown: 0,
+            ..Default::default()
+        });
+        // One helper serves both sources; source 1 subsided but source 0
+        // still burns: the shared helper must not be torn away.
+        let v = heat_view(&[(0, 10.0), (1, 0.2), (2, 2.0), (3, 0.0)]);
+        let data = [NodeId(0), NodeId(1), NodeId(2)];
+        let pairs = [(NodeId(0), NodeId(3)), (NodeId(1), NodeId(3))];
+        assert_eq!(
+            p.evaluate_with_pairs(&v, &[], &data, false, &pairs),
+            Decision::Hold
         );
     }
 

@@ -398,6 +398,11 @@ pub struct HelperCandidate {
     pub node: NodeId,
     /// Its current decayed heat (zero for standbys).
     pub heat: f64,
+    /// Its current NIC load (net-heavy heat component, or measured
+    /// transmit utilization — zero for standbys). A helper takes on its
+    /// source's log shipping and remote-buffer traffic, so a candidate
+    /// whose NIC is already busy relieves less than an idle one.
+    pub net: f64,
     /// True when the node is in standby — the preferred helper pool: a
     /// standby brings fresh DRAM and an idle NIC at the cost of powering
     /// on, while an active node lends capacity it may still need.
@@ -466,8 +471,9 @@ impl HelperPlan {
 /// component and pair the heaviest with helpers drawn from `candidates`,
 /// one helper per source, at most `cfg.max_helpers` assignments.
 ///
-/// Helper choice prefers standbys (coldest first), then the coldest
-/// active candidates. The plan never assigns:
+/// Helper choice prefers standbys, then idle-NIC candidates (a busy NIC
+/// cannot absorb a source's shipping traffic), then the coldest
+/// remaining ones. The plan never assigns:
 /// * a node listed in `excluded` (migration sources/targets, nodes
 ///   already helping);
 /// * a source to itself (or to another helped source);
@@ -532,6 +538,11 @@ pub fn plan_helpers(
         b.standby
             .cmp(&a.standby)
             .then_with(|| {
+                a.net
+                    .partial_cmp(&b.net)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| {
                 a.heat
                     .partial_cmp(&b.heat)
                     .unwrap_or(std::cmp::Ordering::Equal)
@@ -554,6 +565,128 @@ pub fn plan_helpers(
             helper: helper.node,
             net_heat: src.net_heat,
         });
+    }
+    plan
+}
+
+// ----------------------------------------------------------------- replicas
+
+/// One segment's replica-planning input: its leader and the followers it
+/// already has (kept, never duplicated by the plan).
+#[derive(Debug, Clone)]
+pub struct ReplicaNeed {
+    /// The segment needing followers.
+    pub seg: SegmentId,
+    /// Its current leader — never a follower host.
+    pub leader: NodeId,
+    /// Followers already in place (after a failure: the survivors).
+    pub existing: Vec<NodeId>,
+}
+
+/// One segment's planned follower additions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaPlacement {
+    /// The segment.
+    pub seg: SegmentId,
+    /// Its leader (unchanged by the plan).
+    pub leader: NodeId,
+    /// **New** followers to attach, in assignment order.
+    pub followers: Vec<NodeId>,
+}
+
+/// A complete replica placement plan.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaPlan {
+    /// Per-segment follower additions; segments already at factor are
+    /// omitted.
+    pub placements: Vec<ReplicaPlacement>,
+}
+
+impl ReplicaPlan {
+    /// True when every segment already has its followers.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Total follower attachments the plan makes.
+    pub fn additions(&self) -> usize {
+        self.placements.iter().map(|p| p.followers.len()).sum()
+    }
+}
+
+/// Plan follower placement: bring every segment in `needs` up to
+/// `factor` followers, drawing hosts from `hosts`.
+///
+/// Failure domains are nodes, so the guarantees are:
+/// * a follower never lands on its segment's leader;
+/// * a segment's followers are pairwise distinct (and distinct from any
+///   `existing` survivor);
+/// * hosts fill coldest-first ([`NodeLoadStat::heat`]), preferring idle
+///   NICs ([`NodeLoadStat::net_heat`]) among equally cold hosts, with a
+///   per-host assignment count spreading follower load across the
+///   cluster instead of piling every copy onto the single coldest node.
+///
+/// A segment that cannot reach factor (not enough distinct eligible
+/// hosts) gets as many followers as exist — the plan never invents a
+/// co-located copy to hit the number.
+pub fn plan_replicas(needs: &[ReplicaNeed], hosts: &[NodeLoadStat], factor: usize) -> ReplicaPlan {
+    let mut plan = ReplicaPlan::default();
+    if factor == 0 {
+        return plan;
+    }
+    // One row per host, deterministic: duplicates collapse to the first.
+    let mut pool: Vec<&NodeLoadStat> = hosts.iter().collect();
+    pool.sort_by_key(|h| h.node);
+    let mut seen = std::collections::BTreeSet::new();
+    pool.retain(|h| seen.insert(h.node));
+    let mut assigned: BTreeMap<NodeId, usize> = BTreeMap::new();
+
+    for need in needs {
+        if need.existing.len() >= factor {
+            continue;
+        }
+        let deficit = factor - need.existing.len();
+        let mut followers = Vec::with_capacity(deficit);
+        for _ in 0..deficit {
+            let pick = pool
+                .iter()
+                .filter(|h| {
+                    h.node != need.leader
+                        && !need.existing.contains(&h.node)
+                        && !followers.contains(&h.node)
+                })
+                .min_by(|a, b| {
+                    let (ca, cb) = (
+                        assigned.get(&a.node).copied().unwrap_or(0),
+                        assigned.get(&b.node).copied().unwrap_or(0),
+                    );
+                    ca.cmp(&cb)
+                        .then_with(|| {
+                            a.heat
+                                .partial_cmp(&b.heat)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .then_with(|| {
+                            a.net_heat
+                                .partial_cmp(&b.net_heat)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .then_with(|| a.node.cmp(&b.node))
+                })
+                .map(|h| h.node);
+            let Some(host) = pick else {
+                break;
+            };
+            *assigned.entry(host).or_insert(0) += 1;
+            followers.push(host);
+        }
+        if !followers.is_empty() {
+            plan.placements.push(ReplicaPlacement {
+                seg: need.seg,
+                leader: need.leader,
+                followers,
+            });
+        }
     }
     plan
 }
@@ -779,6 +912,7 @@ mod tests {
         HelperCandidate {
             node: NodeId(node),
             heat,
+            net: 0.0,
             standby,
         }
     }
@@ -809,6 +943,42 @@ mod tests {
         // Without the standby, the coldest active is next in line.
         let plan = plan_helpers(&sources, &cands[..2], &[], &HelperConfig::default());
         assert_eq!(plan.helpers(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn helper_pool_prefers_idle_nics_among_actives() {
+        let sources = [load(1, 50.0, 50.0)];
+        // Node 2 is colder overall but its NIC is saturated; node 3 runs
+        // hotter with an idle NIC. The idle NIC wins — a busy NIC cannot
+        // absorb the source's shipping traffic.
+        let cands = [
+            HelperCandidate {
+                node: NodeId(2),
+                heat: 1.0,
+                net: 8.0,
+                standby: false,
+            },
+            HelperCandidate {
+                node: NodeId(3),
+                heat: 2.0,
+                net: 0.0,
+                standby: false,
+            },
+        ];
+        let plan = plan_helpers(&sources, &cands, &[], &HelperConfig::default());
+        assert_eq!(plan.helpers(), vec![NodeId(3)], "{plan:?}");
+        // A standby still outranks any active, busy NIC or not.
+        let with_standby = [
+            cands[1],
+            HelperCandidate {
+                node: NodeId(4),
+                heat: 0.0,
+                net: 0.0,
+                standby: true,
+            },
+        ];
+        let plan = plan_helpers(&sources, &with_standby, &[], &HelperConfig::default());
+        assert_eq!(plan.helpers(), vec![NodeId(4)]);
     }
 
     #[test]
@@ -927,6 +1097,85 @@ mod tests {
             },
         );
         assert!(plan.is_empty());
+    }
+
+    // ----------------------------------------------------------- replicas
+
+    fn need(seg: u64, leader: u16, existing: &[u16]) -> ReplicaNeed {
+        ReplicaNeed {
+            seg: SegmentId(seg),
+            leader: NodeId(leader),
+            existing: existing.iter().map(|&n| NodeId(n)).collect(),
+        }
+    }
+
+    #[test]
+    fn replicas_never_co_locate_with_the_leader_and_stay_distinct() {
+        let hosts = [load(1, 5.0, 0.0), load(2, 1.0, 0.0), load(3, 2.0, 0.0)];
+        let needs = [need(1, 1, &[]), need(2, 2, &[])];
+        let plan = plan_replicas(&needs, &hosts, 2);
+        assert_eq!(plan.additions(), 4);
+        for p in &plan.placements {
+            assert!(!p.followers.contains(&p.leader), "{plan:?}");
+            let mut uniq = p.followers.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), p.followers.len(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn replicas_fill_coldest_first_and_spread_load() {
+        // Three segments on node 1, factor 1: the followers spread across
+        // the other hosts (coldest first) instead of piling onto one.
+        let hosts = [
+            load(1, 9.0, 0.0),
+            load(2, 1.0, 0.0),
+            load(3, 2.0, 0.0),
+            load(4, 3.0, 0.0),
+        ];
+        let needs = [need(1, 1, &[]), need(2, 1, &[]), need(3, 1, &[])];
+        let plan = plan_replicas(&needs, &hosts, 1);
+        let picked: Vec<NodeId> = plan
+            .placements
+            .iter()
+            .flat_map(|p| p.followers.iter().copied())
+            .collect();
+        assert_eq!(
+            picked,
+            vec![NodeId(2), NodeId(3), NodeId(4)],
+            "coldest first, spread by assignment count: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn replicas_prefer_idle_nics_among_equally_cold_hosts() {
+        // Two standby-cold hosts; node 3's NIC already carries traffic.
+        let hosts = [load(2, 0.0, 4.0), load(3, 0.0, 0.0)];
+        let plan = plan_replicas(&[need(1, 1, &[])], &hosts, 1);
+        // Equal heat → the idle NIC wins the tie.
+        assert_eq!(plan.placements[0].followers, vec![NodeId(3)], "{plan:?}");
+    }
+
+    #[test]
+    fn replica_deficit_only_and_capacity_bounds() {
+        let hosts = [load(2, 0.0, 0.0), load(3, 1.0, 0.0)];
+        // Already at factor: nothing planned.
+        let plan = plan_replicas(&[need(1, 1, &[2])], &hosts, 1);
+        assert!(plan.is_empty(), "{plan:?}");
+        // Deficit of one: only the missing follower is added, avoiding
+        // the survivor.
+        let plan = plan_replicas(&[need(1, 1, &[2])], &hosts, 2);
+        assert_eq!(plan.placements[0].followers, vec![NodeId(3)]);
+        // Not enough distinct hosts: as many as exist, never a co-located
+        // copy to hit the number.
+        let plan = plan_replicas(&[need(1, 1, &[])], &hosts, 5);
+        assert_eq!(plan.placements[0].followers, vec![NodeId(2), NodeId(3)]);
+        // Factor zero disables planning.
+        assert!(plan_replicas(&[need(1, 1, &[])], &hosts, 0).is_empty());
+        // The leader being the only host yields nothing.
+        let only_leader = [load(1, 0.0, 0.0)];
+        assert!(plan_replicas(&[need(1, 1, &[])], &only_leader, 1).is_empty());
     }
 
     #[test]

@@ -86,6 +86,48 @@ impl LogShipper {
     pub fn shipped_bytes(&self) -> u64 {
         self.shipped_bytes
     }
+
+    /// Highest LSN shipped to `follower` (in flight or acknowledged).
+    pub fn shipped_lsn(&self, follower: NodeId) -> Option<Lsn> {
+        self.followers.get(&follower).map(|(s, _)| *s)
+    }
+
+    /// Highest LSN `follower` has acknowledged as persisted — the bound on
+    /// how stale a read served by that follower can be.
+    pub fn acked_lsn(&self, follower: NodeId) -> Option<Lsn> {
+        self.followers.get(&follower).map(|(_, a)| *a)
+    }
+
+    /// How many log records `follower` is behind the log's end
+    /// (unacknowledged tail). Zero means fully caught up.
+    pub fn lag(&self, follower: NodeId, log: &LogManager) -> Option<u64> {
+        let (_, acked) = self.followers.get(&follower)?;
+        Some(log.last_lsn().raw().saturating_sub(acked.raw()))
+    }
+
+    /// The **most-caught-up** follower: highest acknowledged LSN, ties
+    /// broken by lowest node id for determinism. This is the failover
+    /// promotion choice — the candidate that loses the least committed
+    /// history. `None` with no followers attached.
+    pub fn most_caught_up(&self) -> Option<NodeId> {
+        self.followers
+            .iter()
+            .map(|(&n, &(_, a))| (n, a))
+            .max_by(|x, y| x.1.cmp(&y.1).then_with(|| y.0.cmp(&x.0)))
+            .map(|(n, _)| n)
+    }
+
+    /// All shipping cursors, sorted by follower id:
+    /// `(follower, shipped, acked)`.
+    pub fn cursors(&self) -> Vec<(NodeId, Lsn, Lsn)> {
+        let mut v: Vec<(NodeId, Lsn, Lsn)> = self
+            .followers
+            .iter()
+            .map(|(&n, &(s, a))| (n, s, a))
+            .collect();
+        v.sort_unstable_by_key(|&(n, _, _)| n);
+        v
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +187,39 @@ mod tests {
         shipper.detach(NodeId(6));
         assert_eq!(shipper.acknowledge(NodeId(5), Lsn(4)), Some(Lsn(4)));
         assert_eq!(shipper.followers(), vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn lag_and_catch_up_accounting() {
+        let mut log = LogManager::new();
+        let mut shipper = LogShipper::new();
+        shipper.attach(NodeId(5), &log);
+        shipper.attach(NodeId(6), &log);
+        for t in 1..=6u64 {
+            log.append(TxnId(t), LogPayload::Commit);
+        }
+        // Nothing shipped yet: both followers lag by the full tail.
+        assert_eq!(shipper.lag(NodeId(5), &log), Some(6));
+        assert_eq!(shipper.acked_lsn(NodeId(5)), Some(Lsn::ZERO));
+        shipper.take_batch(NodeId(5), &log);
+        shipper.take_batch(NodeId(6), &log);
+        assert_eq!(shipper.shipped_lsn(NodeId(5)), Some(Lsn(6)));
+        // Acks diverge: node 6 persisted further.
+        shipper.acknowledge(NodeId(5), Lsn(3));
+        shipper.acknowledge(NodeId(6), Lsn(5));
+        assert_eq!(shipper.lag(NodeId(5), &log), Some(3));
+        assert_eq!(shipper.lag(NodeId(6), &log), Some(1));
+        assert_eq!(shipper.most_caught_up(), Some(NodeId(6)));
+        assert_eq!(
+            shipper.cursors(),
+            vec![(NodeId(5), Lsn(6), Lsn(3)), (NodeId(6), Lsn(6), Lsn(5)),]
+        );
+        // Ties break toward the lowest node id.
+        shipper.acknowledge(NodeId(5), Lsn(5));
+        assert_eq!(shipper.most_caught_up(), Some(NodeId(5)));
+        // Unknown follower: no cursor, no lag.
+        assert_eq!(shipper.lag(NodeId(9), &log), None);
+        assert_eq!(shipper.acked_lsn(NodeId(9)), None);
+        assert_eq!(LogShipper::new().most_caught_up(), None);
     }
 }

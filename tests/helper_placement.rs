@@ -371,6 +371,7 @@ mod props {
                 .map(|(i, &h)| HelperCandidate {
                     node: NodeId((n_src + i) as u16 + 1),
                     heat: h + i as f64 * 1e-3,
+                    net: h * 0.25,
                     standby: h == 0.0,
                 })
                 .collect();
@@ -436,6 +437,7 @@ mod props {
                 .map(|(i, &h)| HelperCandidate {
                     node: NodeId((n_src + i) as u16 + 1),
                     heat: h,
+                    net: h * 0.5,
                     standby: i % 2 == 0,
                 })
                 .collect();

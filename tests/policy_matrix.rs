@@ -162,6 +162,7 @@ fn assert_triggers_logged(events: &[ControlEvent]) {
             (_, Decision::AttachHelpers { .. }) | (_, Decision::DetachHelpers { .. }) => {
                 assert_eq!(e.trigger, "helper", "{e:?}")
             }
+            (_, Decision::Promote { .. }) => assert_eq!(e.trigger, "failover", "{e:?}"),
             (_, Decision::Hold) => panic!("hold decisions are never logged: {e:?}"),
         }
     }
@@ -698,6 +699,200 @@ fn scale_in_refuses_a_node_inside_an_active_migration() {
     // The refusal is a deferral, not a cancellation: no second rebalance
     // ever started while the first was in flight.
     assert!(db.rebalance_history().len() <= 1, "one rebalance at a time");
+}
+
+// ------------------------------------------------- failure: promotion path
+
+/// A policy with every elasticity trigger out of reach: only failover
+/// decisions can appear in the log.
+fn failover_only() -> PolicyConfig {
+    PolicyConfig {
+        cpu_high: 1.1,
+        cpu_low: 0.0,
+        patience: 2,
+        skew_threshold: 0.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn kill_active_mid_migration_promotes_and_recovers() {
+    // Two data nodes under replication factor 1: each node's segments keep
+    // a log-shipped follower copy on the other. A slow migration is
+    // draining the victim when it dies mid-copy. The autopilot must
+    // detect the loss within a monitoring window, promote the follower
+    // for every orphaned segment, re-cover the key space, and restore
+    // the replication factor — with every committed write still readable.
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(4)
+        .density(0.05)
+        .segment_pages(8)
+        .io_scale(400) // segment copies take ~15s of wire time: the kill
+        // lands mid-flight, yet re-replicating the whole key space (the
+        // victim was one of only two data nodes) still fits the horizon
+        .seed(37)
+        .initial_data_nodes(&[NodeId(0), NodeId(1)])
+        .replication(1)
+        .policy(failover_only())
+        .monitoring(SimDuration::from_secs(WINDOW_SECS))
+        .autopilot(true)
+        .build();
+    // Committed writes land on both nodes before anything goes wrong.
+    db.start_oltp(8, SimDuration::from_millis(50));
+    db.run_for(SimDuration::from_secs(20));
+    let committed_before = db.completed();
+    let records_before = db.live_records();
+    assert!(committed_before > 0, "writes committed before the failure");
+    let victim = NodeId(1);
+    let map_before = db.replica_map();
+    let led_before = map_before.led_by(victim);
+    assert!(!led_before.is_empty(), "victim leads segments");
+    // The migration is mid-flight off the victim when it dies.
+    db.rebalance(0.5, &[victim], &[NodeId(2)]);
+    db.run_for(SimDuration::from_secs(2));
+    assert!(db.rebalancing(), "migration in flight at the kill");
+    db.fail_node(victim);
+    db.run_for(SimDuration::from_secs(WINDOW_SECS * 40));
+    let events = db.events();
+    assert_triggers_logged(&events);
+    // The failover decision was detected, logged, and applied.
+    let promote = events
+        .iter()
+        .find(|e| matches!(e.decision, Decision::Promote { .. }))
+        .unwrap_or_else(|| panic!("no failover decision logged: {events:?}"));
+    assert_eq!(promote.trigger, "failover");
+    assert_eq!(promote.outcome, Outcome::Applied);
+    let Decision::Promote {
+        failed,
+        ref orphaned,
+    } = promote.decision
+    else {
+        unreachable!()
+    };
+    assert_eq!(failed, victim);
+    assert!(!orphaned.is_empty(), "orphaned segments named: {promote:?}");
+    // Promotion correctness: every segment the victim led is now led by a
+    // node that was its follower before the failure (factor 1: the single
+    // follower IS the most-caught-up one), unless a completed migration
+    // already moved it off the victim.
+    let map_after = db.replica_map();
+    db.with_cluster(|c| {
+        for &seg in &led_before {
+            match map_after.leader_of(seg) {
+                Some(leader) => {
+                    assert_ne!(leader, victim, "{seg} still led by the corpse");
+                    assert!(
+                        map_before.followers_of(seg).contains(&leader)
+                            || c.seg_dir.get(seg).is_ok_and(|m| m.node == leader),
+                        "{seg}: new leader {leader} was neither a follower nor the owner"
+                    );
+                }
+                None => panic!("{seg} vanished from the replica map"),
+            }
+        }
+        // The key space is re-covered: nothing is stored on the dead node.
+        assert!(
+            c.seg_dir.iter().all(|m| m.node != victim),
+            "segments still placed on the dead node"
+        );
+        // Replication factor restored by re-replication.
+        assert!(
+            c.replicas
+                .under_replicated(c.cfg.replication.factor)
+                .is_empty(),
+            "factor not restored: {:?}",
+            c.replicas.under_replicated(c.cfg.replication.factor)
+        );
+    });
+    assert!(
+        !map_after.references(victim),
+        "dead node erased from the map"
+    );
+    assert!(db.rereplication_bytes() > 0, "re-replication shipped bytes");
+    // No committed write was lost: the workload keeps inserting, so the
+    // population may grow — but never shrink past what was committed
+    // before the failure — and the surviving cluster keeps serving the
+    // whole key space.
+    assert!(
+        db.live_records() >= records_before,
+        "committed records lost"
+    );
+    assert!(
+        db.completed() > committed_before,
+        "transactions keep completing after failover"
+    );
+    println!(
+        "[failover/mid-migration] orphaned={} rereplicated={}B completed {}→{}",
+        orphaned.len(),
+        db.rereplication_bytes(),
+        committed_before,
+        db.completed()
+    );
+}
+
+#[test]
+fn kill_follower_rereplicates_to_restore_the_factor() {
+    // Three data nodes, factor 1. The victim is a *follower* for other
+    // nodes' segments (besides leading its own): after the kill, every
+    // segment that lost its follower must get a fresh one on a surviving
+    // node — never co-located with its leader.
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(6)
+        .density(0.05)
+        .segment_pages(8)
+        .seed(41)
+        .initial_data_nodes(&[NodeId(0), NodeId(1), NodeId(2)])
+        .replication(1)
+        .policy(failover_only())
+        .monitoring(SimDuration::from_secs(WINDOW_SECS))
+        .autopilot(true)
+        .build();
+    db.start_oltp(6, SimDuration::from_millis(50));
+    db.run_for(SimDuration::from_secs(15));
+    let victim = NodeId(2);
+    let followed = db.replica_map().followed_by(victim);
+    assert!(!followed.is_empty(), "victim follows other nodes' segments");
+    db.fail_node(victim);
+    db.run_for(SimDuration::from_secs(WINDOW_SECS * 30));
+    let events = db.events();
+    assert_triggers_logged(&events);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.decision, Decision::Promote { failed, .. } if failed == victim)),
+        "failover logged: {events:?}"
+    );
+    let map = db.replica_map();
+    assert!(!map.references(victim), "dead follower erased everywhere");
+    db.with_cluster(|c| {
+        assert!(
+            c.replicas
+                .under_replicated(c.cfg.replication.factor)
+                .is_empty(),
+            "factor not restored: {:?}",
+            c.replicas.under_replicated(c.cfg.replication.factor)
+        );
+    });
+    // The restored copies were shipped over the wire, and none of the
+    // segments the victim followed ended up with a co-located follower.
+    assert!(db.rereplication_bytes() > 0, "re-replication shipped bytes");
+    for seg in followed {
+        if let Some(set) = map.get(seg) {
+            assert!(
+                !set.followers.contains(&set.leader),
+                "{seg}: follower co-located with leader"
+            );
+        }
+    }
+    println!(
+        "[failover/follower-kill] rereplicated={}B map epoch={}",
+        db.rereplication_bytes(),
+        map.epoch()
+    );
 }
 
 // ------------------------------------------------------- idle-then-burst
