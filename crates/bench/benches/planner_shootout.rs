@@ -28,8 +28,9 @@
 
 use wattdb_bench::{
     run_drift_shootout, run_failover_recovery, run_failover_shootout, run_mixed_shootout,
-    run_planner_shootout, run_transient_shootout, shootout_json, BenchJsonRow, DriftShootout,
-    FailoverShootout, MixedShootout, PlannerShootout, PlannerShootoutRow, TransientShootout,
+    run_planner_shootout, run_timeline_capture, run_transient_shootout, shootout_json,
+    BenchJsonRow, DriftShootout, FailoverShootout, MixedShootout, PlannerShootout,
+    PlannerShootoutRow, TransientShootout,
 };
 use wattdb_common::SimDuration;
 use wattdb_core::Planner;
@@ -230,6 +231,26 @@ fn main() {
     let json_text = shootout_json(&json);
     std::fs::write(&path, &json_text).expect("write BENCH_planner.json");
     println!("\nwrote {}", path.display());
+
+    // Telemetry capture: re-run the stationary scale-out with replication
+    // and export the full control-plane timeline (spans, window samples,
+    // decision records) as the second machine-readable artifact. The
+    // schema gate lives in `wattdb-telemetry`'s `schema_validate` test,
+    // which parses this file line for line when present.
+    let timeline = run_timeline_capture(PlannerShootout::default());
+    let timeline_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_timeline.jsonl");
+    std::fs::write(&timeline_path, &timeline).expect("write BENCH_timeline.jsonl");
+    println!("wrote {}", timeline_path.display());
+    assert!(
+        timeline.contains("\"kind\": \"sample\"") && timeline.contains("energy.wh_per_txn"),
+        "the timeline must carry window samples with Wh-per-committed-txn"
+    );
+    assert!(
+        timeline.contains("\"kind\": \"decision\"") && timeline.contains("\"kind\": \"span\""),
+        "the timeline must carry decision records and closed spans"
+    );
 
     // Acceptance gates, most fundamental first.
     assert!(

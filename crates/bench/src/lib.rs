@@ -936,6 +936,56 @@ pub fn run_failover_recovery(cfg: FailoverShootout) -> FailoverRecovery {
     }
 }
 
+/// Run the telemetry-capture phase: the stationary scale-out scenario
+/// with replication enabled, so the exported timeline carries every
+/// observable the subsystem promises — rebalance/power-up spans, the
+/// full window sample stream (throughput, percentiles, per-node
+/// utilization, replica read share, watts, Wh-per-committed-txn), and a
+/// decision record per monitoring window. Returns the JSONL export the
+/// shootout writes to `BENCH_timeline.jsonl`.
+pub fn run_timeline_capture(cfg: PlannerShootout) -> String {
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(cfg.warehouses)
+        .density(0.02)
+        .segment_pages(16)
+        .io_scale(cfg.io_scale)
+        .costs(scaled_costs(40))
+        .seed(cfg.seed)
+        .initial_data_nodes(&[NodeId(0), NodeId(1)])
+        .replication(1)
+        .planner(cfg.planner)
+        .policy(wattdb_core::PolicyConfig {
+            cpu_high: 0.8,
+            cpu_low: 0.02,
+            patience: 2,
+            move_fraction: 0.5,
+            planner: cfg.planner,
+            heat_tolerance: 0.1,
+            skew_threshold: 0.0,
+            ..Default::default()
+        })
+        .monitoring(SimDuration::from_secs(5))
+        .autopilot(true)
+        .build();
+    db.with_cluster_mut(|c| {
+        c.auto_resubmit = false;
+        c.spawn_clients_skewed(
+            cfg.clients,
+            wattdb_tpcc::ClientConfig {
+                think_time: cfg.think,
+                ..Default::default()
+            },
+            cfg.hot_fraction,
+            cfg.hot_warehouses,
+        );
+    });
+    db.with_runtime(|cl, sim| start_mixed_clients(cl, sim, cfg.update_pct));
+    settle_and_measure(&mut db, cfg.planner, 80, SimDuration::from_secs(30));
+    db.export_timeline_string()
+}
+
 /// One labelled row of the machine-readable shootout summary.
 #[derive(Debug, Clone)]
 pub struct BenchJsonRow {

@@ -54,6 +54,7 @@ pub struct WattDbBuilder {
     policy: PolicyConfig,
     monitoring: SimDuration,
     autopilot: bool,
+    telemetry: bool,
 }
 
 impl Default for WattDbBuilder {
@@ -65,6 +66,7 @@ impl Default for WattDbBuilder {
             policy: PolicyConfig::default(),
             monitoring: SimDuration::from_secs(5),
             autopilot: false,
+            telemetry: false,
         }
     }
 }
@@ -238,6 +240,16 @@ impl WattDbBuilder {
         self
     }
 
+    /// Sample telemetry windows even without the autopilot: a
+    /// monitoring-cadence loop freezes the metrics registry every window.
+    /// Redundant (and ignored) when the autopilot is engaged — its
+    /// control loop already samples each window, and two loops must never
+    /// both drive the stateful utilization probes.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Build, load TPC-C, start the power sampler, and — when requested —
     /// engage the autopilot.
     pub fn build(self) -> WattDb {
@@ -260,6 +272,21 @@ impl WattDbBuilder {
                 },
             )
         });
+        if self.telemetry && autopilot.is_none() {
+            // Sampling-only loop: the autopilot's loop does this itself,
+            // and the stateful utilization probes tolerate exactly one
+            // sampler.
+            crate::monitor::start_monitoring(
+                &cluster,
+                &mut sim,
+                self.monitoring,
+                |cl, sim, view| {
+                    let at = sim.now();
+                    crate::telemetry_sink::sample_window(&mut cl.borrow_mut(), view, at);
+                    true
+                },
+            );
+        }
         WattDb {
             sim,
             cluster,
@@ -443,6 +470,35 @@ impl WattDb {
             .unwrap_or_default()
     }
 
+    /// Borrow the cluster's telemetry recorder: tracing spans, the
+    /// per-window metrics registry, and the decision timeline.
+    pub fn telemetry(&self) -> std::cell::Ref<'_, wattdb_telemetry::Telemetry> {
+        std::cell::Ref::map(self.cluster.borrow(), |c| &c.telemetry)
+    }
+
+    /// Serialize the full flight-recorder state — spans, window samples,
+    /// decision records — as JSONL. Byte-identical across fixed-seed runs.
+    pub fn export_timeline_string(&self) -> String {
+        self.cluster.borrow().telemetry.export_jsonl()
+    }
+
+    /// Write [`WattDb::export_timeline_string`] to `path`.
+    pub fn export_timeline(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.export_timeline_string())
+    }
+
+    /// Render the explainable autopilot timeline: one line per monitoring
+    /// window with the signal values, the decision, and its
+    /// predicted-vs-realized outcome. Derived *purely from the exported
+    /// form* — the recorder state is serialized to JSONL and re-parsed, so
+    /// this output is exactly what an offline reader of the artifact
+    /// would reconstruct.
+    pub fn explain(&self) -> Vec<String> {
+        wattdb_telemetry::parse_jsonl(&self.export_timeline_string())
+            .expect("own export parses")
+            .explain()
+    }
+
     /// Kick off a manual rebalance moving `fraction` of each source's
     /// data. (The autopilot issues the same call on its own; this remains
     /// for scripted experiments.)
@@ -516,7 +572,7 @@ impl WattDb {
 
     /// Detach every attached helper now; returns the nodes released.
     pub fn detach_helpers(&mut self) -> Vec<NodeId> {
-        migration::detach_helpers(&self.cluster)
+        migration::detach_helpers(&self.cluster, self.sim.now())
     }
 
     /// Helper nodes currently attached (Fig. 8), in attachment order.

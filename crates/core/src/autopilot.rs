@@ -196,6 +196,10 @@ impl AutoPilot {
             }
             let at = sim.now();
             let summary = ViewSummary::of(view);
+            // Freeze this window's metrics first: every decision record
+            // below shares the window index with the sample it was based
+            // on.
+            let window = crate::telemetry_sink::sample_window(&mut cl.borrow_mut(), view, at);
             let rebalancing = cl.borrow().mover.is_some();
             // Failover detection outranks every threshold: a failed node
             // still referenced by the replica map means orphaned segments
@@ -209,18 +213,52 @@ impl AutoPilot {
             if let Some(failed) = dead {
                 let orphaned = cl.borrow().replicas.led_by(failed);
                 let decision = Decision::Promote { failed, orphaned };
+                // Open the failover span on first detection; promotion and
+                // re-replication events attach to it until the replication
+                // factor is restored.
+                {
+                    let mut c = cl.borrow_mut();
+                    let c = &mut *c;
+                    if c.failover_span.is_none() {
+                        let span = c.telemetry.start_span(
+                            "failover",
+                            at,
+                            vec![
+                                ("failed".into(), failed.to_string().into()),
+                                ("rereplicated_base".into(), c.rereplication_bytes.into()),
+                            ],
+                        );
+                        c.failover_span = Some(span);
+                    }
+                }
                 let used = policy::apply(cl, sim, &decision, &policy_cfg);
+                let outcome = match used {
+                    Some(_) => Outcome::Applied,
+                    None => Outcome::Deferred {
+                        reason: "no applicable plan",
+                    },
+                };
+                {
+                    let mut c = cl.borrow_mut();
+                    let span = c.failover_span;
+                    crate::telemetry_sink::record_decision(
+                        &mut c,
+                        window,
+                        at,
+                        &decision,
+                        "failover",
+                        crate::telemetry_sink::outcome_label(&outcome),
+                        crate::telemetry_sink::signal_vector(view, &policy.signals()),
+                        None,
+                        span,
+                    );
+                }
                 sh.events.push(ControlEvent {
                     at,
                     view: summary,
                     decision,
                     trigger: "failover",
-                    outcome: match used {
-                        Some(_) => Outcome::Applied,
-                        None => Outcome::Deferred {
-                            reason: "no applicable plan",
-                        },
-                    },
+                    outcome,
                     planner: used.unwrap_or(policy_cfg.planner),
                     signal,
                     relief: 0.0,
@@ -244,17 +282,76 @@ impl AutoPilot {
             if needs_repair {
                 crate::failover::schedule_rereplication(cl, sim);
             }
+            // The failover span stays open across windows until no failed
+            // node is referenced and the replication factor is restored
+            // (immediately, when replication is off).
+            let failover_done = {
+                let c = cl.borrow();
+                c.failover_span.is_some()
+                    && !c.failed.iter().any(|&n| c.replicas.references(n))
+                    && (!c.cfg.replication.enabled()
+                        || (c.rereplication_inflight == 0
+                            && c.replicas
+                                .under_replicated(c.cfg.replication.factor)
+                                .is_empty()))
+            };
+            if failover_done {
+                let mut c = cl.borrow_mut();
+                let c = &mut *c;
+                if let Some(span) = c.failover_span.take() {
+                    let base = c
+                        .telemetry
+                        .spans
+                        .get(span)
+                        .and_then(|s| s.attr_f64("rereplicated_base"))
+                        .unwrap_or(0.0) as u64;
+                    c.telemetry.spans.set_attr(
+                        span,
+                        "rereplicated_bytes",
+                        c.rereplication_bytes.saturating_sub(base).into(),
+                    );
+                    c.telemetry.spans.end(span, at);
+                }
+            }
             // A scale-in's drain finished since the last window: §3.4's
             // "shutdown the nodes currently not needed".
             if !rebalancing && !sh.draining.is_empty() {
                 let drained = std::mem::take(&mut sh.draining);
                 let off = policy::suspend_empty_nodes(cl);
+                let decision = Decision::ScaleIn { drain: drained };
+                let outcome = Outcome::Suspended { nodes: off.clone() };
+                {
+                    let mut c = cl.borrow_mut();
+                    let c = &mut *c;
+                    // The power-down span opened at the drain's start
+                    // closes here, when the nodes actually reach standby.
+                    let span = c.powerdown_span.take();
+                    if let Some(sp) = span {
+                        c.telemetry.spans.set_attr(
+                            sp,
+                            "suspended",
+                            off.iter().map(|n| n.to_string()).collect::<Vec<_>>().into(),
+                        );
+                        c.telemetry.spans.end(sp, at);
+                    }
+                    crate::telemetry_sink::record_decision(
+                        c,
+                        window,
+                        at,
+                        &decision,
+                        "",
+                        crate::telemetry_sink::outcome_label(&outcome),
+                        crate::telemetry_sink::signal_vector(view, &policy.signals()),
+                        None,
+                        span,
+                    );
+                }
                 sh.events.push(ControlEvent {
                     at,
                     view: summary,
-                    decision: Decision::ScaleIn { drain: drained },
+                    decision,
                     trigger: "",
-                    outcome: Outcome::Suspended { nodes: off },
+                    outcome,
                     planner: policy_cfg.planner,
                     signal,
                     relief: 0.0,
@@ -291,6 +388,10 @@ impl AutoPilot {
             };
             let decision =
                 policy.evaluate_with_pairs(view, &standby, &with_data, rebalancing, &pairs);
+            // `evaluate` froze this window's signal vector; every record
+            // below — Hold included — carries it, so the exported timeline
+            // can explain *why* each decision (or non-decision) was made.
+            let signals = crate::telemetry_sink::signal_vector(view, &policy.signals());
             if decision != Decision::Hold {
                 let trigger = trigger_of(&decision);
                 if rebalancing {
@@ -307,12 +408,27 @@ impl AutoPilot {
                         }
                         _ => "rebalance in flight",
                     };
+                    let outcome = Outcome::Deferred { reason };
+                    {
+                        let mut c = cl.borrow_mut();
+                        crate::telemetry_sink::record_decision(
+                            &mut c,
+                            window,
+                            at,
+                            &decision,
+                            trigger,
+                            crate::telemetry_sink::outcome_label(&outcome),
+                            signals,
+                            None,
+                            None,
+                        );
+                    }
                     sh.events.push(ControlEvent {
                         at,
                         view: summary,
                         decision,
                         trigger,
-                        outcome: Outcome::Deferred { reason },
+                        outcome,
                         planner: policy_cfg.planner,
                         signal,
                         relief: 0.0,
@@ -321,6 +437,9 @@ impl AutoPilot {
                     // Record the planner that actually produced the moves —
                     // the heat-aware path can fall back to the fraction
                     // heuristic (logical scheme, or no heat recorded).
+                    // A full detach closes the helper span inside apply:
+                    // capture the id first so the record still points at it.
+                    let helper_span_before = cl.borrow().helper_span;
                     let used = policy::apply(cl, sim, &decision, &policy_cfg);
                     if used.is_some() {
                         if let Decision::ScaleIn { drain } = &decision {
@@ -342,6 +461,60 @@ impl AutoPilot {
                             reason: "no applicable plan",
                         },
                     };
+                    // Link the record to the span the decision started and
+                    // note what the plan predicted: relief for helpers,
+                    // planned heat for moves.
+                    let (span, predicted) = {
+                        let mut c = cl.borrow_mut();
+                        let c = &mut *c;
+                        match (&decision, used.is_some()) {
+                            (Decision::AttachHelpers { .. }, true) => {
+                                (c.helper_span, Some(c.helper_relief))
+                            }
+                            (Decision::DetachHelpers { .. }, true) => (helper_span_before, None),
+                            (Decision::Rebalance { .. } | Decision::ScaleOut { .. }, true) => {
+                                let m = c.mover.as_ref();
+                                (m.and_then(|m| m.span), m.map(|m| m.heat_planned))
+                            }
+                            (Decision::ScaleIn { drain }, true) => {
+                                let m = c.mover.as_ref();
+                                let span = m.and_then(|m| m.span);
+                                let predicted = m.map(|m| m.heat_planned);
+                                // The drain's eventual suspension is its
+                                // own power transition, closed when the
+                                // emptied nodes reach standby.
+                                let pd = c.telemetry.start_span(
+                                    "power-down",
+                                    at,
+                                    vec![(
+                                        "drain".into(),
+                                        drain
+                                            .iter()
+                                            .map(|n| n.to_string())
+                                            .collect::<Vec<_>>()
+                                            .into(),
+                                    )],
+                                );
+                                c.powerdown_span = Some(pd);
+                                (span, predicted)
+                            }
+                            _ => (None, None),
+                        }
+                    };
+                    {
+                        let mut c = cl.borrow_mut();
+                        crate::telemetry_sink::record_decision(
+                            &mut c,
+                            window,
+                            at,
+                            &decision,
+                            trigger,
+                            crate::telemetry_sink::outcome_label(&outcome),
+                            signals,
+                            predicted,
+                            span,
+                        );
+                    }
                     sh.events.push(ControlEvent {
                         at,
                         view: summary,
@@ -353,6 +526,21 @@ impl AutoPilot {
                         relief,
                     });
                 }
+            } else {
+                // Hold is a decision too: the exported timeline shows the
+                // signal vector the policy held on, window by window.
+                let mut c = cl.borrow_mut();
+                crate::telemetry_sink::record_decision(
+                    &mut c,
+                    window,
+                    at,
+                    &Decision::Hold,
+                    "",
+                    "hold".to_string(),
+                    signals,
+                    None,
+                    None,
+                );
             }
             true
         });

@@ -321,6 +321,26 @@ pub struct Cluster {
     /// re-plans whatever is still under-replicated (copies voided by a
     /// mid-flight death or leadership move).
     pub rereplication_inflight: usize,
+    /// Read-routing resolutions that passed every replica gate (leader
+    /// current, heat above floor) — the denominator of the follower
+    /// read fan-out share next to `replica_reads`.
+    pub replica_read_total: u64,
+    /// Last heat-weighted read-routing weight per pool host, refreshed
+    /// by the executor whenever it rotates a read (exported as the
+    /// `replica.route_weight.*` telemetry gauges).
+    pub replica_route_weights: std::collections::BTreeMap<NodeId, u64>,
+    /// Control-plane flight recorder: tracing spans, per-window metric
+    /// samples, and the autopilot decision timeline. Always on; every
+    /// ring inside is bounded.
+    pub telemetry: wattdb_telemetry::Telemetry,
+    /// Span of the failover in progress (detection → promotion → factor
+    /// restored), if one is being worked.
+    pub failover_span: Option<wattdb_telemetry::SpanId>,
+    /// Span of the helper deployment currently attached, if any.
+    pub helper_span: Option<wattdb_telemetry::SpanId>,
+    /// Span of the scale-in power transition in flight (drain applied,
+    /// nodes not yet suspended), if any.
+    pub powerdown_span: Option<wattdb_telemetry::SpanId>,
 }
 
 impl Cluster {
@@ -387,6 +407,12 @@ impl Cluster {
             replica_reads: 0,
             rereplication_bytes: 0,
             rereplication_inflight: 0,
+            replica_read_total: 0,
+            replica_route_weights: std::collections::BTreeMap::new(),
+            telemetry: wattdb_telemetry::Telemetry::new(),
+            failover_span: None,
+            helper_span: None,
+            powerdown_span: None,
         }))
     }
 

@@ -363,6 +363,7 @@ impl Cluster {
         if eligible.is_empty() {
             return None;
         }
+        self.replica_read_total += 1;
         // A job already sitting on a caught-up follower stays: `op_start`
         // re-runs after every hop, and re-rolling the rotation there would
         // bounce the job between copies forever.
@@ -372,15 +373,46 @@ impl Cluster {
         // The leader stays in the rotation — fan-out *splits* the read
         // load across every live copy rather than re-homing it wholesale
         // onto the followers (which would merely relocate the hotspot).
-        let pool_len = eligible.len() + 1;
+        // The split is heat-weighted: each copy's rotation weight scales
+        // 1..=4 with how much *colder* its host is than the pool's hottest
+        // member, so a cold follower absorbs up to 4× the reads of an
+        // already-hot one. Equal heats degrade to the plain round-robin.
+        let pool: Vec<NodeId> = std::iter::once(leader)
+            .chain(eligible.iter().copied())
+            .collect();
+        let heats: Vec<f64> = pool
+            .iter()
+            .map(|&n| self.heat.node_heat(&self.seg_dir, n, now).value())
+            .collect();
+        let max_h = heats.iter().copied().fold(f64::MIN, f64::max);
+        let min_h = heats.iter().copied().fold(f64::MAX, f64::min);
+        let spread = max_h - min_h;
+        let weights: Vec<u64> = heats
+            .iter()
+            .map(|&h| {
+                if spread > 0.0 {
+                    1 + (3.0 * (max_h - h) / spread).round() as u64
+                } else {
+                    1
+                }
+            })
+            .collect();
+        for (&n, &w) in pool.iter().zip(&weights) {
+            self.replica_route_weights.insert(n, w);
+        }
+        let total: u64 = weights.iter().sum();
         let rr = self.replica_rr.entry(seg).or_insert(0);
-        let slot = *rr % pool_len;
+        let slot = (*rr as u64) % total;
         *rr = rr.wrapping_add(1);
-        let pick = if slot == 0 {
-            leader
-        } else {
-            eligible[slot - 1]
-        };
+        let mut cum = 0u64;
+        let mut pick = leader;
+        for (&n, &w) in pool.iter().zip(&weights) {
+            cum += w;
+            if slot < cum {
+                pick = n;
+                break;
+            }
+        }
         Some(pick)
     }
 

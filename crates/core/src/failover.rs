@@ -179,7 +179,23 @@ pub fn schedule_rereplication(cl: &ClusterRc, sim: &mut Sim) -> usize {
             });
             {
                 let mut c = cl.borrow_mut();
+                let c = &mut *c;
                 c.rereplication_inflight += 1;
+                if let Some(span) = c.failover_span {
+                    c.telemetry.spans.add_event(
+                        span,
+                        sim.now(),
+                        "re-replicate",
+                        vec![
+                            (
+                                "segment".into(),
+                                wattdb_telemetry::AttrValue::U64(seg.raw()),
+                            ),
+                            ("follower".into(), f.to_string().into()),
+                            ("bytes".into(), bytes.into()),
+                        ],
+                    );
+                }
             }
             cl.borrow()
                 .net
@@ -202,6 +218,25 @@ pub fn handle_failure(cl: &ClusterRc, sim: &mut Sim, failed: NodeId) -> Vec<(Seg
         let promotions = promote_orphans(c, sim.now(), failed);
         c.replicas.drop_follower_node(failed);
         c.sync_replica_cursors();
+        if let Some(span) = c.failover_span {
+            for &(seg, winner) in &promotions {
+                c.telemetry.spans.add_event(
+                    span,
+                    sim.now(),
+                    "promote",
+                    vec![
+                        (
+                            "segment".into(),
+                            wattdb_telemetry::AttrValue::U64(seg.raw()),
+                        ),
+                        ("leader".into(), winner.to_string().into()),
+                    ],
+                );
+            }
+            c.telemetry
+                .spans
+                .set_attr(span, "promotions", promotions.len().into());
+        }
         promotions
     };
     schedule_rereplication(cl, sim);

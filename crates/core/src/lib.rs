@@ -48,6 +48,7 @@ pub mod monitor;
 pub mod policy;
 pub mod replay;
 pub mod scan;
+pub mod telemetry_sink;
 
 pub use api::{ClusterStatus, HelperSet, NodeStatus, WattDb, WattDbBuilder};
 pub use autopilot::{AutoPilot, AutoPilotConfig, ControlEvent, Outcome, ViewSummary};
@@ -61,9 +62,14 @@ pub use migration::{HelperBaseline, HelperReport, MoveController, RebalanceRepor
 pub use monitor::{ClusterView, NodeReport};
 pub use policy::{coldest_drain_target, Decision, ElasticityPolicy, PolicyConfig};
 pub use scan::{submit_scan, ScanReport};
+pub use telemetry_sink::{decision_label, outcome_label, sample_window, signal_vector};
 pub use wattdb_common::{CostModel, CostVector, HelperPolicyConfig, ReplicaConfig};
 pub use wattdb_planner::{
     HelperAssignment, HelperCandidate, HelperConfig, HelperPlan, NodeLoadStat, Plan, PlanConfig,
     PlannedMove, Planner, ReplicaNeed, ReplicaPlacement, ReplicaPlan, SegmentStat,
 };
 pub use wattdb_replica::{pick_promotion, ReplicaMap, ReplicaSet};
+pub use wattdb_telemetry::{
+    DecisionRecord, MetricsRegistry, SignalVector, Span, SpanCollector, SpanId, Telemetry,
+    TimelineExport, WindowSample,
+};

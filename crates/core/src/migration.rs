@@ -115,6 +115,11 @@ pub struct MoveController {
     pub heat_planned: f64,
     /// Access heat actually relocated so far (decayed, at move time).
     pub heat_moved: f64,
+    /// Tracing span covering this rebalance, closed by `maybe_finish`.
+    pub span: Option<wattdb_telemetry::SpanId>,
+    /// Child span covering the targets' power-on + boot, closed when the
+    /// first chain starts moving.
+    pub power_span: Option<wattdb_telemetry::SpanId>,
 }
 
 impl MoveController {
@@ -319,6 +324,13 @@ fn launch(
     let n = chains.len();
     {
         let mut c = cl.borrow_mut();
+        // Targets coming up from standby get a "power-up" child span; the
+        // ones already active boot nothing.
+        let powered: Vec<NodeId> = targets
+            .iter()
+            .copied()
+            .filter(|&t| c.nodes[t.raw() as usize].state == wattdb_energy::NodeState::Standby)
+            .collect();
         for &t in targets {
             c.power_on(t);
         }
@@ -329,6 +341,53 @@ fn launch(
             .flat_map(|ch| ch.segments.iter())
             .map(|m| c.heat.heat_of(m.seg, now).value())
             .sum();
+        let sources: Vec<String> = chains
+            .iter()
+            .flat_map(|ch| {
+                ch.segments
+                    .iter()
+                    .map(|m| m.from)
+                    .chain(ch.ranges.iter().map(|m| m.from))
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|n| n.to_string())
+            .collect();
+        let scheme_label = format!("{:?}", c.cfg.scheme);
+        let span = c.telemetry.start_span(
+            "rebalance",
+            now,
+            vec![
+                ("scheme".into(), scheme_label.into()),
+                ("planner".into(), format!("{planner:?}").into()),
+                ("heat_planned".into(), heat_planned.into()),
+                ("chains".into(), n.into()),
+                ("sources".into(), sources.into()),
+                (
+                    "targets".into(),
+                    targets
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .into(),
+                ),
+            ],
+        );
+        let power_span = if powered.is_empty() {
+            None
+        } else {
+            let ps = c.telemetry.spans.start_child("power-up", now, Some(span));
+            c.telemetry.spans.set_attr(
+                ps,
+                "nodes",
+                powered
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .into(),
+            );
+            Some(ps)
+        };
         c.mover = Some(MoveController {
             scheme: c.cfg.scheme,
             planner,
@@ -340,6 +399,8 @@ fn launch(
             bytes_moved: 0,
             heat_planned,
             heat_moved: 0.0,
+            span: Some(span),
+            power_span,
         });
     }
     // Boot delay for the freshly powered targets.
@@ -363,9 +424,17 @@ pub fn resume_mover(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
 
 fn next_step(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
     let scheme = {
-        let c = cl.borrow();
-        match &c.mover {
-            Some(m) => m.scheme,
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        match &mut c.mover {
+            Some(m) => {
+                // First chain to start moving marks boot completion for
+                // the freshly powered targets.
+                if let Some(ps) = m.power_span.take() {
+                    c.telemetry.spans.end(ps, sim.now());
+                }
+                m.scheme
+            }
             None => return,
         }
     };
@@ -982,13 +1051,33 @@ fn maybe_finish(c: &mut Cluster, now: SimTime) {
     };
     c.last_rebalance = Some(report);
     c.metrics.record_rebalance(report);
+    // Close the rebalance span with the realized counters next to the
+    // planned ones set at launch.
+    if let Some(ps) = stats.power_span {
+        c.telemetry.spans.end(ps, now);
+    }
+    if let Some(span) = stats.span {
+        c.telemetry
+            .spans
+            .set_attr(span, "segments_moved", report.segments_moved.into());
+        c.telemetry
+            .spans
+            .set_attr(span, "records_moved", report.records_moved.into());
+        c.telemetry
+            .spans
+            .set_attr(span, "bytes_moved", report.bytes_moved.into());
+        c.telemetry
+            .spans
+            .set_attr(span, "heat_moved", report.heat_moved.into());
+        c.telemetry.spans.end(span, now);
+    }
     // Scripted helpers detach (Fig. 8: "after rebalancing, the additional
     // nodes should be turned off again"). Helpers the elasticity policy
     // attached for transient skew are deliberately NOT released here: an
     // unrelated scale-out or drain finishing must not tear down a
     // response whose skew still persists — those detach only via
     // `Decision::DetachHelpers` on subsidence.
-    detach_scripted_helpers(c);
+    detach_scripted_helpers(c, now);
 }
 
 /// Summary of the last completed rebalance.
@@ -1100,6 +1189,19 @@ pub fn attach_helper_plan(
         scripted,
         sim.now(),
     );
+    // The span keeps the planner's full candidate ranking: the exported
+    // timeline can show why each helper won over the alternatives.
+    {
+        let mut c = cl.borrow_mut();
+        let c = &mut *c;
+        if let Some(span) = c.helper_span {
+            if !plan.ranking.is_empty() {
+                c.telemetry
+                    .spans
+                    .set_attr(span, "candidate_ranking", plan.ranking.clone().into());
+            }
+        }
+    }
     true
 }
 
@@ -1130,8 +1232,39 @@ fn attach_helper_pairs(
                 shipped_bytes: c.nodes.iter().map(|n| n.shipper.shipped_bytes()).sum(),
                 remote_hits: c.nodes.iter().map(|n| n.buffer.stats().remote_hits).sum(),
             });
+            // The response's span opens with its first attach and closes
+            // when the last helper detaches.
+            let span = c.telemetry.start_span(
+                "helpers",
+                now,
+                vec![
+                    ("predicted_relief_mbps".into(), relief.into()),
+                    ("scripted".into(), scripted.into()),
+                ],
+            );
+            c.helper_span = Some(span);
         }
-        Some(b) => b.predicted += relief,
+        Some(b) => {
+            b.predicted += relief;
+            if let Some(span) = c.helper_span {
+                c.telemetry
+                    .spans
+                    .set_attr(span, "predicted_relief_mbps", b.predicted.into());
+            }
+        }
+    }
+    if let Some(span) = c.helper_span {
+        for &(src, h) in pairs {
+            c.telemetry.spans.add_event(
+                span,
+                now,
+                "attach",
+                vec![
+                    ("source".into(), src.to_string().into()),
+                    ("helper".into(), h.to_string().into()),
+                ],
+            );
+        }
     }
     for &h in helpers {
         if c.nodes[h.raw() as usize].state == NodeState::Standby && !c.helpers_powered.contains(&h)
@@ -1166,7 +1299,7 @@ fn attach_helper_pairs(
 /// stale cursor left by a mid-flight helper reassignment — and every
 /// detached helper left with no segments to serve suspends to standby
 /// (one holding data stays active). Returns the helpers detached.
-fn detach_helper_set(c: &mut Cluster, set: &[NodeId]) -> Vec<NodeId> {
+fn detach_helper_set(c: &mut Cluster, set: &[NodeId], now: SimTime) -> Vec<NodeId> {
     let mut detached = Vec::new();
     c.helpers_active.retain(|h| {
         let keep = !set.contains(h);
@@ -1177,6 +1310,16 @@ fn detach_helper_set(c: &mut Cluster, set: &[NodeId]) -> Vec<NodeId> {
     });
     c.helpers_powered.retain(|h| !detached.contains(h));
     c.helpers_scripted.retain(|h| !detached.contains(h));
+    if let Some(span) = c.helper_span {
+        for &h in &detached {
+            c.telemetry.spans.add_event(
+                span,
+                now,
+                "detach",
+                vec![("helper".into(), h.to_string().into())],
+            );
+        }
+    }
     if c.helpers_active.is_empty() {
         c.helper_relief = 0.0;
         // The response is over: realized relief is whatever the helpers
@@ -1185,13 +1328,39 @@ fn detach_helper_set(c: &mut Cluster, set: &[NodeId]) -> Vec<NodeId> {
         if let Some(b) = c.helper_baseline.take() {
             let shipped: u64 = c.nodes.iter().map(|n| n.shipper.shipped_bytes()).sum();
             let hits: u64 = c.nodes.iter().map(|n| n.buffer.stats().remote_hits).sum();
-            c.last_helper_report = Some(HelperReport {
+            let report = HelperReport {
                 attached: b.at,
                 predicted: b.predicted,
                 shipped_bytes: shipped.saturating_sub(b.shipped_bytes),
                 remote_hits: hits.saturating_sub(b.remote_hits),
                 helpers: detached.clone(),
-            });
+            };
+            if let Some(span) = c.helper_span.take() {
+                // Realized relief in MB/s: bytes the helpers absorbed over
+                // the time they were wired.
+                let dt = now.since(b.at).as_secs_f64();
+                let realized = if dt > 0.0 {
+                    report.shipped_bytes as f64 / dt / 1e6
+                } else {
+                    0.0
+                };
+                let spans = &mut c.telemetry.spans;
+                spans.set_attr(span, "realized_relief_mbps", realized.into());
+                spans.set_attr(span, "shipped_bytes", report.shipped_bytes.into());
+                spans.set_attr(span, "remote_hits", report.remote_hits.into());
+                spans.set_attr(
+                    span,
+                    "helpers",
+                    report
+                        .helpers
+                        .iter()
+                        .map(|h| h.to_string())
+                        .collect::<Vec<_>>()
+                        .into(),
+                );
+                spans.end(span, now);
+            }
+            c.last_helper_report = Some(report);
         }
     }
     for &h in &detached {
@@ -1225,30 +1394,30 @@ fn detach_helper_set(c: &mut Cluster, set: &[NodeId]) -> Vec<NodeId> {
 }
 
 /// `detach_helper_set` over every attached helper, scripted or not.
-pub fn detach_all_helpers(c: &mut Cluster) -> Vec<NodeId> {
+pub fn detach_all_helpers(c: &mut Cluster, now: SimTime) -> Vec<NodeId> {
     let all = c.helpers_active.clone();
-    detach_helper_set(c, &all)
+    detach_helper_set(c, &all, now)
 }
 
 /// Detach only the helpers a scripted rebalance attached (the
 /// migration-completion release); policy-attached helpers stay wired.
-fn detach_scripted_helpers(c: &mut Cluster) -> Vec<NodeId> {
+fn detach_scripted_helpers(c: &mut Cluster, now: SimTime) -> Vec<NodeId> {
     let set = std::mem::take(&mut c.helpers_scripted);
-    detach_helper_set(c, &set)
+    detach_helper_set(c, &set, now)
 }
 
 /// [`detach_all_helpers`] over the shared handle (the facade's
 /// release-everything entry point).
-pub fn detach_helpers(cl: &ClusterRc) -> Vec<NodeId> {
-    detach_all_helpers(&mut cl.borrow_mut())
+pub fn detach_helpers(cl: &ClusterRc, now: SimTime) -> Vec<NodeId> {
+    detach_all_helpers(&mut cl.borrow_mut(), now)
 }
 
 /// Detach exactly the named helpers over the shared handle — the
 /// policy-side detach on skew subsidence, which must release only the
 /// set the policy attached and leave a concurrently scripted Fig. 8
 /// set to its own migration-completion lifecycle.
-pub fn detach_named_helpers(cl: &ClusterRc, set: &[NodeId]) -> Vec<NodeId> {
-    detach_helper_set(&mut cl.borrow_mut(), set)
+pub fn detach_named_helpers(cl: &ClusterRc, set: &[NodeId], now: SimTime) -> Vec<NodeId> {
+    detach_helper_set(&mut cl.borrow_mut(), set, now)
 }
 
 /// Is a rebalance still running?
@@ -1341,7 +1510,7 @@ mod tests {
             // Both helpers are tracked until the full detach.
             assert_eq!(c.helpers_active, vec![NodeId(2), NodeId(3)]);
         }
-        let detached = detach_helpers(&cl);
+        let detached = detach_helpers(&cl, sim.now());
         assert_eq!(detached, vec![NodeId(2), NodeId(3)]);
         let c = cl.borrow();
         assert_eq!(c.nodes[0].helper, None);
@@ -1369,7 +1538,7 @@ mod tests {
             c.helpers_active = vec![NodeId(2), NodeId(3)];
             assert_eq!(c.nodes[0].shipper.followers(), vec![NodeId(2)]);
         }
-        detach_helpers(&cl);
+        detach_helpers(&cl, sim.now());
         let c = cl.borrow();
         assert!(
             c.nodes[0].shipper.followers().is_empty(),
@@ -1393,7 +1562,7 @@ mod tests {
             let c = cl.borrow();
             assert_eq!(c.helpers_powered, vec![NodeId(2)], "only the standby");
         }
-        detach_helpers(&cl);
+        detach_helpers(&cl, sim.now());
         let c = cl.borrow();
         assert_eq!(c.nodes[1].state, NodeState::Active, "data node stays up");
         assert_eq!(c.nodes[2].state, NodeState::Standby);
@@ -1414,7 +1583,7 @@ mod tests {
             cl.borrow().helpers_powered.is_empty(),
             "node 1 was already active, not duty-powered"
         );
-        detach_helpers(&cl);
+        detach_helpers(&cl, sim.now());
         let c = cl.borrow();
         assert_eq!(
             c.nodes[1].state,
@@ -1460,6 +1629,7 @@ mod tests {
                 net_heat: 1.0,
             }],
             predicted_relief: 1.0,
+            ranking: Vec::new(),
         };
         assert!(attach_helper_plan(&cl, &mut sim, &plan, false));
         // Scripted attach alongside: node 5 helps node 1 for the
@@ -1481,7 +1651,7 @@ mod tests {
             assert!(c.helpers_scripted.is_empty());
         }
         // The policy-side release still lets go of everything.
-        assert_eq!(detach_helpers(&cl), vec![NodeId(4)]);
+        assert_eq!(detach_helpers(&cl, sim.now()), vec![NodeId(4)]);
         let c = cl.borrow();
         assert!(c.helpers_active.is_empty());
         assert_eq!(c.nodes[0].helper, None);

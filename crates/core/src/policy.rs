@@ -164,6 +164,34 @@ pub enum Decision {
     },
 }
 
+/// The signal vector frozen at the top of every
+/// [`ElasticityPolicy::evaluate`] call, right after the skew trigger
+/// ticked: the skew ratio and mean heat the branches acted on, the armed
+/// skew streak *including* this window, cooldown and escalation state,
+/// and the CPU streak counters as of the previous window (this window's
+/// breach, if any, increments them after the freeze). The telemetry
+/// timeline records this with every decision — `Hold` included — so
+/// `explain()` can say *why* nothing happened.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicySignals {
+    /// Heat-skew ratio over data-serving actives (helpers excluded).
+    pub skew: f64,
+    /// Mean active heat the skew was computed against.
+    pub mean_heat: f64,
+    /// Armed skew streak including this window.
+    pub skew_streak: u32,
+    /// Skew cooldown windows still to serve.
+    pub cooldown_left: u32,
+    /// Decisive skew fires since the last subsidence.
+    pub skew_fires: u32,
+    /// Whether this window's skew read as subsided.
+    pub subsided: bool,
+    /// Consecutive hot windows before this one.
+    pub high_streak: u32,
+    /// Consecutive all-low windows before this one.
+    pub low_streak: u32,
+}
+
 /// Stateful policy evaluated once per monitoring window.
 #[derive(Debug)]
 pub struct ElasticityPolicy {
@@ -188,6 +216,8 @@ pub struct ElasticityPolicy {
     /// windows keeps its helper instead of churning through
     /// detach/re-attach cycles.
     cool_streaks: std::collections::BTreeMap<NodeId, u32>,
+    /// Signal vector frozen by the most recent `evaluate` call.
+    signals: PolicySignals,
 }
 
 impl ElasticityPolicy {
@@ -202,7 +232,14 @@ impl ElasticityPolicy {
             skew_fires: 0,
             subsided_now: false,
             cool_streaks: std::collections::BTreeMap::new(),
+            signals: PolicySignals::default(),
         }
+    }
+
+    /// The signal vector the most recent [`ElasticityPolicy::evaluate`]
+    /// call acted on (see [`PolicySignals`] for freeze semantics).
+    pub fn signals(&self) -> PolicySignals {
+        self.signals
     }
 
     /// Evaluate one monitoring view. `standby` lists nodes available to
@@ -238,6 +275,19 @@ impl ElasticityPolicy {
         // stale just because the cluster spent a stretch in the all-low or
         // overloaded regime.
         let skew_ready = self.tick_skew(view, active_with_data, helpers);
+        // Freeze the signal vector the branches below act on: the
+        // telemetry timeline attaches it to this window's decision.
+        let (skew, mean_heat) = skew_signals(view, helpers);
+        self.signals = PolicySignals {
+            skew,
+            mean_heat,
+            skew_streak: self.skew_streak,
+            cooldown_left: self.skew_cooldown_left,
+            skew_fires: self.skew_fires,
+            subsided: self.subsided_now,
+            high_streak: self.high_streak,
+            low_streak: self.low_streak,
+        };
         // Attached helpers detach the moment the skew they answered
         // subsides — before any other branch gets a say, so a cooling
         // cluster releases its helpers before it starts scaling in.
@@ -657,7 +707,7 @@ pub fn apply(
             // scripted `rebalance_with_helpers` set attached alongside
             // belongs to the migration engine and must survive a
             // policy-side subsidence detach.
-            if detach_named_helpers(cl, helpers).is_empty() {
+            if detach_named_helpers(cl, helpers, sim.now()).is_empty() {
                 None
             } else {
                 Some(cfg.planner)

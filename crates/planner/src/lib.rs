@@ -448,6 +448,12 @@ pub struct HelperPlan {
     /// Total net/remote-heavy heat the plan relieves (the sum over the
     /// helped sources).
     pub predicted_relief: f64,
+    /// The eligible candidate pool in preference order — standbys first,
+    /// then idle-NIC, then coldest — one rendered line per candidate
+    /// (`"n3 standby net=0.000 heat=0.000"`). Recorded on the helper span
+    /// so an exported timeline shows why each helper won over the
+    /// alternatives.
+    pub ranking: Vec<String>,
 }
 
 impl HelperPlan {
@@ -553,6 +559,18 @@ pub fn plan_helpers(
     // row would let the same helper serve two sources.
     let mut seen = std::collections::BTreeSet::new();
     pool.retain(|c| seen.insert(c.node));
+    plan.ranking = pool
+        .iter()
+        .map(|c| {
+            format!(
+                "{} {} net={:.3} heat={:.3}",
+                c.node,
+                if c.standby { "standby" } else { "active" },
+                c.net,
+                c.heat
+            )
+        })
+        .collect();
 
     let mut next = pool.into_iter();
     for src in ranked.into_iter().take(cfg.max_helpers) {
@@ -978,6 +996,44 @@ mod tests {
             },
         ];
         let plan = plan_helpers(&sources, &with_standby, &[], &HelperConfig::default());
+        assert_eq!(plan.helpers(), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn helper_plan_records_the_candidate_ranking() {
+        // The plan carries the pool in preference order — standby first,
+        // then idle-NIC, then coldest — so the helper span can show why
+        // the winner won.
+        let sources = [load(1, 50.0, 50.0)];
+        let cands = [
+            HelperCandidate {
+                node: NodeId(2),
+                heat: 1.0,
+                net: 8.0,
+                standby: false,
+            },
+            HelperCandidate {
+                node: NodeId(3),
+                heat: 2.0,
+                net: 0.0,
+                standby: false,
+            },
+            HelperCandidate {
+                node: NodeId(4),
+                heat: 0.0,
+                net: 0.0,
+                standby: true,
+            },
+        ];
+        let plan = plan_helpers(&sources, &cands, &[], &HelperConfig::default());
+        assert_eq!(
+            plan.ranking,
+            vec![
+                "n4 standby net=0.000 heat=0.000",
+                "n3 active net=0.000 heat=2.000",
+                "n2 active net=8.000 heat=1.000",
+            ]
+        );
         assert_eq!(plan.helpers(), vec![NodeId(4)]);
     }
 

@@ -100,6 +100,29 @@ fn hot_reads_fan_out_to_followers() {
 }
 
 #[test]
+fn read_routing_weights_favor_cold_hosts() {
+    // Heat-weighted rotation: every fan-out decision records an integer
+    // weight in 1..=4 per pool member (colder host → bigger share), and
+    // the router counts every decision so the telemetry read-share gauge
+    // has a denominator.
+    let mut db = replicated_db(1, &[NodeId(0), NodeId(1)]);
+    db.start_oltp(8, SimDuration::from_millis(40));
+    db.run_for(SimDuration::from_secs(30));
+    assert!(db.replica_reads() > 0);
+    db.with_cluster(|c| {
+        assert!(c.replica_read_total > 0, "router decisions counted");
+        assert!(
+            c.replica_read_total >= c.replica_reads,
+            "every follower-served read went through the router"
+        );
+        assert!(!c.replica_route_weights.is_empty(), "weights recorded");
+        for (&n, &w) in &c.replica_route_weights {
+            assert!((1..=4).contains(&w), "{n}: weight {w} out of range");
+        }
+    });
+}
+
+#[test]
 fn leader_kill_promotes_and_keeps_serving() {
     let mut db = replicated_db(1, &[NodeId(0), NodeId(1), NodeId(2)]);
     db.engage_autopilot(wattdb_core::AutoPilotConfig {
