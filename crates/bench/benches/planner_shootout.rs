@@ -27,9 +27,9 @@
 //! upload the perf trajectory as a machine-readable artifact.
 
 use wattdb_bench::{
-    run_drift_shootout, run_failover_recovery, run_failover_shootout, run_mixed_shootout,
-    run_planner_shootout, run_timeline_capture, run_transient_shootout, shootout_json,
-    BenchJsonRow, DriftShootout, FailoverShootout, MixedShootout, PlannerShootout,
+    run_drain_under_replication, run_drift_shootout, run_failover_recovery, run_failover_shootout,
+    run_mixed_shootout, run_planner_shootout, run_timeline_capture, run_transient_shootout,
+    shootout_json, BenchJsonRow, DriftShootout, FailoverShootout, MixedShootout, PlannerShootout,
     PlannerShootoutRow, TransientShootout,
 };
 use wattdb_common::SimDuration;
@@ -221,6 +221,31 @@ fn main() {
             recovery.recovery_secs, recovery.rereplication_bytes, recovery.orphaned
         ),
     });
+    let drain = run_drain_under_replication(FailoverShootout::default());
+    println!(
+        "Replica-aware drain: node suspended in {:.1}s, {} follower copies re-homed \
+         ({} B shipped), {} segments under-replicated after settle",
+        drain.drain_secs, drain.rehomed_copies, drain.rereplication_bytes, drain.under_replicated,
+    );
+    json.push(BenchJsonRow {
+        phase: "failover",
+        variant: "drain-under-replication".into(),
+        row: PlannerShootoutRow {
+            planner: wattdb_core::Planner::HeatAware,
+            rebalanced: drain.drained,
+            bytes_moved: drain.rereplication_bytes,
+            segments_moved: drain.rehomed_copies as u64,
+            heat_planned: 0.0,
+            heat_moved: 0.0,
+            post_max_cpu: 0.0,
+            post_max_heat_share: 0.0,
+        },
+        extra: format!(
+            ", \"drain_secs\": {:.1}, \"rehomed_copies\": {}, \"under_replicated\": {}, \
+             \"invariants_ok\": {}",
+            drain.drain_secs, drain.rehomed_copies, drain.under_replicated, drain.invariants_ok
+        ),
+    });
 
     // Write the artifact BEFORE the acceptance gates, and land it at the
     // repository root whatever CWD cargo ran the bench with: a failing
@@ -231,6 +256,22 @@ fn main() {
     let json_text = shootout_json(&json);
     std::fs::write(&path, &json_text).expect("write BENCH_planner.json");
     println!("\nwrote {}", path.display());
+
+    // Acceptance gates for the replica-aware drain: the node powered
+    // down, not a single segment was left under the replication factor,
+    // and the replica map held its invariants throughout.
+    assert!(
+        drain.drained,
+        "autopilot never drained the idle replicated node"
+    );
+    assert_eq!(
+        drain.under_replicated, 0,
+        "drain left segments under the replication factor"
+    );
+    assert!(
+        drain.invariants_ok,
+        "replica-map invariants violated after the drain"
+    );
 
     // Telemetry capture: re-run the stationary scale-out with replication
     // and export the full control-plane timeline (spans, window samples,

@@ -936,6 +936,106 @@ pub fn run_failover_recovery(cfg: FailoverShootout) -> FailoverRecovery {
     }
 }
 
+/// Outcome of the drain-under-replication measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainUnderReplication {
+    /// Did the autopilot drain and suspend a node inside the horizon?
+    pub drained: bool,
+    /// Simulated seconds from engagement to the node reaching standby.
+    pub drain_secs: f64,
+    /// Follower copies the drained node hosted before the drain — all of
+    /// them must be re-homed onto survivors.
+    pub rehomed_copies: usize,
+    /// Bytes shipped re-homing and backfilling follower copies.
+    pub rereplication_bytes: u64,
+    /// Segments still under the replication factor once everything
+    /// settled (the acceptance gate demands zero).
+    pub under_replicated: usize,
+    /// The replica-map invariants held after settling: no leader in its
+    /// own follower set, no reference to a suspended node.
+    pub invariants_ok: bool,
+}
+
+/// Run the drain-under-replication phase: three replicated data nodes
+/// idle below the low-CPU bound, autopilot on a drain-only policy. The
+/// coldest node hosts follower copies for the survivors' segments — the
+/// scale-in must re-home those copies in the same decision, suspend the
+/// node, and leave zero under-replicated segments once the backfill
+/// copies land. Polls each simulated second until settled.
+pub fn run_drain_under_replication(cfg: FailoverShootout) -> DrainUnderReplication {
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(cfg.warehouses.max(6))
+        .density(0.02)
+        .segment_pages(16)
+        .io_scale(cfg.io_scale)
+        .costs(scaled_costs(40))
+        .seed(cfg.seed)
+        .initial_data_nodes(&[NodeId(0), NodeId(1), NodeId(2)])
+        .replication(cfg.factor.max(1))
+        .policy(wattdb_core::PolicyConfig {
+            cpu_high: 1.1, // drain-only: the idle cluster breaches cpu_low at once
+            cpu_low: 0.5,
+            patience: 2,
+            skew_threshold: 0.0,
+            net_high: 2.0,
+            ..Default::default()
+        })
+        .monitoring(SimDuration::from_secs(5))
+        .autopilot(true)
+        .build();
+    let copies_at_start: std::collections::BTreeMap<NodeId, usize> = (0..4u16)
+        .map(|n| (NodeId(n), db.replica_map().followed_by(NodeId(n)).len()))
+        .collect();
+    let engaged_at = db.now();
+    let horizon = SimDuration::from_secs(600);
+    let mut suspended: Vec<NodeId> = Vec::new();
+    let mut drain_secs = horizon.as_secs_f64();
+    while db.now() - engaged_at < horizon {
+        db.run_for(SimDuration::from_secs(1));
+        if suspended.is_empty() {
+            suspended = db
+                .events()
+                .iter()
+                .filter_map(|e| match &e.outcome {
+                    wattdb_core::autopilot::Outcome::Suspended { nodes } if !nodes.is_empty() => {
+                        Some(nodes.clone())
+                    }
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            if !suspended.is_empty() {
+                drain_secs = (db.now() - engaged_at).as_secs_f64();
+            }
+            continue;
+        }
+        let settled = db.with_cluster(|c| c.mover.is_none() && c.rereplication_inflight == 0);
+        if settled {
+            break;
+        }
+    }
+    let rehomed_copies = suspended
+        .iter()
+        .map(|n| copies_at_start.get(n).copied().unwrap_or(0))
+        .sum();
+    let (under_replicated, invariants_ok) = db.with_cluster(|c| {
+        (
+            c.replicas.under_replicated(c.cfg.replication.factor).len(),
+            c.check_replica_invariants().is_none(),
+        )
+    });
+    DrainUnderReplication {
+        drained: !suspended.is_empty(),
+        drain_secs,
+        rehomed_copies,
+        rereplication_bytes: db.rereplication_bytes(),
+        under_replicated,
+        invariants_ok,
+    }
+}
+
 /// Run the telemetry-capture phase: the stationary scale-out scenario
 /// with replication enabled, so the exported timeline carries every
 /// observable the subsystem promises — rebalance/power-up spans, the

@@ -232,6 +232,9 @@ impl AutoPilot {
                     }
                 }
                 let used = policy::apply(cl, sim, &decision, &policy_cfg);
+                if used.is_some() {
+                    cl.borrow().debug_assert_replica_invariants();
+                }
                 let outcome = match used {
                     Some(_) => Outcome::Applied,
                     None => Outcome::Deferred {
@@ -318,6 +321,17 @@ impl AutoPilot {
             if !rebalancing && !sh.draining.is_empty() {
                 let drained = std::mem::take(&mut sh.draining);
                 let off = policy::suspend_empty_nodes(cl);
+                // The drain episode is over: whatever could not suspend
+                // (leftover segments, follower backfills still on the wire)
+                // rejoins the plannable pool rather than staying excluded
+                // as "draining" forever — the next window re-decides.
+                {
+                    let mut c = cl.borrow_mut();
+                    for n in &drained {
+                        c.draining.remove(n);
+                    }
+                    c.debug_assert_replica_invariants();
+                }
                 let decision = Decision::ScaleIn { drain: drained };
                 let outcome = Outcome::Suspended { nodes: off.clone() };
                 {
@@ -442,6 +456,7 @@ impl AutoPilot {
                     let helper_span_before = cl.borrow().helper_span;
                     let used = policy::apply(cl, sim, &decision, &policy_cfg);
                     if used.is_some() {
+                        cl.borrow().debug_assert_replica_invariants();
                         if let Decision::ScaleIn { drain } = &decision {
                             sh.draining = drain.clone();
                         }
@@ -455,11 +470,26 @@ impl AutoPilot {
                     };
                     let outcome = match used {
                         Some(_) => Outcome::Applied,
-                        // Nothing started: no improving plan, no eligible
-                        // target, or a refused drain.
-                        None => Outcome::Deferred {
-                            reason: "no applicable plan",
-                        },
+                        // A drain refused because the node still hosts
+                        // follower copies that cannot all be re-homed yet
+                        // (backfills in flight, or no surviving host with
+                        // room) gets its own reason — powering it off would
+                        // drop the cluster under its replication factor.
+                        None => {
+                            let reason = match &decision {
+                                Decision::ScaleIn { drain }
+                                    if policy::drain_blocked_on_replicas(
+                                        &cl.borrow(),
+                                        sim.now(),
+                                        drain,
+                                    ) =>
+                                {
+                                    "drain node hosts follower replicas"
+                                }
+                                _ => "no applicable plan",
+                            };
+                            Outcome::Deferred { reason }
+                        }
                     };
                     // Link the record to the span the decision started and
                     // note what the plan predicted: relief for helpers,
@@ -650,6 +680,8 @@ mod tests {
                     net_tx: 0.0,
                     buffer_hit_ratio: 0.0,
                     heat: 0.0,
+                    replica_ship_tx: 0.0,
+                    replica_fanout: 0.0,
                     active: true,
                 },
                 NodeReport {
@@ -660,6 +692,8 @@ mod tests {
                     net_tx: 0.0,
                     buffer_hit_ratio: 0.0,
                     heat: 0.0,
+                    replica_ship_tx: 0.0,
+                    replica_fanout: 0.0,
                     active: true,
                 },
                 NodeReport {
@@ -670,6 +704,8 @@ mod tests {
                     net_tx: 0.0,
                     buffer_hit_ratio: 0.0,
                     heat: 0.0,
+                    replica_ship_tx: 0.0,
+                    replica_fanout: 0.0,
                     active: false,
                 },
             ],

@@ -167,6 +167,18 @@ pub struct NodeRuntime {
     /// Persistent monitoring probe for NIC egress, windowed like the CPU
     /// probe.
     pub net_probe: UtilizationProbe,
+    /// Replica-shipping bytes at the last monitoring sample — the window
+    /// baseline behind `NodeReport::replica_ship_tx`.
+    pub ship_probe_base: u64,
+    /// When the replica-shipping baseline was last taken (window start).
+    pub ship_probe_at: SimTime,
+    /// This node's follower-served reads at the last monitoring sample
+    /// (window baseline for the read fan-out share).
+    pub fanout_reads_base: u64,
+    /// Cluster-wide routed-read total at the last monitoring sample (the
+    /// fan-out share's denominator baseline; each node keeps its own
+    /// copy because samples are taken per node).
+    pub fanout_total_base: u64,
 }
 
 impl NodeRuntime {
@@ -192,6 +204,10 @@ impl NodeRuntime {
             status_probe: UtilizationProbe::new(),
             disk_probes: (0..n_disks).map(|_| UtilizationProbe::new()).collect(),
             net_probe: UtilizationProbe::new(),
+            ship_probe_base: 0,
+            ship_probe_at: SimTime::ZERO,
+            fanout_reads_base: 0,
+            fanout_total_base: 0,
         }
     }
 }
@@ -301,6 +317,15 @@ pub struct Cluster {
     /// Nodes killed by fault injection: out of every planning pool, never
     /// returned to service.
     pub failed: std::collections::BTreeSet<NodeId>,
+    /// Nodes an applied scale-in is currently emptying. Replica placement
+    /// (bootstrap, background repair, drain re-homes) must never put a
+    /// follower copy on a draining node — it is about to suspend. Cleared
+    /// when the drain's nodes suspend (or the node fails first).
+    pub draining: std::collections::BTreeSet<NodeId>,
+    /// Reads served by follower replicas, per serving node (lifetime; the
+    /// per-node split of `replica_reads`). The monitoring loop windows
+    /// this into each node's read fan-out share.
+    pub replica_reads_by: std::collections::BTreeMap<NodeId, u64>,
     /// Last windowed NIC egress utilization per node, persisted by the
     /// monitoring loop. Planners read this instead of sampling: the
     /// probes are stateful window samplers and an ad-hoc sample would
@@ -401,6 +426,8 @@ impl Cluster {
             last_helper_report: None,
             replicas: ReplicaMap::new(),
             failed: std::collections::BTreeSet::new(),
+            draining: std::collections::BTreeSet::new(),
+            replica_reads_by: std::collections::BTreeMap::new(),
             net_util,
             seg_last_write: HashMap::new(),
             replica_rr: HashMap::new(),
@@ -432,13 +459,20 @@ impl Cluster {
     }
 
     /// Power a node down to standby. Panics if it still stores segments
-    /// ("nodes still having data on disk must not shut down", §4).
+    /// ("nodes still having data on disk must not shut down", §4) — and,
+    /// since followers extend "data on disk", if it still hosts follower
+    /// copies: suspending a live follower host silently drops redundancy.
     pub fn power_off(&mut self, node: NodeId) {
         assert!(
             self.seg_dir.on_node(node).next().is_none(),
             "cannot power off {node}: segments present"
         );
+        assert!(
+            self.replicas.followed_by(node).is_empty(),
+            "cannot power off {node}: follower copies present"
+        );
         self.nodes[node.raw() as usize].state = NodeState::Standby;
+        self.draining.remove(&node);
     }
 
     /// Fault injection: kill `node` mid-anything. The node drops out of
@@ -468,6 +502,7 @@ impl Cluster {
         self.helpers_active.retain(|&h| h != node);
         self.helpers_powered.retain(|&h| h != node);
         self.helpers_scripted.retain(|&h| h != node);
+        self.draining.remove(&node);
         if let Some(m) = &mut self.mover {
             m.drop_node(node);
         }
@@ -538,6 +573,47 @@ impl Cluster {
             .iter()
             .map(|n| n.replica_shipper.shipped_bytes())
             .sum()
+    }
+
+    /// Check the replica-map placement invariant: every referenced node is
+    /// a powered, non-draining active (a node in `failed` is exempt while
+    /// its failover is pending — the map still names it until promotion
+    /// rewrites it), and no leader appears in its own follower set.
+    /// Returns the first violation as a message, `None` when clean.
+    pub fn check_replica_invariants(&self) -> Option<String> {
+        for (seg, set) in self.replicas.iter() {
+            if set.followers.contains(&set.leader) {
+                return Some(format!(
+                    "{seg}: leader {} in its own follower set",
+                    set.leader
+                ));
+            }
+            for &n in std::iter::once(&set.leader).chain(set.followers.iter()) {
+                if self.failed.contains(&n) {
+                    continue; // failover pending: promotion will rewrite the map
+                }
+                if self.nodes[n.raw() as usize].state != NodeState::Active {
+                    return Some(format!("{seg}: references suspended node {n}"));
+                }
+            }
+            for &f in &set.followers {
+                if self.draining.contains(&f) {
+                    return Some(format!("{seg}: follower {f} is draining"));
+                }
+            }
+        }
+        None
+    }
+
+    /// Debug-mode assertion wrapper over
+    /// [`Cluster::check_replica_invariants`] — the autopilot calls this
+    /// after every applied decision.
+    pub fn debug_assert_replica_invariants(&self) {
+        if cfg!(debug_assertions) {
+            if let Some(violation) = self.check_replica_invariants() {
+                panic!("replica-map invariant violated: {violation}");
+            }
+        }
     }
 
     /// Current operating phase (Fig. 7 attribution).

@@ -570,6 +570,7 @@ impl Cluster {
             // per operation, so this counts each fan-out exactly once).
             if op.kind == OpKind::Read && self.replicas.leader_of(seg).is_some_and(|l| l != node) {
                 self.replica_reads += 1;
+                *self.replica_reads_by.entry(node).or_insert(0) += 1;
             }
             let kind = match op.kind {
                 OpKind::Read => crate::heat::AccessKind::Read,

@@ -166,9 +166,11 @@ pub fn schedule_rereplication(cl: &ClusterRc, sim: &mut Sim) -> usize {
             let done: EventFn = Box::new(move |_sim| {
                 let mut c = handle.borrow_mut();
                 c.rereplication_inflight = c.rereplication_inflight.saturating_sub(1);
-                // Void if either end died or leadership moved mid-copy.
+                // Void if either end died, the host started draining, or
+                // leadership moved mid-copy.
                 if c.failed.contains(&f)
                     || c.failed.contains(&leader)
+                    || c.draining.contains(&f)
                     || c.replicas.leader_of(seg) != Some(leader)
                 {
                     return;
@@ -202,6 +204,98 @@ pub fn schedule_rereplication(cl: &ClusterRc, sim: &mut Sim) -> usize {
                 .send(sim, leader, f, ByteSize::bytes(bytes), done);
             scheduled += 1;
         }
+    }
+    scheduled
+}
+
+/// Execute a drain's planned follower re-homes: each copy on a draining
+/// node leaves the map immediately (the node must be empty of replica
+/// duty before it may suspend) and a replacement copy ships from the
+/// segment's leader to the planned host. The replacement joins the map
+/// only when its bytes land, through the same void-on-death /
+/// void-on-leadership-move rules as failover re-replication, and shares
+/// its in-flight accounting — the autopilot's background repair pass
+/// remains the single reconciliation point for whatever a voided copy
+/// leaves under-replicated. Returns the number of copies scheduled.
+pub fn schedule_follower_rehomes(
+    cl: &ClusterRc,
+    sim: &mut Sim,
+    rehomes: &[wattdb_planner::FollowerRehome],
+) -> usize {
+    {
+        let mut c = cl.borrow_mut();
+        for r in rehomes {
+            c.replicas.remove_follower(r.seg, r.from);
+        }
+        c.sync_replica_cursors();
+    }
+    let mut scheduled = 0;
+    for r in rehomes {
+        let (seg, from, to) = (r.seg, r.from, r.to);
+        // Ship from the segment's *current* leader: the planned leader may
+        // not have landed yet (the drain's leader moves are still in
+        // flight), and the copy must come from a live log.
+        let (leader, bytes) = {
+            let c = cl.borrow();
+            let Some(leader) = c.replicas.leader_of(seg) else {
+                continue;
+            };
+            let Ok(meta) = c.seg_dir.get(seg) else {
+                continue;
+            };
+            let bytes = meta
+                .disk_footprint()
+                .as_u64()
+                .max(wattdb_storage::PAGE_SIZE as u64)
+                * c.cfg.io_scale;
+            (leader, bytes)
+        };
+        let handle = cl.clone();
+        let done: EventFn = Box::new(move |_sim| {
+            let mut c = handle.borrow_mut();
+            c.rereplication_inflight = c.rereplication_inflight.saturating_sub(1);
+            // Void if the host died, started draining itself, or the
+            // segment's leadership ended up on the planned host (a leader
+            // is never its own follower); background repair re-plans the
+            // deficit.
+            if c.failed.contains(&to)
+                || c.draining.contains(&to)
+                || c.replicas.leader_of(seg) == Some(to)
+            {
+                return;
+            }
+            c.replicas.add_follower(seg, to);
+            c.rereplication_bytes += bytes;
+            c.sync_replica_cursors();
+        });
+        {
+            let mut c = cl.borrow_mut();
+            let c = &mut *c;
+            c.rereplication_inflight += 1;
+            // Re-homed-follower events land on the drain's rebalance span
+            // so the exported timeline shows the drain as one atomic
+            // "move leaders + re-home followers" account.
+            if let Some(span) = c.mover.as_ref().and_then(|m| m.span) {
+                c.telemetry.spans.add_event(
+                    span,
+                    sim.now(),
+                    "re-home",
+                    vec![
+                        (
+                            "segment".into(),
+                            wattdb_telemetry::AttrValue::U64(seg.raw()),
+                        ),
+                        ("from".into(), from.to_string().into()),
+                        ("to".into(), to.to_string().into()),
+                        ("bytes".into(), bytes.into()),
+                    ],
+                );
+            }
+        }
+        cl.borrow()
+            .net
+            .send(sim, leader, to, ByteSize::bytes(bytes), done);
+        scheduled += 1;
     }
     scheduled
 }

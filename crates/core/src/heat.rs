@@ -333,6 +333,57 @@ pub fn plan_drain(
     )
 }
 
+/// Replica-aware drain plan over the live cluster state: the
+/// [`plan_drain`] leader moves *plus* a re-home for every follower copy
+/// the drained nodes host, planned atomically so a scale-in never
+/// orphans redundancy (see [`wattdb_planner::plan_drain_replicated`]).
+/// Re-home hosts are the active, healthy, non-draining survivors with
+/// their projected heat and measured NIC utilization — the same pool and
+/// ranking background repair uses.
+pub fn plan_drain_replicated(
+    c: &crate::cluster::Cluster,
+    now: SimTime,
+    tolerance: f64,
+    drain: &[NodeId],
+    remaining: &[NodeId],
+) -> wattdb_planner::DrainPlan {
+    use wattdb_energy::NodeState;
+    let stats = segment_stats_projected(c, now);
+    let sites: Vec<wattdb_planner::ReplicaSite> = c
+        .replicas
+        .iter()
+        .map(|(seg, set)| wattdb_planner::ReplicaSite {
+            seg,
+            leader: set.leader,
+            followers: set.followers.clone(),
+        })
+        .collect();
+    let hosts: Vec<wattdb_planner::NodeLoadStat> = c
+        .nodes
+        .iter()
+        .filter(|n| {
+            n.state == NodeState::Active
+                && !c.failed.contains(&n.id)
+                && !c.draining.contains(&n.id)
+                && !drain.contains(&n.id)
+        })
+        .map(|n| wattdb_planner::NodeLoadStat {
+            node: n.id,
+            heat: c.heat.node_heat(&c.seg_dir, n.id, now).value(),
+            net_heat: c.net_util.get(n.id.raw() as usize).copied().unwrap_or(0.0),
+        })
+        .collect();
+    wattdb_planner::plan_drain_replicated(
+        &stats,
+        drain,
+        remaining,
+        &wattdb_planner::PlanConfig { tolerance },
+        &sites,
+        &hosts,
+        c.cfg.replication.factor,
+    )
+}
+
 /// Per-node helper-planning rows for the given nodes: total decayed heat
 /// and its net/remote-heavy component.
 ///
@@ -484,7 +535,11 @@ pub fn plan_replicas(c: &crate::cluster::Cluster, now: SimTime) -> wattdb_planne
     let hosts: Vec<wattdb_planner::NodeLoadStat> = c
         .nodes
         .iter()
-        .filter(|n| n.state == NodeState::Active && !c.failed.contains(&n.id))
+        .filter(|n| {
+            // A draining node is about to suspend: placing a fresh copy
+            // there would only schedule its own re-home.
+            n.state == NodeState::Active && !c.failed.contains(&n.id) && !c.draining.contains(&n.id)
+        })
         .map(|n| wattdb_planner::NodeLoadStat {
             node: n.id,
             heat: c.heat.node_heat(&c.seg_dir, n.id, now).value(),

@@ -581,6 +581,7 @@ fn segment_lock_granted(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
 }
 
 fn segment_copy_done(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
+    let mut follower_evicted = false;
     let grants = {
         let mut c = cl.borrow_mut();
         let c = &mut *c;
@@ -603,6 +604,7 @@ fn segment_copy_done(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
         } else {
             m.segments_moved += 1;
             m.heat_moved += c.heat.heat_of(mv.seg, now).value();
+            let mover_span = m.span;
             match scheme {
                 Scheme::Physiological => {
                     // §4.3 step 4: ownership switch — detach from the source's
@@ -651,8 +653,29 @@ fn segment_copy_done(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
                     // Leadership follows ownership: the replica map tracks the
                     // move, the new leader's log becomes the segment's
                     // staleness reference, and shipping cursors re-wire to the
-                    // new leader.
+                    // new leader. A destination that held one of the segment's
+                    // follower copies consumes it by becoming leader — the
+                    // copy leaves the follower set *explicitly* and a backfill
+                    // restores the factor instead of silently halving it.
                     if c.cfg.replication.enabled() && c.replicas.get(mv.seg).is_some() {
+                        if c.replicas.followers_of(mv.seg).contains(&mv.to) {
+                            c.replicas.remove_follower(mv.seg, mv.to);
+                            follower_evicted = true;
+                            if let Some(span) = mover_span {
+                                c.telemetry.spans.add_event(
+                                    span,
+                                    now,
+                                    "follower-evicted",
+                                    vec![
+                                        (
+                                            "segment".into(),
+                                            wattdb_telemetry::AttrValue::U64(mv.seg.raw()),
+                                        ),
+                                        ("node".into(), mv.to.to_string().into()),
+                                    ],
+                                );
+                            }
+                        }
                         c.replicas.set_leader(mv.seg, mv.to);
                         let lsn = c.nodes[mv.to.raw() as usize].log.last_lsn();
                         c.seg_last_write.insert(mv.seg, lsn);
@@ -689,6 +712,13 @@ fn segment_copy_done(cl: &ClusterRc, sim: &mut Sim, chain: u64) {
         }
     };
     resume_grants(cl, sim, grants);
+    // The consumed copy left the segment under factor: backfill through
+    // the shared re-replication machinery, unless copies are already on
+    // the wire (then the autopilot's background-repair pass — the single
+    // reconciliation point — picks up whatever remains short).
+    if follower_evicted && cl.borrow().rereplication_inflight == 0 {
+        crate::failover::schedule_rereplication(cl, sim);
+    }
     next_segment_move(cl, sim, chain);
 }
 
@@ -1385,6 +1415,7 @@ fn detach_helper_set(c: &mut Cluster, set: &[NodeId], now: SimTime) -> Vec<NodeI
         // master never suspends.
         if h != NodeId(0)
             && c.seg_dir.on_node(h).next().is_none()
+            && c.replicas.followed_by(h).is_empty()
             && c.nodes[h.raw() as usize].state == wattdb_energy::NodeState::Active
         {
             c.power_off(h);

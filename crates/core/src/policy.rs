@@ -309,13 +309,19 @@ impl ElasticityPolicy {
         // is in flight — bulk segment copies saturate the source's egress
         // by design, and reading that self-inflicted burst as load would
         // demand scale-out (hence more copying) from a cluster that is
-        // merely reorganizing itself.
+        // merely reorganizing itself. Steady-state replica shipping is
+        // subtracted for the same reason: a replicated hot-read workload
+        // fans its WAL out to followers every window, and counting that
+        // egress as workload would let replication self-trigger spurious
+        // scale-outs.
         let hot: Vec<NodeId> = view
             .reports
             .iter()
             .filter(|r| {
+                let workload_tx = (r.net_tx - r.replica_ship_tx).max(0.0);
                 r.active
-                    && (r.cpu > self.cfg.cpu_high || (!rebalancing && r.net_tx > self.cfg.net_high))
+                    && (r.cpu > self.cfg.cpu_high
+                        || (!rebalancing && workload_tx > self.cfg.net_high))
             })
             .map(|r| r.node)
             .collect();
@@ -586,14 +592,19 @@ fn skew_signals(view: &ClusterView, helpers: &[NodeId]) -> (f64, f64) {
     (skew, mean_heat)
 }
 
-/// The coldest drainable node: lowest reported heat, ties broken by
-/// lowest CPU, then by highest id (the legacy drain order). The master
-/// (node 0) is never drained while another candidate exists — it cannot
-/// be suspended afterwards anyway.
+/// The coldest drainable node: lowest *effective* load — reported leader
+/// heat plus the follower-serving load the node carries, priced as its
+/// read fan-out share of the total active heat (a node absorbing the
+/// replica read rotation is doing real work its own heat table never
+/// sees, and draining it would dump that fan-out back onto the leaders).
+/// Ties break by replica-shipping egress, then lowest CPU, then highest
+/// id (the legacy drain order). The master (node 0) is never drained
+/// while another candidate exists — it cannot be suspended afterwards
+/// anyway.
 ///
-/// With distinct per-node heats the choice depends only on the reported
-/// *signals*, never on the numbering, so renumbering the nodes renames
-/// the answer without changing which physical node drains.
+/// With distinct per-node signals the choice depends only on the
+/// reported *signals*, never on the numbering, so renumbering the nodes
+/// renames the answer without changing which physical node drains.
 pub fn coldest_drain_target(view: &ClusterView, active_with_data: &[NodeId]) -> Option<NodeId> {
     let mut candidates: Vec<NodeId> = active_with_data
         .iter()
@@ -603,21 +614,31 @@ pub fn coldest_drain_target(view: &ClusterView, active_with_data: &[NodeId]) -> 
     if candidates.is_empty() {
         candidates = active_with_data.to_vec();
     }
+    let total_heat: f64 = view
+        .reports
+        .iter()
+        .filter(|r| r.active)
+        .map(|r| r.heat)
+        .sum();
     candidates
         .into_iter()
         .filter_map(|n| {
             view.reports
                 .iter()
                 .find(|r| r.node == n && r.active)
-                .map(|r| (n, r.heat, r.cpu))
+                .map(|r| {
+                    let effective = r.heat + r.replica_fanout * total_heat;
+                    (n, effective, r.replica_ship_tx, r.cpu)
+                })
         })
         .min_by(|a, b| {
             a.1.partial_cmp(&b.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| a.3.partial_cmp(&b.3).unwrap_or(std::cmp::Ordering::Equal))
                 .then_with(|| b.0.cmp(&a.0))
         })
-        .map(|(n, _, _)| n)
+        .map(|(n, _, _, _)| n)
 }
 
 /// Apply a decision to the cluster: power nodes, plan the moves with the
@@ -742,27 +763,93 @@ pub fn apply(
             if targets.is_empty() {
                 return None;
             }
+            // A drained node hosting follower copies may only go once
+            // every copy has a replacement host planned — and never while
+            // earlier replacement copies are still on the wire (the map
+            // is mid-reconciliation and the coverage check would lie).
+            // Refusal, not half-execution: suspending a live follower
+            // host silently halves redundancy.
+            if drain_blocked_on_replicas(&cl.borrow(), sim.now(), drain) {
+                return None;
+            }
+            // Plan the atomic "move leaders + re-home followers" unit.
+            // The re-home half executes regardless of which planner moves
+            // the leaders, so even a fraction-path drain keeps the factor.
+            let (dp, rehomes) = {
+                let c = cl.borrow();
+                let dp =
+                    heat::plan_drain_replicated(&c, sim.now(), cfg.heat_tolerance, drain, &targets);
+                let rehomes = if c.cfg.replication.enabled() {
+                    dp.rehomes.clone()
+                } else {
+                    Vec::new()
+                };
+                (dp, rehomes)
+            };
+            let mark_draining = |cl: &ClusterRc| {
+                cl.borrow_mut().draining.extend(drain.iter().copied());
+            };
             if heat_aware {
                 let (moves, complete) = {
                     let c = cl.borrow();
-                    let plan = heat::plan_drain(&c, sim.now(), cfg.heat_tolerance, drain, &targets);
                     // A drain must empty its nodes; anything short of that
                     // (shouldn't happen) falls back to the legacy path.
                     let expected: usize = drain.iter().map(|n| c.seg_dir.on_node(*n).count()).sum();
                     let moves: Vec<SegmentMove> =
-                        plan.moves.iter().map(SegmentMove::from).collect();
+                        dp.plan.moves.iter().map(SegmentMove::from).collect();
                     let complete = moves.len() == expected;
                     (moves, complete)
                 };
                 if complete && !moves.is_empty() {
+                    mark_draining(cl);
                     start_rebalance_planned(cl, sim, Planner::HeatAware, moves, &targets);
+                    crate::failover::schedule_follower_rehomes(cl, sim, &rehomes);
+                    return Some(Planner::HeatAware);
+                }
+                if complete && moves.is_empty() && !rehomes.is_empty() {
+                    // Nothing to move, only follower copies to re-home:
+                    // no rebalance starts, the nodes suspend once the
+                    // re-homes clear them of replica duty.
+                    mark_draining(cl);
+                    crate::failover::schedule_follower_rehomes(cl, sim, &rehomes);
                     return Some(Planner::HeatAware);
                 }
             }
+            mark_draining(cl);
             start_rebalance(cl, sim, 1.0, drain, &targets);
+            crate::failover::schedule_follower_rehomes(cl, sim, &rehomes);
             Some(Planner::Fraction)
         }
     }
+}
+
+/// True when a replica-aware scale-in of `drain` must be *refused*: the
+/// nodes host follower copies and either replacement copies are already
+/// on the wire (re-replication in flight — the coverage check would run
+/// against a map that is mid-reconciliation) or the planner cannot find
+/// a distinct surviving host for every copy. The autopilot reports this
+/// refusal with its own Deferred reason so an exported timeline shows
+/// *why* the cluster stayed big.
+pub fn drain_blocked_on_replicas(
+    c: &crate::cluster::Cluster,
+    now: wattdb_common::SimTime,
+    drain: &[NodeId],
+) -> bool {
+    if !c.cfg.replication.enabled() {
+        return false;
+    }
+    if !drain.iter().any(|n| !c.replicas.followed_by(*n).is_empty()) {
+        return false;
+    }
+    if c.rereplication_inflight > 0 {
+        return true;
+    }
+    let remaining: Vec<NodeId> = c
+        .active_nodes()
+        .into_iter()
+        .filter(|n| !drain.contains(n))
+        .collect();
+    !heat::plan_drain_replicated(c, now, 0.0, drain, &remaining).is_fully_covered()
 }
 
 /// Plan and start the heat-planned segment rebalance a skew decision
@@ -794,8 +881,11 @@ fn skew_rebalance(
     Some(Planner::HeatAware)
 }
 
-/// Power off every active node that holds no segments and runs no helper
-/// duty (post scale-in cleanup). Returns the nodes suspended.
+/// Power off every active node that holds no segments, runs no helper
+/// duty, and hosts no follower copies (post scale-in cleanup — a live
+/// follower host is still serving redundancy and reads, and suspending
+/// it would silently drop the replication factor). Returns the nodes
+/// suspended.
 pub fn suspend_empty_nodes(cl: &ClusterRc) -> Vec<NodeId> {
     let mut c = cl.borrow_mut();
     let c = &mut *c;
@@ -805,8 +895,10 @@ pub fn suspend_empty_nodes(cl: &ClusterRc) -> Vec<NodeId> {
         let id = NodeId(i as u16);
         let empty = c.seg_dir.on_node(id).next().is_none();
         let is_helper = c.helpers_active.contains(&id);
-        if empty && !is_helper && c.nodes[i].state == NodeState::Active {
+        let follows = !c.replicas.followed_by(id).is_empty();
+        if empty && !is_helper && !follows && c.nodes[i].state == NodeState::Active {
             c.nodes[i].state = NodeState::Standby;
+            c.draining.remove(&id);
             off.push(id);
         }
     }
@@ -831,6 +923,8 @@ mod tests {
                     net_tx: 0.0,
                     buffer_hit_ratio: 0.9,
                     heat: 0.0,
+                    replica_ship_tx: 0.0,
+                    replica_fanout: 0.0,
                     active: true,
                 })
                 .collect(),
@@ -850,6 +944,8 @@ mod tests {
                     net_tx: 0.0,
                     buffer_hit_ratio: 0.9,
                     heat,
+                    replica_ship_tx: 0.0,
+                    replica_fanout: 0.0,
                     active: true,
                 })
                 .collect(),
@@ -1280,6 +1376,50 @@ mod tests {
             off.evaluate(&v, &standby, &data, false, &[]),
             Decision::Hold
         );
+    }
+
+    #[test]
+    fn nic_high_subtracts_replica_shipping_egress() {
+        // Node 2's NIC runs hot, but nearly all of it is steady-state WAL
+        // fan-out to followers — self-inflicted replication traffic, not
+        // workload. The hot-set test must not size the cluster up for it.
+        let mut p = ElasticityPolicy::new(PolicyConfig {
+            patience: 1,
+            ..Default::default()
+        });
+        let mut v = view(&[(0, 0.5), (1, 0.5), (2, 0.3)]);
+        v.reports[2].net_tx = 0.95;
+        v.reports[2].replica_ship_tx = 0.9;
+        let standby = [NodeId(3)];
+        let data = [NodeId(0), NodeId(1)];
+        assert_eq!(
+            p.evaluate(&v, &standby, &data, false, &[]),
+            Decision::Hold,
+            "replica shipping egress must not read as workload"
+        );
+        // The same NIC reading with no shipping behind it is real
+        // workload and still fires.
+        v.reports[2].replica_ship_tx = 0.0;
+        match p.evaluate(&v, &standby, &data, false, &[]) {
+            Decision::ScaleOut { sources, .. } => assert_eq!(sources, vec![NodeId(2)]),
+            other => panic!("genuine NIC saturation must still scale out, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_in_avoids_the_replica_fanout_absorber() {
+        // Node 1 stores the least heat, but it is serving 80 % of the
+        // cluster's routed replica reads: draining it would dump that
+        // fan-out back onto the leaders. Node 2 — slightly hotter on
+        // stored heat but idle on reads — is the cheaper drain.
+        let mut v = heat_view(&[(0, 6.0), (1, 1.0), (2, 2.0)]);
+        v.reports[1].replica_fanout = 0.8;
+        let pick = coldest_drain_target(&v, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(pick, Some(NodeId(2)));
+        // With no fan-out, stored heat alone decides: node 1 drains.
+        v.reports[1].replica_fanout = 0.0;
+        let pick = coldest_drain_target(&v, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(pick, Some(NodeId(1)));
     }
 
     #[test]

@@ -142,6 +142,8 @@ pub fn sample_window(c: &mut Cluster, view: &ClusterView, at: SimTime) -> u64 {
         r.set_gauge(&format!("node.{n}.cpu"), report.cpu);
         r.set_gauge(&format!("node.{n}.net"), report.net_tx);
         r.set_gauge(&format!("node.{n}.heat"), report.heat);
+        r.set_gauge(&format!("node.{n}.replica_ship"), report.replica_ship_tx);
+        r.set_gauge(&format!("node.{n}.replica_fanout"), report.replica_fanout);
         r.set_gauge(
             &format!("node.{n}.active"),
             if report.active { 1.0 } else { 0.0 },

@@ -709,6 +709,232 @@ pub fn plan_replicas(needs: &[ReplicaNeed], hosts: &[NodeLoadStat], factor: usiz
     plan
 }
 
+/// One segment's *current* replication state, as planning input for a
+/// replica-aware drain: which node leads it and which nodes hold its
+/// follower copies (both the ones staying and the ones about to drain).
+#[derive(Debug, Clone)]
+pub struct ReplicaSite {
+    /// The replicated segment.
+    pub seg: SegmentId,
+    /// Its current leader.
+    pub leader: NodeId,
+    /// All current follower hosts.
+    pub followers: Vec<NodeId>,
+}
+
+/// One planned follower re-home: the copy on `from` (a draining node) is
+/// replaced by a fresh copy shipped from `leader` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FollowerRehome {
+    /// The segment whose copy moves.
+    pub seg: SegmentId,
+    /// The segment's leader *after* the drain's leader moves execute —
+    /// the source of the backfill copy.
+    pub leader: NodeId,
+    /// Draining node losing the copy.
+    pub from: NodeId,
+    /// Surviving node gaining the copy.
+    pub to: NodeId,
+}
+
+/// An atomic replica-aware drain: the leader moves emptying the drained
+/// nodes *plus* the follower re-homes keeping every affected segment at
+/// factor. Executing only half of it is the bug this plan exists to
+/// prevent.
+#[derive(Debug, Clone)]
+pub struct DrainPlan {
+    /// Leader moves emptying the drained nodes (LPT onto the coldest
+    /// survivors, preferring destinations that do not already hold a
+    /// follower copy of the moving segment).
+    pub plan: Plan,
+    /// Follower re-homes, one per follower copy the drain would orphan
+    /// (coldest-first via [`plan_replicas`], never on the post-move
+    /// leader).
+    pub rehomes: Vec<FollowerRehome>,
+    /// Follower copies found on the drained nodes.
+    pub orphaned_copies: usize,
+    /// Follower slots the plan could *not* cover: affected segments that
+    /// would still sit below `factor` after every re-home lands (not
+    /// enough distinct surviving hosts). Non-zero means the drain should
+    /// be refused, not half-executed.
+    pub uncovered: usize,
+}
+
+impl DrainPlan {
+    /// True when every follower copy the drain would orphan has a
+    /// replacement host — the drain can proceed without losing
+    /// redundancy.
+    pub fn is_fully_covered(&self) -> bool {
+        self.uncovered == 0
+    }
+}
+
+/// Plan a replica-aware scale-in drain: empty the `drain` nodes like
+/// [`plan_drain`] *and*, in the same plan, re-home every follower copy
+/// they host via [`plan_replicas`] so the drain never drops a segment
+/// below `factor`.
+///
+/// Beyond [`plan_drain`]'s guarantees:
+/// * a drained segment's leader move prefers destinations that do not
+///   already hold one of its follower copies, so the move itself does
+///   not silently evict a copy (falling back to a follower host only
+///   when every survivor holds one);
+/// * re-homes draw from `hosts` (minus the drained nodes), coldest
+///   first, never the segment's post-move leader, never a surviving
+///   follower host;
+/// * segments already below factor before the drain are *not* topped up
+///   here — background repair owns that backlog; the plan only preserves
+///   the copies the drain would orphan, and reports what it could not
+///   cover in [`DrainPlan::uncovered`].
+pub fn plan_drain_replicated(
+    stats: &[SegmentStat],
+    drain: &[NodeId],
+    remaining: &[NodeId],
+    _cfg: &PlanConfig,
+    sites: &[ReplicaSite],
+    hosts: &[NodeLoadStat],
+    factor: usize,
+) -> DrainPlan {
+    let site_of: BTreeMap<SegmentId, &ReplicaSite> = sites.iter().map(|s| (s.seg, s)).collect();
+
+    // Leader moves: plan_drain's LPT loop, with a per-segment preference
+    // for destinations outside the segment's follower set.
+    let dests: Vec<NodeId> = remaining
+        .iter()
+        .copied()
+        .filter(|n| !drain.contains(n))
+        .collect();
+    let mut domain: Vec<NodeId> = drain.iter().chain(dests.iter()).copied().collect();
+    domain.sort_unstable();
+    domain.dedup();
+    let mut node_heat = heat_by_node(stats, &domain);
+    let initial_max_heat = node_heat.values().copied().fold(0.0, f64::max);
+
+    let mut moves = Vec::new();
+    let mut bytes_planned = 0u64;
+    let mut heat_planned = 0.0f64;
+    let mut assigned_bytes: BTreeMap<NodeId, u64> = BTreeMap::new();
+
+    if !dests.is_empty() {
+        let mut evacuees: Vec<&SegmentStat> =
+            stats.iter().filter(|s| drain.contains(&s.node)).collect();
+        evacuees.sort_by(|a, b| {
+            b.heat
+                .partial_cmp(&a.heat)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.bytes.cmp(&a.bytes))
+                .then_with(|| a.seg.cmp(&b.seg))
+        });
+        for seg in evacuees {
+            let followers: &[NodeId] = site_of
+                .get(&seg.seg)
+                .map(|s| s.followers.as_slice())
+                .unwrap_or(&[]);
+            let preferred: Vec<NodeId> = dests
+                .iter()
+                .copied()
+                .filter(|d| !followers.contains(d))
+                .collect();
+            let dest = coldest(&preferred, &node_heat, &assigned_bytes)
+                .or_else(|| coldest(&dests, &node_heat, &assigned_bytes))
+                .expect("dests non-empty");
+            *node_heat.get_mut(&seg.node).expect("drain in domain") -= seg.heat;
+            *node_heat.get_mut(&dest).expect("dest in domain") += seg.heat;
+            *assigned_bytes.entry(dest).or_insert(0) += seg.bytes;
+            bytes_planned += seg.bytes;
+            heat_planned += seg.heat;
+            moves.push(PlannedMove {
+                seg: seg.seg,
+                table: seg.table,
+                range: seg.range,
+                from: seg.node,
+                to: dest,
+            });
+        }
+    }
+
+    // Follower re-homes: every copy hosted on a drained node gets a
+    // replacement, planned against the *post-move* leaders so a backfill
+    // source is never its own destination.
+    let mut needs = Vec::new();
+    let mut lost_by_seg: Vec<(SegmentId, Vec<NodeId>)> = Vec::new();
+    let mut orphaned_copies = 0usize;
+    for site in sites {
+        let lost: Vec<NodeId> = site
+            .followers
+            .iter()
+            .copied()
+            .filter(|f| drain.contains(f))
+            .collect();
+        if lost.is_empty() {
+            continue;
+        }
+        orphaned_copies += lost.len();
+        let existing: Vec<NodeId> = site
+            .followers
+            .iter()
+            .copied()
+            .filter(|f| !drain.contains(f))
+            .collect();
+        let leader = moves
+            .iter()
+            .find(|m| m.seg == site.seg)
+            .map(|m| m.to)
+            .unwrap_or(site.leader);
+        needs.push(ReplicaNeed {
+            seg: site.seg,
+            leader,
+            existing,
+        });
+        lost_by_seg.push((site.seg, lost));
+    }
+    let host_pool: Vec<NodeLoadStat> = hosts
+        .iter()
+        .copied()
+        .filter(|h| !drain.contains(&h.node))
+        .collect();
+    let rp = plan_replicas(&needs, &host_pool, factor);
+
+    let mut rehomes = Vec::new();
+    let mut uncovered = 0usize;
+    for (need, (seg, lost)) in needs.iter().zip(lost_by_seg.iter()) {
+        let planned: &[NodeId] = rp
+            .placements
+            .iter()
+            .find(|p| p.seg == *seg)
+            .map(|p| p.followers.as_slice())
+            .unwrap_or(&[]);
+        // Pair each orphaned copy with a planned host; extra plan slots
+        // (pre-existing deficit top-ups) are left to background repair.
+        for (from, to) in lost.iter().zip(planned.iter()) {
+            rehomes.push(FollowerRehome {
+                seg: *seg,
+                leader: need.leader,
+                from: *from,
+                to: *to,
+            });
+        }
+        let executed = lost.len().min(planned.len());
+        let kept = need.existing.len() + executed;
+        let pre_drain = need.existing.len() + lost.len();
+        uncovered += pre_drain.min(factor).saturating_sub(kept);
+    }
+
+    DrainPlan {
+        plan: Plan {
+            planner: Planner::HeatAware,
+            moves,
+            bytes_planned,
+            heat_planned,
+            predicted: node_heat,
+            initial_max_heat,
+        },
+        rehomes,
+        orphaned_copies,
+        uncovered,
+    }
+}
+
 /// The legacy fraction heuristic expressed in planner terms, for
 /// apples-to-apples comparison: per (table, source), keep the lower
 /// `1 − fraction` of key-ordered segments and move the rest to targets
@@ -1232,6 +1458,143 @@ mod tests {
         // The leader being the only host yields nothing.
         let only_leader = [load(1, 0.0, 0.0)];
         assert!(plan_replicas(&[need(1, 1, &[])], &only_leader, 1).is_empty());
+    }
+
+    // ------------------------------------------------- replica-aware drain
+
+    fn site(seg: u64, leader: u16, followers: &[u16]) -> ReplicaSite {
+        ReplicaSite {
+            seg: SegmentId(seg),
+            leader: NodeId(leader),
+            followers: followers.iter().map(|&n| NodeId(n)).collect(),
+        }
+    }
+
+    #[test]
+    fn replicated_drain_rehomes_every_orphaned_copy() {
+        // Node 3 drains. It leads segment 30 and follows segments 10/20
+        // (led by nodes 1 and 2). The plan must move segment 30 out AND
+        // re-home both follower copies onto the survivors.
+        let stats = vec![
+            stat(10, 1, 100, 2.0),
+            stat(20, 2, 100, 2.0),
+            stat(30, 3, 100, 1.0),
+        ];
+        let sites = [site(10, 1, &[3]), site(20, 2, &[3]), site(30, 3, &[1])];
+        let hosts = [load(1, 2.0, 0.0), load(2, 2.0, 0.0), load(4, 0.0, 0.0)];
+        let dp = plan_drain_replicated(
+            &stats,
+            &[NodeId(3)],
+            &[NodeId(1), NodeId(2), NodeId(4)],
+            &PlanConfig::default(),
+            &sites,
+            &hosts,
+            1,
+        );
+        assert_eq!(dp.plan.moves.len(), 1, "segment 30 leaves: {dp:?}");
+        assert_eq!(dp.orphaned_copies, 2);
+        assert_eq!(dp.rehomes.len(), 2, "{dp:?}");
+        assert!(dp.is_fully_covered());
+        for r in &dp.rehomes {
+            assert_eq!(r.from, NodeId(3));
+            assert_ne!(r.to, NodeId(3), "never back onto the drain: {dp:?}");
+            assert_ne!(r.to, r.leader, "never on the leader: {dp:?}");
+        }
+    }
+
+    #[test]
+    fn replicated_drain_leader_moves_avoid_follower_hosts() {
+        // Segment 30 (led by draining node 3) has its follower copy on
+        // node 1. Node 1 is the coldest survivor, but landing the leader
+        // there would evict the copy — node 2 must win instead.
+        let stats = vec![stat(30, 3, 100, 1.0), stat(40, 2, 100, 0.5)];
+        let sites = [site(30, 3, &[1])];
+        let hosts = [load(1, 0.0, 0.0), load(2, 0.5, 0.0)];
+        let dp = plan_drain_replicated(
+            &stats,
+            &[NodeId(3)],
+            &[NodeId(1), NodeId(2)],
+            &PlanConfig::default(),
+            &sites,
+            &hosts,
+            1,
+        );
+        let mv = dp
+            .plan
+            .moves
+            .iter()
+            .find(|m| m.seg == SegmentId(30))
+            .unwrap();
+        assert_eq!(mv.to, NodeId(2), "follower host avoided: {dp:?}");
+        // With node 2 gone, the follower host is the only destination —
+        // the fallback still empties the drain rather than wedging.
+        let dp = plan_drain_replicated(
+            &stats,
+            &[NodeId(3)],
+            &[NodeId(1)],
+            &PlanConfig::default(),
+            &sites,
+            &hosts[..1],
+            1,
+        );
+        let mv = dp
+            .plan
+            .moves
+            .iter()
+            .find(|m| m.seg == SegmentId(30))
+            .unwrap();
+        assert_eq!(mv.to, NodeId(1), "fallback: {dp:?}");
+    }
+
+    #[test]
+    fn replicated_drain_rehomes_against_post_move_leaders() {
+        // Segment 30's leader moves from draining node 3 onto node 1; its
+        // follower copy (also on node 3) must re-home away from the NEW
+        // leader, not the old one.
+        let stats = vec![stat(30, 3, 100, 1.0)];
+        let sites = [site(30, 3, &[4])];
+        let hosts = [load(1, 0.0, 0.0), load(4, 0.0, 0.0)];
+        let dp = plan_drain_replicated(
+            &stats,
+            &[NodeId(3), NodeId(4)],
+            &[NodeId(1)],
+            &PlanConfig::default(),
+            &sites,
+            &hosts,
+            1,
+        );
+        // Leader lands on node 1; the follower copy on draining node 4
+        // has no host left (only survivor IS the new leader): uncovered.
+        assert_eq!(dp.plan.moves[0].to, NodeId(1));
+        assert_eq!(dp.orphaned_copies, 1);
+        assert!(dp.rehomes.is_empty(), "{dp:?}");
+        assert_eq!(dp.uncovered, 1, "refusal signal: {dp:?}");
+        assert!(!dp.is_fully_covered());
+    }
+
+    #[test]
+    fn replicated_drain_leaves_pre_existing_deficits_to_repair() {
+        // Factor 2 but segment 10 already lost one follower before the
+        // drain: the plan re-homes only the copy the drain orphans; the
+        // old deficit stays background repair's job and does not block.
+        let stats = vec![stat(10, 1, 100, 1.0)];
+        let sites = [site(10, 1, &[3])];
+        let hosts = [load(2, 0.0, 0.0), load(4, 0.0, 0.0), load(5, 0.0, 0.0)];
+        let dp = plan_drain_replicated(
+            &stats,
+            &[NodeId(3)],
+            &[NodeId(2), NodeId(4), NodeId(5)],
+            &PlanConfig::default(),
+            &sites,
+            &hosts,
+            2,
+        );
+        assert_eq!(
+            dp.rehomes.len(),
+            1,
+            "one orphaned copy, one re-home: {dp:?}"
+        );
+        assert!(dp.is_fully_covered(), "old deficit never blocks: {dp:?}");
     }
 
     #[test]

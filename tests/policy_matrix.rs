@@ -701,6 +701,163 @@ fn scale_in_refuses_a_node_inside_an_active_migration() {
     assert!(db.rebalance_history().len() <= 1, "one rebalance at a time");
 }
 
+// ------------------------------------ scale-in under replication
+
+#[test]
+fn scale_in_with_replication_rehomes_followers_before_suspension() {
+    // Three replicated data nodes idle below the low bound. The drained
+    // node hosts follower copies for the survivors' segments: the drain
+    // must re-home those copies in the same decision, the node must still
+    // suspend, and once the backfill copies land not a single segment may
+    // sit under the replication factor or reference the suspended node.
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(6)
+        .density(0.05)
+        .segment_pages(8)
+        .seed(43)
+        .initial_data_nodes(&[NodeId(0), NodeId(1), NodeId(2)])
+        .replication(1)
+        .policy(cpu_only())
+        .monitoring(SimDuration::from_secs(WINDOW_SECS))
+        .autopilot(true)
+        .build();
+    let s0 = segments_on(&db, NodeId(0));
+    let s1 = segments_on(&db, NodeId(1));
+    let s2 = segments_on(&db, NodeId(2));
+    drive(&mut db, 60, move |w, c, now| {
+        if w >= 2 {
+            return; // heat injected early, then the cluster idles
+        }
+        for &s in &s0 {
+            bump(c, s, now, 20);
+        }
+        for &s in &s1 {
+            bump(c, s, now, 60);
+        }
+        for &s in &s2 {
+            bump(c, s, now, 2);
+        }
+    });
+    let events = db.events();
+    assert_triggers_logged(&events);
+    let applied_drains: Vec<Vec<NodeId>> = events
+        .iter()
+        .filter(|e| e.outcome == Outcome::Applied)
+        .filter_map(|e| match &e.decision {
+            Decision::ScaleIn { drain } => Some(drain.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !applied_drains.is_empty(),
+        "idle replicated cluster must still scale in: {events:?}"
+    );
+    let suspended: Vec<NodeId> = events
+        .iter()
+        .filter_map(|e| match &e.outcome {
+            Outcome::Suspended { nodes } => Some(nodes.clone()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    assert!(
+        suspended.contains(&NodeId(2)),
+        "replica copies must not pin the coldest node on: {events:?}"
+    );
+    db.with_cluster(|c| {
+        assert_eq!(
+            c.check_replica_invariants(),
+            None,
+            "replica map consistent after the drain"
+        );
+        assert!(
+            c.replicas
+                .under_replicated(c.cfg.replication.factor)
+                .is_empty(),
+            "drain orphaned follower copies: {:?}",
+            c.replicas.under_replicated(c.cfg.replication.factor)
+        );
+        for &n in &suspended {
+            assert!(
+                !c.replicas.references(n),
+                "suspended node {n} still referenced by the replica map"
+            );
+        }
+    });
+    println!("[scale-in/replicated] drains={applied_drains:?} suspended={suspended:?}");
+}
+
+#[test]
+fn scale_in_refuses_a_drain_that_would_strand_follower_copies() {
+    // Two data nodes at factor 1: every segment's single follower lives
+    // on the *other* node, so draining either one leaves no surviving
+    // host for its copies. The controller must refuse the drain with the
+    // dedicated reason — and keep refusing it — rather than power off a
+    // node and silently drop the factor to zero.
+    let policy = PolicyConfig {
+        cpu_high: 1.1, // scale-out out of reach
+        cpu_low: 0.5,  // idle cluster breaches immediately
+        patience: 2,
+        skew_threshold: 0.0,
+        ..Default::default()
+    };
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(4)
+        .density(0.05)
+        .segment_pages(8)
+        .seed(53)
+        .initial_data_nodes(&[NodeId(0), NodeId(1)])
+        .replication(1)
+        .policy(policy)
+        .monitoring(SimDuration::from_secs(WINDOW_SECS))
+        .autopilot(true)
+        .build();
+    let active_before = db.active_nodes();
+    db.run_for(SimDuration::from_secs(WINDOW_SECS * 30));
+    let events = db.events();
+    assert_triggers_logged(&events);
+    let refused = events
+        .iter()
+        .find(|e| {
+            matches!(e.decision, Decision::ScaleIn { .. })
+                && matches!(
+                    e.outcome,
+                    Outcome::Deferred { reason } if reason.contains("follower replicas")
+                )
+        })
+        .unwrap_or_else(|| panic!("stranding drain was never refused: {events:?}"));
+    assert_eq!(refused.trigger, "cpu-low");
+    // The refusal held: nothing was applied, nothing suspended, and the
+    // replica map never lost a copy.
+    assert!(
+        !events.iter().any(
+            |e| matches!(e.decision, Decision::ScaleIn { .. }) && e.outcome == Outcome::Applied
+        ),
+        "a stranding drain was applied: {events:?}"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.outcome, Outcome::Suspended { .. })),
+        "a data node was suspended: {events:?}"
+    );
+    assert_eq!(db.active_nodes(), active_before, "node count unchanged");
+    db.with_cluster(|c| {
+        assert_eq!(c.check_replica_invariants(), None);
+        assert!(
+            c.replicas
+                .under_replicated(c.cfg.replication.factor)
+                .is_empty(),
+            "refused drain still lost copies: {:?}",
+            c.replicas.under_replicated(c.cfg.replication.factor)
+        );
+    });
+}
+
 // ------------------------------------------------- failure: promotion path
 
 /// A policy with every elasticity trigger out of reach: only failover

@@ -123,6 +123,76 @@ fn read_routing_weights_favor_cold_hosts() {
 }
 
 #[test]
+fn planned_rebalance_onto_a_follower_evicts_and_backfills() {
+    // Aim a planned migration straight at one of the segment's own
+    // follower hosts. Landing leadership there must evict that host from
+    // the follower set (a leader never follows itself) *and* schedule a
+    // replacement copy, so the replication factor ends where it started
+    // instead of silently dropping to zero.
+    let mut db = replicated_db(1, &[NodeId(0), NodeId(1), NodeId(2)]);
+    let (seg, leader, follower) = db.with_cluster(|c| {
+        let (seg, set) = c.replicas.iter().next().expect("replicated segment");
+        (seg, set.leader, set.followers[0])
+    });
+    assert_eq!(
+        db.replica_map().get(seg).unwrap().followers.len(),
+        1,
+        "{seg} at factor before the move"
+    );
+    let plan = db.with_cluster(|c| {
+        let meta = c.seg_dir.get(seg).unwrap();
+        wattdb_planner::Plan {
+            planner: wattdb_planner::Planner::HeatAware,
+            moves: vec![wattdb_planner::PlannedMove {
+                seg,
+                table: meta.table,
+                range: meta.key_range.expect("physiological segments are ranged"),
+                from: leader,
+                to: follower,
+            }],
+            bytes_planned: 0,
+            heat_planned: 0.0,
+            predicted: Default::default(),
+            initial_max_heat: 0.0,
+        }
+    });
+    db.rebalance_planned(&plan, &[follower]);
+    for _ in 0..120 {
+        db.run_for(SimDuration::from_secs(5));
+        if !db.rebalancing() {
+            break;
+        }
+    }
+    assert!(!db.rebalancing(), "planned move ran out");
+    // Let the backfill copy land.
+    db.run_for(SimDuration::from_secs(60));
+    let map = db.replica_map();
+    let set = map.get(seg).expect("segment still tracked");
+    assert_eq!(set.leader, follower, "{seg}: leadership moved as planned");
+    assert!(
+        !set.followers.contains(&follower),
+        "{seg}: new leader still listed as its own follower"
+    );
+    assert_eq!(
+        set.followers.len(),
+        1,
+        "{seg}: factor restored by the backfill copy"
+    );
+    assert!(
+        map.under_replicated(1).is_empty(),
+        "no segment left under the factor: {:?}",
+        map.under_replicated(1)
+    );
+    db.with_cluster(|c| {
+        assert_eq!(
+            c.check_replica_invariants(),
+            None,
+            "replica map consistent after evict + backfill"
+        );
+    });
+}
+
+#[test]
 fn leader_kill_promotes_and_keeps_serving() {
     let mut db = replicated_db(1, &[NodeId(0), NodeId(1), NodeId(2)]);
     db.engage_autopilot(wattdb_core::AutoPilotConfig {
