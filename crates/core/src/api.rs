@@ -212,6 +212,15 @@ impl WattDbBuilder {
         self
     }
 
+    /// Client arrival batching: per-client think timers, the pooled
+    /// aggregated arrival process, or `Auto` (the default — pooled above
+    /// [`wattdb_tpcc::POOL_AUTO_THRESHOLD`] modeled clients). Forcing
+    /// either mode pins the spawn path regardless of population size.
+    pub fn client_batching(mut self, b: wattdb_tpcc::ClientBatching) -> Self {
+        self.cfg.client_batching = b;
+        self
+    }
+
     /// Nodes that host the initial data (and start powered).
     pub fn initial_data_nodes(mut self, nodes: &[NodeId]) -> Self {
         self.initial = nodes.to_vec();
@@ -282,7 +291,12 @@ impl WattDbBuilder {
                 self.monitoring,
                 |cl, sim, view| {
                     let at = sim.now();
-                    crate::telemetry_sink::sample_window(&mut cl.borrow_mut(), view, at);
+                    crate::telemetry_sink::sample_window(
+                        &mut cl.borrow_mut(),
+                        view,
+                        at,
+                        sim.events_executed(),
+                    );
                     true
                 },
             );
@@ -697,6 +711,38 @@ impl WattDb {
     /// Aborted transaction attempts so far.
     pub fn aborted(&self) -> u64 {
         self.cluster.borrow().metrics.aborted
+    }
+
+    /// Completed transactions by TPC-C profile (modeled counts — pooled
+    /// carriers contribute their full weight).
+    pub fn mix(&self) -> Vec<(wattdb_tpcc::TxnProfile, u64)> {
+        let c = self.cluster.borrow();
+        let mut v: Vec<_> = c.metrics.mix.iter().map(|(p, n)| (*p, *n)).collect();
+        v.sort_by_key(|(p, _)| format!("{p:?}"));
+        v
+    }
+
+    /// Modeled completions per home warehouse: the observed workload
+    /// skew, in the same units for per-client and pooled runs.
+    pub fn completions_by_warehouse(&self) -> Vec<(u32, u64)> {
+        let c = self.cluster.borrow();
+        let mut by: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for cl in &c.clients {
+            *by.entry(cl.home_warehouse).or_insert(0) += cl.completed();
+        }
+        by.into_iter().collect()
+    }
+
+    /// Is the client workload running pooled (aggregated arrivals over
+    /// carrier clients) rather than one think timer per client?
+    pub fn pooled_clients(&self) -> bool {
+        self.cluster.borrow().pool.is_some()
+    }
+
+    /// Events the simulator has executed so far (engine-speed readout for
+    /// benchmarks; deterministic, sim-domain).
+    pub fn events_executed(&self) -> u64 {
+        self.sim.events_executed()
     }
 
     /// Nodes currently active.

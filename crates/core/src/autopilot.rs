@@ -199,7 +199,12 @@ impl AutoPilot {
             // Freeze this window's metrics first: every decision record
             // below shares the window index with the sample it was based
             // on.
-            let window = crate::telemetry_sink::sample_window(&mut cl.borrow_mut(), view, at);
+            let window = crate::telemetry_sink::sample_window(
+                &mut cl.borrow_mut(),
+                view,
+                at,
+                sim.events_executed(),
+            );
             let rebalancing = cl.borrow().mover.is_some();
             // Failover detection outranks every threshold: a failed node
             // still referenced by the replica map means orphaned segments

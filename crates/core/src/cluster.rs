@@ -23,7 +23,10 @@ use wattdb_net::Network;
 use wattdb_replica::ReplicaMap;
 use wattdb_sim::{Resource, ResourceHandle, Sim, UtilizationProbe};
 use wattdb_storage::{BufferPool, PageStore, Record, SegmentDirectory, SimDisk, PAGE_SIZE};
-use wattdb_tpcc::{Client, ClientConfig, GenRow, TpccConfig, TpccTable, TpccWorkload};
+use wattdb_tpcc::{
+    carrier_split, Client, ClientBatching, ClientConfig, ClientPool, GenRow, TpccConfig, TpccTable,
+    TpccWorkload,
+};
 use wattdb_txn::{CcMode, IndexMap, TxnManager};
 use wattdb_wal::{LogManager, LogShipper};
 
@@ -101,6 +104,10 @@ pub struct ClusterConfig {
     pub drift: DriftConfig,
     /// Per-segment replication: follower count, read fan-out policy.
     pub replication: ReplicaConfig,
+    /// Per-client think timers vs. the pooled aggregated arrival process
+    /// (see [`wattdb_tpcc::ClientBatching`]; `Auto` pools above
+    /// [`wattdb_tpcc::POOL_AUTO_THRESHOLD`] modeled clients).
+    pub client_batching: ClientBatching,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -125,6 +132,7 @@ impl Default for ClusterConfig {
             cost_model: Some(CostModel::default()),
             drift: DriftConfig::default(),
             replication: ReplicaConfig::default(),
+            client_batching: ClientBatching::default(),
             seed: 42,
         }
     }
@@ -249,8 +257,14 @@ pub struct Cluster {
     pub router: GlobalRouter,
     /// Transactions.
     pub txn: TxnManager,
-    /// OLTP clients.
+    /// OLTP clients. In pooled mode these are the *carrier* clients of
+    /// [`Cluster::pool`], each standing in for `pool.weight()` modeled
+    /// clients.
     pub clients: Vec<Client>,
+    /// Aggregated client arrival process (`Some` when the last spawn ran
+    /// pooled): one repeater drives batched Binomial arrivals over the
+    /// carriers instead of one think timer per client.
+    pub pool: Option<ClientPool>,
     /// Transaction generator (shared key high-water marks).
     pub workload: Option<TpccWorkload>,
     /// In-flight executor jobs.
@@ -400,6 +414,7 @@ impl Cluster {
             router: GlobalRouter::new(),
             txn: TxnManager::new(cc),
             clients: Vec::new(),
+            pool: None,
             workload: None,
             jobs: HashMap::new(),
             lock_waiters: HashMap::new(),
@@ -872,18 +887,24 @@ impl Cluster {
         Ok(())
     }
 
-    /// Spawn `n` closed-loop clients.
+    /// Spawn `n` closed-loop clients. Above the pooling threshold (or
+    /// when forced by [`ClusterConfig::client_batching`]) the modeled
+    /// population is folded onto at most [`wattdb_tpcc::MAX_CARRIERS`]
+    /// carrier clients driven by one aggregated arrival process.
     pub fn spawn_clients(&mut self, n: u32, client_cfg: ClientConfig) {
         let w = self
             .workload
             .as_ref()
             .map(|wl| wl.config().warehouses)
             .unwrap_or(1);
-        self.clients = wattdb_tpcc::spawn_clients(n, w, client_cfg, &self.rng);
+        let (spawn_n, _) = self.prepare_spawn(n, client_cfg.think_time);
+        self.clients = wattdb_tpcc::spawn_clients(spawn_n, w, client_cfg, &self.rng);
     }
 
     /// Spawn `n` closed-loop clients with a hot-range skew: `hot_fraction`
-    /// of them homed inside the first `hot_warehouses` warehouses.
+    /// of them homed inside the first `hot_warehouses` warehouses. Pools
+    /// like [`Cluster::spawn_clients`]; the carriers inherit the same
+    /// hot-fraction homing rule, so the modeled skew is preserved.
     pub fn spawn_clients_skewed(
         &mut self,
         n: u32,
@@ -896,14 +917,35 @@ impl Cluster {
             .as_ref()
             .map(|wl| wl.config().warehouses)
             .unwrap_or(1);
+        let (spawn_n, _) = self.prepare_spawn(n, client_cfg.think_time);
         self.clients = wattdb_tpcc::spawn_clients_skewed(
-            n,
+            spawn_n,
             w,
             client_cfg,
             &self.rng,
             hot_fraction,
             hot_warehouses,
         );
+    }
+
+    /// Decide pooled vs. per-client for a spawn of `n` modeled clients:
+    /// sets up [`Cluster::pool`] (or clears it) and returns the carrier
+    /// count to materialize plus the per-carrier weight.
+    fn prepare_spawn(&mut self, n: u32, think: SimDuration) -> (u32, u64) {
+        if self.cfg.client_batching.pooled(n) {
+            let (carriers, weight) = carrier_split(n);
+            self.pool = Some(ClientPool::new(
+                carriers,
+                weight,
+                n as u64,
+                think,
+                self.rng.derive(0xC11E_47B0),
+            ));
+            (carriers, weight)
+        } else {
+            self.pool = None;
+            (n, 1)
+        }
     }
 
     /// Vacuum every segment at the current GC horizon: reclaims committed

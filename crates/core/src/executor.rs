@@ -96,6 +96,11 @@ pub struct TxnJob {
     /// When the commit wait began.
     pub commit_wait_started: SimTime,
     retries: u32,
+    /// Modeled transactions this job stands in for: 1 in per-client mode,
+    /// the pool's carrier weight in pooled mode. Metrics, heat, and
+    /// resource occupancy scale by it; the executed control flow (and
+    /// therefore per-client determinism) does not depend on it.
+    pub weight: u64,
 }
 
 /// What the job must do next (computed under the cluster borrow, executed
@@ -154,6 +159,7 @@ impl Cluster {
         if self.stopped {
             return None;
         }
+        let weight = self.pool.as_ref().map_or(1, |p| p.weight());
         let workload = self.workload.as_mut().expect("dataset loaded");
         let cl = &mut self.clients[client];
         let drawn = cl.next_profile();
@@ -187,6 +193,7 @@ impl Cluster {
                 commit_pending: 0,
                 commit_wait_started: SimTime::ZERO,
                 retries: 0,
+                weight,
             },
         );
         Some(id)
@@ -284,7 +291,9 @@ impl Cluster {
             && self.jobs[&job_id].write_nodes.is_empty()
         {
             let at = self.jobs[&job_id].current_node;
-            self.replica_read_target(seg, node, at, now).unwrap_or(node)
+            let w = self.jobs[&job_id].weight;
+            self.replica_read_target(seg, node, at, now, w)
+                .unwrap_or(node)
         } else {
             node
         };
@@ -343,6 +352,7 @@ impl Cluster {
         leader: NodeId,
         at: NodeId,
         now: SimTime,
+        weight: u64,
     ) -> Option<NodeId> {
         if self.replicas.leader_of(seg) != Some(leader) {
             return None; // map out of step with routing: serve the owner
@@ -363,7 +373,10 @@ impl Cluster {
         if eligible.is_empty() {
             return None;
         }
-        self.replica_read_total += 1;
+        // A carrier resolution stands in for `weight` modeled reads —
+        // keeps the fan-out share's denominator in the same units as the
+        // weighted served counts.
+        self.replica_read_total += weight;
         // A job already sitting on a caught-up follower stays: `op_start`
         // re-runs after every hop, and re-rolling the rotation there would
         // bounce the job between copies forever.
@@ -496,6 +509,7 @@ impl Cluster {
                 (meta.node, meta.disk.index)
             };
         let costed = self.heat.cost_model().is_some();
+        let w = self.jobs[&job_id].weight;
         let writeback_latch = self.cfg.costs.writeback_latch;
         let buffer_hit = self.cfg.costs.buffer_hit;
         let buf = &mut self.nodes[exec_node.raw() as usize].buffer;
@@ -529,7 +543,7 @@ impl Cluster {
                     job.op_remote = true;
                     job.op_cost.net_bytes += PAGE_SIZE as u64 + 64;
                     if !costed {
-                        self.heat.record_remote_fetch(seg, now);
+                        self.heat.record_remote_fetches(seg, now, w);
                     }
                     Action::RemoteRead {
                         exec: exec_node,
@@ -549,7 +563,7 @@ impl Cluster {
                 job.op_remote = true;
                 job.op_cost.net_bytes += PAGE_SIZE as u64 + 64;
                 if !costed {
-                    self.heat.record_remote_fetch(seg, now);
+                    self.heat.record_remote_fetches(seg, now, w);
                 }
                 Action::RemoteBufferFetch(exec_node)
             }
@@ -566,11 +580,13 @@ impl Cluster {
         // operator cost — is what gets charged; without one the legacy
         // flat-weight calls run at the original sites.
         if let Some((_, node, seg)) = self.jobs[&job_id].cur {
+            let w = self.jobs[&job_id].weight;
             // An off-leader read is a replica-served read (apply runs once
-            // per operation, so this counts each fan-out exactly once).
+            // per operation, so this counts each fan-out exactly once —
+            // or `weight` modeled fan-outs for a pooled carrier).
             if op.kind == OpKind::Read && self.replicas.leader_of(seg).is_some_and(|l| l != node) {
-                self.replica_reads += 1;
-                *self.replica_reads_by.entry(node).or_insert(0) += 1;
+                self.replica_reads += w;
+                *self.replica_reads_by.entry(node).or_insert(0) += w;
             }
             let kind = match op.kind {
                 OpKind::Read => crate::heat::AccessKind::Read,
@@ -584,11 +600,11 @@ impl Cluster {
                         std::mem::take(&mut job.op_remote),
                     )
                 };
-                self.heat.record_access(seg, now, kind, cost, remote);
+                self.heat.record_access_n(seg, now, kind, cost, remote, w);
             } else {
                 match kind {
-                    crate::heat::AccessKind::Read => self.heat.record_read(seg, now),
-                    crate::heat::AccessKind::Write => self.heat.record_write(seg, now),
+                    crate::heat::AccessKind::Read => self.heat.record_reads(seg, now, w),
+                    crate::heat::AccessKind::Write => self.heat.record_writes(seg, now, w),
                 }
             }
         }
@@ -743,10 +759,10 @@ pub fn step(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
         match action {
             Action::Loop => continue,
             Action::Cpu(node, dur, cat) => {
-                let pending = {
+                let (pending, w) = {
                     let mut c = cl.borrow_mut();
                     let job = c.jobs.get_mut(&job_id).expect("live job");
-                    dur + std::mem::take(&mut job.cpu_accum)
+                    (dur + std::mem::take(&mut job.cpu_accum), job.weight)
                 };
                 let cpu = cl.borrow().nodes[node.raw() as usize].cpu.clone();
                 let handle = cl.clone();
@@ -765,6 +781,15 @@ pub fn step(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
                         step(&handle, sim, job_id);
                     }),
                 );
+                if w > 1 {
+                    // The carrier executes once on behalf of `w` modeled
+                    // transactions: occupy the cores with the remaining
+                    // `w − 1` shares without blocking the job, so
+                    // utilization (and the monitor/power model) sees the
+                    // modeled population's demand.
+                    let extra = SimDuration::from_micros(pending.as_micros() * (w - 1));
+                    Resource::submit(&cpu, sim, extra, Box::new(|_| {}));
+                }
                 return;
             }
             Action::DiskRead(node, disk) => {
@@ -787,6 +812,17 @@ pub fn step(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
                         step(&handle, sim, job_id);
                     }),
                 );
+                let w = c.jobs.get(&job_id).map_or(1, |j| j.weight);
+                if w > 1 {
+                    // The other `w − 1` modeled fetches occupy the drive
+                    // as one bulk transfer without blocking the job.
+                    let extra = ByteSize::bytes(PAGE_SIZE as u64 * (w - 1));
+                    c.nodes[node.raw() as usize].disks[disk as usize].bulk_transfer(
+                        sim,
+                        extra,
+                        Box::new(|_| {}),
+                    );
+                }
                 return;
             }
             Action::RemoteRead {
@@ -799,6 +835,24 @@ pub fn step(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
                 let submitted = sim.now();
                 let mut c = cl.borrow_mut();
                 flush_cpu_inline(&mut c, sim, job_id, exec);
+                let w = c.jobs.get(&job_id).map_or(1, |j| j.weight);
+                if w > 1 {
+                    // Remaining modeled fetches: bulk disk occupancy on the
+                    // storage node plus their pages on the wire, detached.
+                    let pages = ByteSize::bytes(PAGE_SIZE as u64 * (w - 1));
+                    c.nodes[storage.raw() as usize].disks[disk as usize].bulk_transfer(
+                        sim,
+                        pages,
+                        Box::new(|_| {}),
+                    );
+                    c.net.send(
+                        sim,
+                        storage,
+                        exec,
+                        ByteSize::bytes((PAGE_SIZE as u64 + 64) * (w - 1)),
+                        Box::new(|_| {}),
+                    );
+                }
                 let inner = cl.clone();
                 c.nodes[storage.raw() as usize].disks[disk as usize].read_page(
                     sim,
@@ -843,6 +897,18 @@ pub fn step(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
                 let handle = cl.clone();
                 let submitted = sim.now();
                 let c = cl.borrow();
+                let w = c.jobs.get(&job_id).map_or(1, |j| j.weight);
+                if w > 1 {
+                    // Remaining modeled rDMA fetches: their pages on the
+                    // wire from the helper, detached.
+                    c.net.send(
+                        sim,
+                        helper,
+                        exec,
+                        ByteSize::bytes((PAGE_SIZE as u64 + 64) * (w - 1)),
+                        Box::new(|_| {}),
+                    );
+                }
                 wattdb_net::round_trip(
                     &c.net,
                     sim,
@@ -868,6 +934,17 @@ pub fn step(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
                 let handle = cl.clone();
                 let submitted = sim.now();
                 let c = cl.borrow();
+                let w = c.jobs.get(&job_id).map_or(1, |j| j.weight);
+                if w > 1 {
+                    // Remaining modeled forwards share the wire, detached.
+                    c.net.send(
+                        sim,
+                        from,
+                        to,
+                        ByteSize::bytes(256 * (w - 1)),
+                        Box::new(|_| {}),
+                    );
+                }
                 c.net.send(
                     sim,
                     from,
@@ -911,8 +988,11 @@ fn flush_cpu_inline(c: &mut Cluster, sim: &mut Sim, job_id: u64, node: NodeId) {
         let dur = std::mem::take(&mut job.cpu_accum);
         if dur > SimDuration::ZERO {
             job.costs.record(CostCategory::Cpu, dur);
+            // Pooled carriers occupy the cores with all `weight` modeled
+            // shares (the profile above records the one executed share).
+            let occupy = SimDuration::from_micros(dur.as_micros() * job.weight);
             let cpu = c.nodes[node.raw() as usize].cpu.clone();
-            Resource::submit(&cpu, sim, dur, Box::new(|_| {}));
+            Resource::submit(&cpu, sim, occupy, Box::new(|_| {}));
         }
     }
 }
@@ -1059,8 +1139,9 @@ fn finish_job(cl: &ClusterRc, sim: &mut Sim, job_id: u64) {
         let phase = c.phase();
         let response = sim.now().since(job.started);
         c.metrics
-            .record_completion(sim.now(), response, phase, job.costs);
-        c.clients[job.client].complete();
+            .record_completion_weighted(sim.now(), response, phase, job.costs, job.weight);
+        *c.metrics.mix.entry(job.profile).or_insert(0) += job.weight;
+        c.clients[job.client].complete_n(job.weight);
         (job.client, grants)
     };
     resume_grants(cl, sim, grants);
@@ -1145,11 +1226,17 @@ pub fn resume_grants(cl: &ClusterRc, sim: &mut Sim, grants: Vec<(TxnId, LockTarg
     }
 }
 
-/// Schedule a client's next submission after its think time.
+/// Schedule a client's next submission after its think time. In pooled
+/// mode the carrier is parked back into the pool instead — the aggregated
+/// arrival process (not a per-client timer) decides when it next submits.
 pub fn schedule_client(cl: &ClusterRc, sim: &mut Sim, client: usize) {
     let think = {
         let mut c = cl.borrow_mut();
         if c.stopped || !c.auto_resubmit {
+            return;
+        }
+        if let Some(pool) = c.pool.as_mut() {
+            pool.park(client as u32);
             return;
         }
         c.clients[client].think()
@@ -1166,12 +1253,59 @@ pub fn schedule_client(cl: &ClusterRc, sim: &mut Sim, client: usize) {
     });
 }
 
-/// Kick off all clients (staggered by their first think time).
+/// Kick off all clients. Per-client mode staggers each by its first think
+/// time; pooled mode starts the single arrival repeater that drives the
+/// whole carrier population with one periodic event.
 pub fn start_clients(cl: &ClusterRc, sim: &mut Sim) {
-    let n = cl.borrow().clients.len();
-    for client in 0..n {
-        schedule_client(cl, sim, client);
-    }
+    let tick = cl.borrow().pool.as_ref().map(|p| p.tick());
+    let Some(tick) = tick else {
+        let n = cl.borrow().clients.len();
+        for client in 0..n {
+            schedule_client(cl, sim, client);
+        }
+        return;
+    };
+    let handle = cl.clone();
+    wattdb_sim::Repeater::every(sim, tick, move |sim| {
+        let due = {
+            let mut c = handle.borrow_mut();
+            if c.stopped {
+                return false; // workload drained: the arrival loop ends
+            }
+            if !c.auto_resubmit {
+                // A custom driver loop owns submission; keep ticking so
+                // the pool resumes when auto-resubmit is restored.
+                return true;
+            }
+            match c.pool.as_mut() {
+                Some(pool) => pool.arrivals(),
+                None => return false, // respawned per-client mid-run
+            }
+        };
+        for (carrier, jitter) in due {
+            // Each arrival fires at its own offset inside the tick — the
+            // pool's jitter — so carriers hit the lock manager and the
+            // resource queues spread out like per-client arrivals do.
+            let inner = handle.clone();
+            sim.after(jitter, move |sim| {
+                let job = {
+                    let mut c = inner.borrow_mut();
+                    c.new_job(carrier as usize, sim.now())
+                };
+                match job {
+                    Some(job_id) => step(&inner, sim, job_id),
+                    // Stopped since the draw: the arrival is moot, but
+                    // park the carrier so the pool's books stay balanced.
+                    None => {
+                        if let Some(pool) = inner.borrow_mut().pool.as_mut() {
+                            pool.park(carrier);
+                        }
+                    }
+                }
+            });
+        }
+        true
+    });
 }
 
 /// Retry aborted transaction bookkeeping visible for tests.

@@ -31,9 +31,9 @@
 //! projected view whenever the cluster's drift horizon is non-zero, and
 //! accumulate/project cost-heat exactly as they did count-heat.
 
-use std::collections::HashMap;
-
-use wattdb_common::{CostModel, CostVector, Heat, HeatConfig, NodeId, SegmentId, SimTime, TableId};
+use wattdb_common::{
+    CostModel, CostVector, Heat, HeatConfig, NodeId, SegmentId, SimDuration, SimTime, TableId,
+};
 use wattdb_storage::SegmentDirectory;
 
 pub mod drift;
@@ -97,13 +97,47 @@ pub struct SegmentHeatStat {
 }
 
 /// The cluster-wide heat table.
+///
+/// # Hot-path layout
+///
+/// Segment ids are allocated densely by the catalog, so the table is a
+/// flat `Vec` indexed by [`SegmentId::raw`] — the record path is an
+/// array index, not a hash probe. Decay stops paying a transcendental
+/// per access: the per-half-life factors `2^(−2^j µs / half_life)` are
+/// precomputed once, and the factor for an arbitrary elapsed delta is
+/// the product over the set bits of its microsecond count (≤ 64
+/// multiplies, within ~1e-15 of the closed-form `exp2` — pinned ≤ 1e-9
+/// by a regression test). [`HeatTable::decay_sweep`] additionally
+/// brings every segment current once per monitoring window in one pass,
+/// so planner reads inside the window see zero-elapsed entries.
 #[derive(Debug)]
 pub struct HeatTable {
     cfg: HeatConfig,
     /// Scalarization of cost vectors into heat; `None` falls back to the
     /// flat per-access weights in `cfg` (the legacy count-based signal).
     model: Option<CostModel>,
-    segments: HashMap<SegmentId, SegmentHeat>,
+    /// `pow2[j] = 2^(−(2^j µs) / half_life)`; all ones when decay is off.
+    pow2: [f64; 64],
+    /// Tracked segments, indexed by [`SegmentId::raw`] (`None` = never
+    /// touched).
+    slots: Vec<Option<SegmentHeat>>,
+}
+
+/// Decay factor `2^(−elapsed/half_life)` assembled from the cached
+/// power-of-two factors: one multiply per set bit of the microsecond
+/// delta.
+#[inline]
+fn factor_of(pow2: &[f64; 64], elapsed: SimDuration) -> f64 {
+    let mut d = elapsed.as_micros();
+    let mut f = 1.0;
+    while d != 0 {
+        f *= pow2[d.trailing_zeros() as usize];
+        if f == 0.0 {
+            return 0.0;
+        }
+        d &= d - 1;
+    }
+    f
 }
 
 impl HeatTable {
@@ -116,10 +150,54 @@ impl HeatTable {
     /// Empty table; with a [`CostModel`] the heat signal is the
     /// scalarized access cost, without one it is the flat weighted count.
     pub fn with_cost_model(cfg: HeatConfig, model: Option<CostModel>) -> Self {
+        let mut pow2 = [1.0f64; 64];
+        let hl = cfg.half_life.as_micros();
+        if hl > 0 {
+            for (j, p) in pow2.iter_mut().enumerate() {
+                *p = (-(((1u128 << j) as f64) / hl as f64)).exp2();
+            }
+        }
         Self {
             cfg,
             model,
-            segments: HashMap::new(),
+            pow2,
+            slots: Vec::new(),
+        }
+    }
+
+    /// `heat` decayed by `elapsed` under the cached factors. Decay-off
+    /// (`half_life == 0`) and zero elapsed return the value bit-for-bit
+    /// unchanged, exactly like [`Heat::decayed`].
+    #[inline]
+    fn decay(&self, heat: Heat, elapsed: SimDuration) -> Heat {
+        if self.cfg.half_life.as_micros() == 0 || elapsed.as_micros() == 0 {
+            heat
+        } else {
+            Heat(heat.value() * factor_of(&self.pow2, elapsed))
+        }
+    }
+
+    #[inline]
+    fn entry(&self, seg: SegmentId) -> Option<&SegmentHeat> {
+        self.slots.get(seg.raw() as usize).and_then(|o| o.as_ref())
+    }
+
+    /// Bring every tracked segment's heat current to `now` in one flat
+    /// pass. The monitoring loop calls this once per window, so the
+    /// planner's `node_heat`/`snapshot` reads inside the window hit
+    /// zero-elapsed entries and the record path only ever decays across
+    /// short intra-window deltas.
+    pub fn decay_sweep(&mut self, now: SimTime) {
+        if self.cfg.half_life.as_micros() == 0 {
+            return;
+        }
+        let pow2 = self.pow2;
+        for e in self.slots.iter_mut().flatten() {
+            let elapsed = now.since(e.last_touch);
+            if elapsed.as_micros() != 0 {
+                e.heat = Heat(e.heat.value() * factor_of(&pow2, elapsed));
+                e.last_touch = now;
+            }
         }
     }
 
@@ -146,8 +224,12 @@ impl HeatTable {
     }
 
     fn bump(&mut self, seg: SegmentId, now: SimTime, weight: f64) -> &mut SegmentHeat {
-        let half_life = self.cfg.half_life;
-        let e = self.segments.entry(seg).or_insert(SegmentHeat {
+        let idx = seg.raw() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        let slot = &mut self.slots[idx];
+        let e = slot.get_or_insert(SegmentHeat {
             heat: Heat::ZERO,
             reads: 0,
             writes: 0,
@@ -156,7 +238,11 @@ impl HeatTable {
             cost: CostVector::ZERO,
             last_touch: now,
         });
-        e.heat = e.heat.decayed(now.since(e.last_touch), half_life) + Heat(weight);
+        let elapsed = now.since(e.last_touch);
+        if self.cfg.half_life.as_micros() != 0 && elapsed.as_micros() != 0 {
+            e.heat = Heat(e.heat.value() * factor_of(&self.pow2, elapsed));
+        }
+        e.heat += Heat(weight);
         e.last_touch = now;
         e
     }
@@ -196,6 +282,52 @@ impl HeatTable {
         }
         if costed {
             e.cost += cost;
+        }
+    }
+
+    /// Weighted variant of [`HeatTable::record_access`]: one executed
+    /// carrier access standing in for `n` modeled accesses of the same
+    /// shape (pooled client mode). `cost` is the *per-access* vector; the
+    /// table scales heat, counters, and the accumulated cost by `n`.
+    /// Delegates to `record_access` at `n == 1`, so per-client runs are
+    /// bit-for-bit unaffected.
+    pub fn record_access_n(
+        &mut self,
+        seg: SegmentId,
+        now: SimTime,
+        kind: AccessKind,
+        cost: CostVector,
+        remote: bool,
+        n: u64,
+    ) {
+        if n == 1 {
+            return self.record_access(seg, now, kind, cost, remote);
+        }
+        let per = match &self.model {
+            Some(m) => m.heat_of(cost).value(),
+            None => {
+                let base = match kind {
+                    AccessKind::Read => self.cfg.read_weight,
+                    AccessKind::Write => self.cfg.write_weight,
+                };
+                base + if remote { self.cfg.remote_weight } else { 0.0 }
+            }
+        };
+        let costed = self.model.is_some();
+        let e = self.bump(seg, now, per * n as f64);
+        match kind {
+            AccessKind::Read => e.reads += n,
+            AccessKind::Write => e.writes += n,
+        }
+        if remote {
+            e.remote_fetches += n;
+        }
+        if costed {
+            e.cost += CostVector {
+                cpu: SimDuration::from_micros(cost.cpu.as_micros() * n),
+                pages: cost.pages * n,
+                net_bytes: cost.net_bytes * n,
+            };
         }
     }
 
@@ -239,18 +371,46 @@ impl HeatTable {
         self.bump(seg, now, w).remote_fetches += 1;
     }
 
+    /// `n` local reads at once (pooled carriers; delegates to
+    /// [`HeatTable::record_read`] at `n == 1`).
+    pub fn record_reads(&mut self, seg: SegmentId, now: SimTime, n: u64) {
+        if n == 1 {
+            return self.record_read(seg, now);
+        }
+        let w = self.cfg.read_weight * n as f64;
+        self.bump(seg, now, w).reads += n;
+    }
+
+    /// `n` write accesses at once (pooled carriers).
+    pub fn record_writes(&mut self, seg: SegmentId, now: SimTime, n: u64) {
+        if n == 1 {
+            return self.record_write(seg, now);
+        }
+        let w = self.cfg.write_weight * n as f64;
+        self.bump(seg, now, w).writes += n;
+    }
+
+    /// `n` remote-fetch surcharges at once (pooled carriers).
+    pub fn record_remote_fetches(&mut self, seg: SegmentId, now: SimTime, n: u64) {
+        if n == 1 {
+            return self.record_remote_fetch(seg, now);
+        }
+        let w = self.cfg.remote_weight * n as f64;
+        self.bump(seg, now, w).remote_fetches += n;
+    }
+
     /// The segment's heat decayed to `now` (zero for never-touched
     /// segments).
     pub fn heat_of(&self, seg: SegmentId, now: SimTime) -> Heat {
-        match self.segments.get(&seg) {
-            Some(e) => e.heat.decayed(now.since(e.last_touch), self.cfg.half_life),
+        match self.entry(seg) {
+            Some(e) => self.decay(e.heat, now.since(e.last_touch)),
             None => Heat::ZERO,
         }
     }
 
     /// Raw tracked state for a segment, if it was ever touched.
     pub fn stats(&self, seg: SegmentId) -> Option<&SegmentHeat> {
-        self.segments.get(&seg)
+        self.entry(seg)
     }
 
     /// Total heat of the segments stored on `node`, decayed to `now` —
@@ -266,7 +426,7 @@ impl HeatTable {
         let mut rows: Vec<SegmentHeatStat> = dir
             .iter()
             .map(|m| {
-                let tracked = self.segments.get(&m.id);
+                let tracked = self.entry(m.id);
                 SegmentHeatStat {
                     seg: m.id,
                     table: m.table,
@@ -786,5 +946,116 @@ mod tests {
         counted.record_scan(SegmentId(1), now, scan_cost);
         let h = counted.heat_of(SegmentId(1), now).value();
         assert!((h - counted.config().read_weight).abs() < 1e-9, "{h}");
+    }
+
+    // ------------------------------------------------- lazy-decay regression
+
+    /// The legacy per-touch arithmetic: decay with a fresh `exp2` on
+    /// every access (what `HeatTable::bump` did before the cached-factor
+    /// refactor).
+    struct LegacyRef {
+        heat: f64,
+        last: SimTime,
+        half_life: SimDuration,
+    }
+
+    impl LegacyRef {
+        fn touch(&mut self, now: SimTime, weight: f64) {
+            self.heat = Heat(self.heat)
+                .decayed(now.since(self.last), self.half_life)
+                .value()
+                + weight;
+            self.last = now;
+        }
+        fn at(&self, now: SimTime) -> f64 {
+            Heat(self.heat)
+                .decayed(now.since(self.last), self.half_life)
+                .value()
+        }
+    }
+
+    /// Irregular access gaps — prime-ish microsecond offsets so the
+    /// elapsed deltas exercise many bit patterns of the factor cache.
+    fn access_schedule() -> Vec<(SimTime, f64)> {
+        let mut out = Vec::new();
+        let mut t: u64 = 1;
+        for i in 0..200u64 {
+            t += 13 + (i * i * 7919) % 5_000_003;
+            out.push((SimTime(t), 1.0 + (i % 7) as f64));
+        }
+        out
+    }
+
+    /// An access-then-query sequence through the cached-factor path must
+    /// stay within 1e-9 of the legacy fresh-`exp2` arithmetic, with or
+    /// without interleaved window sweeps.
+    #[test]
+    fn cached_decay_matches_legacy_exp2_within_1e9() {
+        for sweep_every in [0usize, 3] {
+            let half_life = SimDuration::from_secs(30);
+            let mut t = HeatTable::new(HeatConfig {
+                half_life,
+                read_weight: 1.0,
+                write_weight: 2.0,
+                remote_weight: 0.5,
+            });
+            let mut r = LegacyRef {
+                heat: 0.0,
+                last: SimTime::ZERO,
+                half_life,
+            };
+            let seg = SegmentId(3);
+            for (i, &(now, w)) in access_schedule().iter().enumerate() {
+                t.bump(seg, now, w);
+                r.touch(now, w);
+                if sweep_every != 0 && i % sweep_every == 0 {
+                    t.decay_sweep(now);
+                }
+                let (new, old) = (t.heat_of(seg, now).value(), r.at(now));
+                let tol = 1e-9 * old.abs().max(1.0);
+                assert!(
+                    (new - old).abs() <= tol,
+                    "diverged at step {i} (sweep_every={sweep_every}): \
+                     cached {new} vs legacy {old}"
+                );
+                // …and when queried mid-idle, a half-life later.
+                let later = now + half_life;
+                let (new_l, old_l) = (t.heat_of(seg, later).value(), r.at(later));
+                assert!(
+                    (new_l - old_l).abs() <= 1e-9 * old_l.abs().max(1.0),
+                    "idle query diverged at step {i}: {new_l} vs {old_l}"
+                );
+            }
+        }
+    }
+
+    /// With decay off (`half_life = 0`) the refactor must be *bitwise*
+    /// identical to the legacy arithmetic: pure weight accumulation,
+    /// no factor ever applied, sweeps are no-ops.
+    #[test]
+    fn decay_off_is_bitwise_stable() {
+        let mut t = HeatTable::new(HeatConfig {
+            half_life: SimDuration::ZERO,
+            read_weight: 1.0,
+            write_weight: 2.0,
+            remote_weight: 0.5,
+        });
+        let mut r = LegacyRef {
+            heat: 0.0,
+            last: SimTime::ZERO,
+            half_life: SimDuration::ZERO,
+        };
+        let seg = SegmentId(5);
+        for (i, &(now, w)) in access_schedule().iter().enumerate() {
+            t.bump(seg, now, w);
+            r.touch(now, w);
+            t.decay_sweep(now);
+            let (new, old) = (t.heat_of(seg, now).value(), r.at(now));
+            assert_eq!(
+                new.to_bits(),
+                old.to_bits(),
+                "decay-off bits diverged at step {i}: {new} vs {old}"
+            );
+        }
     }
 }

@@ -73,3 +73,4 @@ pub use wattdb_telemetry::{
     DecisionRecord, MetricsRegistry, SignalVector, Span, SpanCollector, SpanId, Telemetry,
     TimelineExport, WindowSample,
 };
+pub use wattdb_tpcc::{ClientBatching, MAX_CARRIERS, POOL_AUTO_THRESHOLD};

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use wattdb_common::{Histogram, SimDuration, SimTime, TimeBuckets};
 use wattdb_sim::CostProfile;
+use wattdb_tpcc::TxnProfile;
 
 /// Cluster operating phase, for Fig. 7's per-phase breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,6 +31,9 @@ pub struct Metrics {
     pub profiles: HashMap<Phase, (u64, CostProfile)>,
     /// Transactions completed.
     pub completed: u64,
+    /// Completions by TPC-C profile, in modeled transactions (pooled
+    /// carriers count their full weight) — the observed transaction mix.
+    pub mix: HashMap<TxnProfile, u64>,
     /// Transactions aborted (before any successful retry).
     pub aborted: u64,
     /// Completions since the last power sample (J/query accounting).
@@ -48,6 +52,7 @@ impl Metrics {
             response_hist: Histogram::new(),
             profiles: HashMap::new(),
             completed: 0,
+            mix: HashMap::new(),
             aborted: 0,
             completions_since_sample: 0,
             rebalances: Vec::new(),
@@ -62,9 +67,24 @@ impl Metrics {
         phase: Phase,
         profile: CostProfile,
     ) {
-        self.completed += 1;
-        self.completions_since_sample += 1;
-        self.qps.record(now, 1.0);
+        self.record_completion_weighted(now, response, phase, profile, 1);
+    }
+
+    /// Record a carrier completion standing in for `weight` modeled
+    /// transactions (pooled client mode): throughput counters scale by
+    /// the weight, while the response-time series and the per-phase cost
+    /// profile sample the one transaction that actually executed.
+    pub fn record_completion_weighted(
+        &mut self,
+        now: SimTime,
+        response: SimDuration,
+        phase: Phase,
+        profile: CostProfile,
+        weight: u64,
+    ) {
+        self.completed += weight;
+        self.completions_since_sample += weight;
+        self.qps.record(now, weight as f64);
         self.response.record(now, response.as_millis_f64());
         self.response_hist.record(response);
         let slot = self

@@ -196,6 +196,10 @@ pub fn start_monitoring(
     Repeater::every(sim, period, move |sim| {
         let view = {
             let mut c = handle.borrow_mut();
+            // One flat decay pass per window: every heat read below (and
+            // any planner read inside the window) hits a zero-elapsed
+            // entry instead of paying per-segment decay on demand.
+            c.heat.decay_sweep(sim.now());
             let n = c.nodes.len();
             let mut view = ClusterView::default();
             for i in 0..n {

@@ -108,27 +108,42 @@ pub fn record_decision(
 }
 
 /// Freeze one monitoring window into the metrics registry: transaction
-/// throughput and response percentiles, per-node CPU/NIC/heat, replica
-/// shipping and read fan-out, WAL shipping lag, re-replication traffic,
-/// instantaneous watts, and Wh per committed transaction. Returns the
+/// throughput and response percentiles, engine speed, per-node
+/// CPU/NIC/heat, replica shipping and read fan-out, WAL shipping lag,
+/// re-replication traffic, instantaneous watts, and Wh per committed
+/// transaction. `events` is the simulator's cumulative executed-event
+/// count — a sim-domain quantity, so the derived engine-speed gauges
+/// stay deterministic (no wall clock enters the telemetry). Returns the
 /// window index (shared with this window's decision records).
-pub fn sample_window(c: &mut Cluster, view: &ClusterView, at: SimTime) -> u64 {
+pub fn sample_window(c: &mut Cluster, view: &ClusterView, at: SimTime, events: u64) -> u64 {
     // Throughput: completions since the previous window, over the
     // window length (the first window has no baseline and reads zero).
     let completed = c.metrics.completed;
     let aborted = c.metrics.aborted;
     let prev_completed = c.telemetry.registry.counter("txn.completed");
+    let prev_events = c.telemetry.registry.counter("engine.events");
     let prev_at = c.telemetry.registry.latest().map(|s| s.at);
-    let throughput = match prev_at {
+    let (throughput, events_per_sec) = match prev_at {
         Some(t0) if at > t0 => {
-            (completed.saturating_sub(prev_completed)) as f64 / at.since(t0).as_secs_f64()
+            let secs = at.since(t0).as_secs_f64();
+            (
+                (completed.saturating_sub(prev_completed)) as f64 / secs,
+                (events.saturating_sub(prev_events)) as f64 / secs,
+            )
         }
-        _ => 0.0,
+        _ => (0.0, 0.0),
     };
     let r = &mut c.telemetry.registry;
     r.set_counter("txn.completed", completed);
     r.set_counter("txn.aborted", aborted);
     r.set_gauge("txn.throughput", throughput);
+    // Engine speed, per *simulated* second: how many kernel events (and
+    // committed transactions) one second of virtual time costs. The
+    // pooled client mode exists to push txns-per-event up — these gauges
+    // make that visible per window.
+    r.set_counter("engine.events", events);
+    r.set_gauge("engine.events_per_sec", events_per_sec);
+    r.set_gauge("engine.txns_per_sec", throughput);
     for (name, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0)] {
         r.set_gauge(
             &format!("txn.response_ms.{name}"),

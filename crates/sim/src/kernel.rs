@@ -1,4 +1,27 @@
 //! The event loop: a virtual clock plus an ordered queue of continuations.
+//!
+//! # Queue layout — hierarchical timer wheel
+//!
+//! The kernel's traffic is dominated by short periodic timers: client
+//! think-times, WAL group-commit ticks, monitoring windows, power
+//! samples. A single `BinaryHeap` pays `O(log n)` per insert *and*
+//! allocates a boxed closure per firing, which caps how many clients a
+//! scenario can model. The queue is therefore split three ways:
+//!
+//! * a **timer wheel** of 256 buckets, each 1.024 ms wide, giving
+//!   `O(1)` insertion for everything within the ~262 ms horizon where
+//!   the periodic traffic lives;
+//! * an **overflow heap** for events beyond the horizon (rare: long
+//!   experiment timers, drift horizons);
+//! * a **current-batch heap** holding the events of the slot being
+//!   drained, so firing order stays exactly `(time, seq)` — byte-level
+//!   deterministic and FIFO on ties, same as the old single heap.
+//!
+//! Event payloads live in an **arena** with a free list. A one-shot
+//! event costs one closure box; a repeating event ([`Sim::every`])
+//! boxes its closure *once* and re-arms by reusing its arena slot, so a
+//! steady-state repeater firing performs **zero heap allocations**
+//! (asserted by the counting-allocator test in `tests/alloc_free.rs`).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -10,30 +33,65 @@ use wattdb_common::{SimDuration, SimTime};
 /// cluster state).
 pub type EventFn = Box<dyn FnOnce(&mut Sim)>;
 
+/// Closure of a repeating event: return `true` to fire again one period
+/// later, `false` to stop and release the entry.
+pub type RepeatFn = Box<dyn FnMut(&mut Sim) -> bool>;
+
+/// Slot width is `2^SLOT_SHIFT` µs = 1.024 ms (a power of two so the
+/// slot of a timestamp is a shift, not a division).
+const SLOT_SHIFT: u32 = 10;
+/// Number of wheel slots; horizon = 256 × 1.024 ms ≈ 262 ms.
+const WHEEL_SLOTS: u64 = 256;
+
+/// What an arena entry currently holds.
+enum EventKind {
+    /// Free-list link; `u32::MAX` terminates the list.
+    Empty {
+        next_free: u32,
+    },
+    Once(EventFn),
+    Repeat {
+        f: RepeatFn,
+        period: SimDuration,
+    },
+}
+
+/// Arena entry: the payload plus the `(at, seq)` key it is currently
+/// scheduled under.
 struct Entry {
     at: SimTime,
     seq: u64,
-    f: EventFn,
+    kind: EventKind,
 }
 
-impl PartialEq for Entry {
+/// Heap key referencing an arena entry. Ordered so the *earliest*
+/// `(at, seq)` pops first from `BinaryHeap` (which is a max-heap).
+struct Key {
+    at: SimTime,
+    seq: u64,
+    idx: u32,
+}
+
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
+impl Eq for Key {}
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Entry {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. seq breaks ties FIFO.
+        // Inverted so the earliest (time, seq) pops first. seq breaks
+        // ties FIFO.
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
+
+const NO_FREE: u32 = u32::MAX;
 
 /// The simulation kernel.
 ///
@@ -54,8 +112,25 @@ impl Ord for Entry {
 pub struct Sim {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Entry>,
     executed: u64,
+    /// Arena of event payloads; indices are stable while scheduled.
+    arena: Vec<Entry>,
+    /// Head of the arena free list (`NO_FREE` when exhausted).
+    free_head: u32,
+    /// Near-future buckets: slot `t & (WHEEL_SLOTS-1)` holds the
+    /// (unsorted) entries of wheel tick `t`, for ticks in
+    /// `(cursor, cursor + WHEEL_SLOTS)`.
+    wheel: Vec<Vec<u32>>,
+    /// Total entries across all wheel slots.
+    wheel_len: usize,
+    /// Events beyond the wheel horizon.
+    overflow: BinaryHeap<Key>,
+    /// Events of the tick currently being drained, in exact
+    /// `(at, seq)` order.
+    current: BinaryHeap<Key>,
+    /// Wheel tick the `current` batch was drained up to. All wheel
+    /// entries sit at ticks strictly greater than `cursor`.
+    cursor: u64,
 }
 
 impl Default for Sim {
@@ -64,14 +139,27 @@ impl Default for Sim {
     }
 }
 
+#[inline]
+fn tick_of(at: SimTime) -> u64 {
+    at.0 >> SLOT_SHIFT
+}
+
 impl Sim {
     /// A simulator at time zero with an empty queue.
     pub fn new() -> Self {
         Self {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
             executed: 0,
+            arena: Vec::new(),
+            free_head: NO_FREE,
+            // Pre-size each slot so the first event landing in a
+            // never-touched bucket doesn't allocate mid-run.
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::with_capacity(4)).collect(),
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            current: BinaryHeap::new(),
+            cursor: 0,
         }
     }
 
@@ -88,7 +176,109 @@ impl Sim {
 
     /// Number of events currently pending.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.current.len() + self.wheel_len + self.overflow.len()
+    }
+
+    /// Grab an arena slot off the free list (or grow the arena) and
+    /// fill it.
+    fn alloc_entry(&mut self, at: SimTime, seq: u64, kind: EventKind) -> u32 {
+        if self.free_head != NO_FREE {
+            let idx = self.free_head;
+            let e = &mut self.arena[idx as usize];
+            self.free_head = match e.kind {
+                EventKind::Empty { next_free } => next_free,
+                _ => unreachable!("free-list entry not empty"),
+            };
+            e.at = at;
+            e.seq = seq;
+            e.kind = kind;
+            idx
+        } else {
+            let idx = u32::try_from(self.arena.len()).expect("event arena overflow");
+            self.arena.push(Entry { at, seq, kind });
+            idx
+        }
+    }
+
+    fn release_entry(&mut self, idx: u32) {
+        self.arena[idx as usize].kind = EventKind::Empty {
+            next_free: self.free_head,
+        };
+        self.free_head = idx;
+    }
+
+    /// File an already-allocated entry under its `(at, seq)` key.
+    fn enqueue(&mut self, idx: u32) {
+        let (at, seq) = {
+            let e = &self.arena[idx as usize];
+            (e.at, e.seq)
+        };
+        let tick = tick_of(at);
+        if tick <= self.cursor {
+            // The entry's tick has already been drained (or is being
+            // drained): join the current batch directly. `schedule`
+            // guarantees `at >= now`, so order is still honoured.
+            self.current.push(Key { at, seq, idx });
+        } else if tick - self.cursor < WHEEL_SLOTS {
+            self.wheel[(tick & (WHEEL_SLOTS - 1)) as usize].push(idx);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Key { at, seq, idx });
+        }
+    }
+
+    /// Ensure `current` holds the next batch of runnable events.
+    /// Returns `false` when nothing is pending anywhere.
+    fn refill_current(&mut self) -> bool {
+        if !self.current.is_empty() {
+            return true;
+        }
+        if self.wheel_len == 0 && self.overflow.is_empty() {
+            return false;
+        }
+        // Earliest occupied wheel tick, if any. Slots map back to a
+        // unique tick in (cursor, cursor + WHEEL_SLOTS), so scanning
+        // the next WHEEL_SLOTS-1 ticks visits each slot once.
+        let mut next_tick = None;
+        if self.wheel_len > 0 {
+            for t in (self.cursor + 1)..(self.cursor + WHEEL_SLOTS) {
+                if !self.wheel[(t & (WHEEL_SLOTS - 1)) as usize].is_empty() {
+                    next_tick = Some(t);
+                    break;
+                }
+            }
+        }
+        // An overflow entry can be earlier than every wheel entry once
+        // the cursor has advanced past its insertion horizon.
+        if let Some(k) = self.overflow.peek() {
+            let t = tick_of(k.at);
+            if next_tick.is_none_or(|w| t < w) {
+                next_tick = Some(t);
+            }
+        }
+        let tick = next_tick.expect("pending count said non-empty");
+        self.cursor = tick;
+        if self.wheel_len > 0 {
+            let slot = &mut self.wheel[(tick & (WHEEL_SLOTS - 1)) as usize];
+            self.wheel_len -= slot.len();
+            for idx in slot.drain(..) {
+                let e = &self.arena[idx as usize];
+                debug_assert_eq!(tick_of(e.at), tick);
+                self.current.push(Key {
+                    at: e.at,
+                    seq: e.seq,
+                    idx,
+                });
+            }
+        }
+        while let Some(k) = self.overflow.peek() {
+            if tick_of(k.at) != tick {
+                break;
+            }
+            let k = self.overflow.pop().expect("peeked");
+            self.current.push(k);
+        }
+        true
     }
 
     /// Schedule `f` at absolute time `at`. Scheduling in the past is a logic
@@ -101,11 +291,8 @@ impl Sim {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry {
-            at,
-            seq,
-            f: Box::new(f),
-        });
+        let idx = self.alloc_entry(at, seq, EventKind::Once(Box::new(f)));
+        self.enqueue(idx);
     }
 
     /// Schedule `f` after a relative delay.
@@ -113,18 +300,66 @@ impl Sim {
         self.schedule(self.now + delay, f);
     }
 
+    /// Repeat `f` every `period`, first firing one period from now.
+    /// The closure is boxed once; each firing re-arms by reusing the
+    /// same arena entry, so steady-state repetition allocates nothing.
+    pub fn every(&mut self, period: SimDuration, f: impl FnMut(&mut Sim) -> bool + 'static) {
+        assert!(period.as_micros() > 0, "repeater period must be positive");
+        let at = self.now + period;
+        let seq = self.seq;
+        self.seq += 1;
+        let idx = self.alloc_entry(
+            at,
+            seq,
+            EventKind::Repeat {
+                f: Box::new(f),
+                period,
+            },
+        );
+        self.enqueue(idx);
+    }
+
     /// Execute the next event, if any. Returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            Some(e) => {
-                debug_assert!(e.at >= self.now);
-                self.now = e.at;
-                self.executed += 1;
-                (e.f)(self);
-                true
-            }
-            None => false,
+        if !self.refill_current() {
+            return false;
         }
+        let key = self.current.pop().expect("refill_current said non-empty");
+        debug_assert!(key.at >= self.now);
+        self.now = key.at;
+        self.executed += 1;
+        // Move the payload out so the arena isn't borrowed while the
+        // closure runs (events freely schedule more events).
+        let kind = std::mem::replace(
+            &mut self.arena[key.idx as usize].kind,
+            EventKind::Empty { next_free: NO_FREE },
+        );
+        match kind {
+            EventKind::Once(f) => {
+                self.release_entry(key.idx);
+                f(self);
+            }
+            EventKind::Repeat { mut f, period } => {
+                if f(self) {
+                    // Re-arm in place: same entry, same closure box,
+                    // fresh (at, seq) — identical ordering to the old
+                    // "schedule a new closure after each firing" path
+                    // without its per-period allocation.
+                    let at = self.now + period;
+                    let seq = self.seq;
+                    self.seq += 1;
+                    let e = &mut self.arena[key.idx as usize];
+                    e.at = at;
+                    e.seq = seq;
+                    e.kind = EventKind::Repeat { f, period };
+                    self.enqueue(key.idx);
+                } else {
+                    self.release_entry(key.idx);
+                }
+            }
+            EventKind::Empty { .. } => unreachable!("scheduled entry was empty"),
+        }
+        true
     }
 
     /// Run until the queue drains. Returns events executed by this call.
@@ -138,8 +373,9 @@ impl Sim {
     /// `t` (even if idle). Returns events executed by this call.
     pub fn run_until(&mut self, t: SimTime) -> u64 {
         let before = self.executed;
-        while let Some(e) = self.queue.peek() {
-            if e.at > t {
+        while self.refill_current() {
+            let next_at = self.current.peek().expect("refilled").at;
+            if next_at > t {
                 break;
             }
             self.step();
@@ -258,6 +494,79 @@ mod tests {
         assert_eq!(sim.pending(), 2);
         sim.run_to_completion();
         assert_eq!(sim.events_executed(), 2);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    // ---- timer-wheel specifics ----
+
+    /// Interleaved near (wheel), far (overflow), and same-tick events
+    /// still fire in exact (time, seq) order.
+    #[test]
+    fn wheel_and_overflow_interleave_in_order() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        // Far beyond the 262 ms horizon → overflow heap.
+        sim.schedule(SimTime::from_secs(10), mk(4));
+        // Within the horizon → wheel.
+        sim.schedule(SimTime::from_millis(100), mk(1));
+        sim.schedule(SimTime::from_millis(200), mk(2));
+        // Same wheel slot as event 1 but later micros within it.
+        sim.schedule(SimTime::from_micros(100_500), mk(5));
+        // Beyond horizon, earlier than the other overflow event.
+        sim.schedule(SimTime::from_secs(5), mk(3));
+        sim.run_to_completion();
+        let order: Vec<u32> = log.borrow().iter().map(|&(_, t)| t).collect();
+        assert_eq!(order, vec![1, 5, 2, 3, 4]);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    /// Overflow events whose tick has entered the horizon fire before
+    /// later wheel events scheduled afterwards.
+    #[test]
+    fn overflow_entering_horizon_beats_fresh_wheel_events() {
+        let mut sim = Sim::new();
+        let (log, mk) = recorder();
+        sim.schedule(SimTime::from_secs(1), mk(1)); // overflow at t=0
+        let late = mk(2);
+        sim.schedule(SimTime::from_millis(990), move |sim| {
+            // Now the 1 s event is within the wheel horizon of `now`.
+            sim.after(SimDuration::from_millis(50), late); // t = 1.04 s
+        });
+        sim.run_to_completion();
+        let order: Vec<u32> = log.borrow().iter().map(|&(_, t)| t).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn arena_slots_are_reused() {
+        let mut sim = Sim::new();
+        for round in 0..100u64 {
+            sim.after(SimDuration::from_millis(1), |_| {});
+            sim.run_until(SimTime::from_millis(round + 1));
+        }
+        // One live event at a time → the arena never grows past the
+        // first allocation.
+        assert_eq!(sim.arena.len(), 1);
+    }
+
+    #[test]
+    fn kernel_every_repeats_and_stops() {
+        let mut sim = Sim::new();
+        let hits: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        sim.every(SimDuration::from_secs(1), move |sim| {
+            h.borrow_mut().push(sim.now());
+            h.borrow().len() < 3
+        });
+        sim.run_to_completion();
+        assert_eq!(
+            *hits.borrow(),
+            vec![
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                SimTime::from_secs(3)
+            ]
+        );
         assert_eq!(sim.pending(), 0);
     }
 }

@@ -19,7 +19,7 @@ pub mod probe;
 pub mod profile;
 pub mod resource;
 
-pub use kernel::{EventFn, Sim};
+pub use kernel::{EventFn, RepeatFn, Sim};
 pub use probe::{Repeater, UtilizationProbe};
 pub use profile::{CostCategory, CostProfile};
 pub use resource::{Resource, ResourceHandle, ResourceStats};

@@ -61,17 +61,11 @@ pub struct Repeater;
 impl Repeater {
     /// Start repeating `f` every `period`, with the first firing one period
     /// from now.
+    ///
+    /// Thin wrapper over [`Sim::every`], which re-arms by reusing the
+    /// event's arena entry — a steady-state firing allocates nothing.
     pub fn every(sim: &mut Sim, period: SimDuration, f: impl FnMut(&mut Sim) -> bool + 'static) {
-        assert!(period.as_micros() > 0, "repeater period must be positive");
-        Self::arm(sim, period, f);
-    }
-
-    fn arm(sim: &mut Sim, period: SimDuration, mut f: impl FnMut(&mut Sim) -> bool + 'static) {
-        sim.after(period, move |sim| {
-            if f(sim) {
-                Self::arm(sim, period, f);
-            }
-        });
+        sim.every(period, f);
     }
 }
 

@@ -85,6 +85,12 @@ impl Client {
         self.completed += 1;
     }
 
+    /// Record `n` completions at once: a pooled carrier's one executed
+    /// transaction completes on behalf of `weight` modeled clients.
+    pub fn complete_n(&mut self, n: u64) {
+        self.completed += n;
+    }
+
     /// Client's private random stream (for key selection).
     pub fn rng(&mut self) -> &mut DetRng {
         &mut self.rng

@@ -9,11 +9,13 @@
 
 pub mod client;
 pub mod gen;
+pub mod pool;
 pub mod schema;
 pub mod txns;
 
 pub use client::{spawn_clients, spawn_clients_skewed, Client, ClientConfig};
 pub use gen::{item_rows, warehouse_rows, GenRow, TpccConfig};
+pub use pool::{carrier_split, ClientBatching, ClientPool, MAX_CARRIERS, POOL_AUTO_THRESHOLD};
 pub use schema::{
     key_district, key_entity, key_warehouse, keys, warehouse_range, wkey, TpccTable, ITEM_ROWS,
 };

@@ -1,0 +1,254 @@
+//! Aggregated client arrival process — N modeled clients, one repeater.
+//!
+//! §5.1's closed-loop client model spawns one think-timer event per
+//! client per transaction; at 10⁵–10⁶ clients the per-client timers *are*
+//! the workload. [`ClientPool`] batches them: the modeled population is
+//! folded onto a bounded set of **carrier** clients (each representing
+//! [`ClientPool::weight`] modeled clients), and a single periodic tick
+//! drives a deterministic batched arrival process.
+//!
+//! Per tick of width `dt`, each thinking carrier independently finishes
+//! its think (mean `T`) with probability `p = dt/T` — so the pool's
+//! arrival counts are Binomial(thinking, p) draws and per-carrier think
+//! times are geometric with mean exactly `T`, the rate-preserving
+//! discretization of N independent exponential think timers.
+//! Completed carriers re-enter the thinking set and the loop closes,
+//! preserving the closed-loop property (throughput limited client-side).
+//!
+//! What stays statistically identical to per-client mode:
+//!
+//! * the transaction mix — carriers draw profiles from the same per-client
+//!   derived RNG streams;
+//! * the per-warehouse skew — carriers are homed by the same round-robin /
+//!   hot-fraction rules over the same warehouse count;
+//! * the offered load — `carriers / weight × (T + R)` reproduces the
+//!   modeled population's throughput, with each executed carrier
+//!   transaction charged `weight`× into metrics, heat, and resource
+//!   occupancy.
+//!
+//! What is approximated: think times are quantized to the tick width
+//! (`dt = T/4`, so the quantization error is well inside the exponential
+//! distribution's own spread), and response-time percentiles sample one
+//! carrier execution per `weight` modeled transactions.
+
+use wattdb_common::{DetRng, SimDuration};
+
+/// How `spawn_clients`/`spawn_clients_skewed` decide between per-client
+/// think timers and the pooled arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientBatching {
+    /// Pooled above [`POOL_AUTO_THRESHOLD`] modeled clients, per-client
+    /// below it.
+    #[default]
+    Auto,
+    /// Always one think timer per client (the legacy behaviour).
+    PerClient,
+    /// Always the pooled arrival process, whatever the population.
+    Pooled,
+}
+
+/// Modeled-client count above which [`ClientBatching::Auto`] switches to
+/// the pooled arrival process.
+pub const POOL_AUTO_THRESHOLD: u32 = 4_096;
+
+/// Carrier-population cap: a pooled spawn never materializes more than
+/// this many carrier clients; the remainder is folded into per-carrier
+/// weight.
+pub const MAX_CARRIERS: u32 = 2_048;
+
+impl ClientBatching {
+    /// Does a population of `n` modeled clients run pooled under this
+    /// setting?
+    pub fn pooled(self, n: u32) -> bool {
+        match self {
+            ClientBatching::Auto => n > POOL_AUTO_THRESHOLD,
+            ClientBatching::PerClient => false,
+            ClientBatching::Pooled => true,
+        }
+    }
+}
+
+/// Carrier count and per-carrier weight for a pooled population of `n`
+/// modeled clients: `weight = ceil(n / MAX_CARRIERS)` and
+/// `carriers = ceil(n / weight)`, so `carriers × weight ≥ n` with at
+/// most one carrier of slack and weight 1 whenever the population fits.
+pub fn carrier_split(n: u32) -> (u32, u64) {
+    let weight = (n as u64).div_ceil(MAX_CARRIERS as u64).max(1);
+    let carriers = ((n as u64).div_ceil(weight) as u32).max(1);
+    (carriers, weight)
+}
+
+/// The aggregated arrival process over a set of carrier clients.
+///
+/// The pool owns only the arrival state — which carriers are thinking,
+/// the tick width, the Bernoulli parameter — while the carriers
+/// themselves stay ordinary [`crate::Client`]s in the cluster's client
+/// vector, so the whole executor path (profiles, key RNG streams,
+/// backoff) is unchanged.
+#[derive(Debug)]
+pub struct ClientPool {
+    /// Modeled clients represented by each carrier.
+    weight: u64,
+    /// Total modeled population.
+    modeled: u64,
+    /// Arrival tick width.
+    tick: SimDuration,
+    /// Per-tick completion probability of one thinking carrier.
+    p: f64,
+    /// Carriers currently in their think phase (unordered).
+    thinking: Vec<u32>,
+    rng: DetRng,
+}
+
+impl ClientPool {
+    /// A pool over `carriers` carrier clients, each representing
+    /// `weight` modeled clients of a `modeled`-strong population with
+    /// the given mean think time. All carriers start thinking.
+    pub fn new(
+        carriers: u32,
+        weight: u64,
+        modeled: u64,
+        think_mean: SimDuration,
+        rng: DetRng,
+    ) -> Self {
+        // A quarter of the mean think time keeps the discretization
+        // error far inside the exponential's own spread while bounding
+        // the tick rate; the floor keeps degenerate configs sane.
+        let tick_us = (think_mean.as_micros() / 4).max(1_000);
+        // p = dt/T, with each arrival jittered uniformly inside its tick
+        // (see [`ClientPool::arrivals`]): a carrier parks mid-tick (dt/2
+        // to its first trial on average), waits (1/p − 1)·dt of geometric
+        // trials, and fires dt/2 of jitter into the winning tick — summing
+        // to exactly T. The jitter also breaks up the tick-boundary
+        // thundering herd that synchronized arrivals would inflict on the
+        // lock manager and the resource queues.
+        let p = (tick_us as f64 / think_mean.as_micros().max(1) as f64).min(1.0);
+        Self {
+            weight,
+            modeled,
+            tick: SimDuration::from_micros(tick_us),
+            p,
+            thinking: (0..carriers).collect(),
+            rng,
+        }
+    }
+
+    /// Modeled clients per carrier (the multiplier for metrics, heat,
+    /// and resource occupancy of each executed carrier transaction).
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// Total modeled population.
+    pub fn modeled(&self) -> u64 {
+        self.modeled
+    }
+
+    /// Arrival tick width (the single repeater's period).
+    pub fn tick(&self) -> SimDuration {
+        self.tick
+    }
+
+    /// Carriers currently thinking.
+    pub fn thinking_len(&self) -> usize {
+        self.thinking.len()
+    }
+
+    /// Draw one tick's arrivals: each thinking carrier finishes its
+    /// think with probability `p`, independently — a Binomial draw whose
+    /// members are removed from the thinking set and returned for
+    /// submission, each with a uniform offset inside the upcoming tick.
+    /// The offsets spread the batch over the tick (per-client arrivals
+    /// are not synchronized, and neither should carrier arrivals be) and
+    /// complete the mean-`T` think-time accounting. Order and offsets are
+    /// fully determined by the pool's RNG stream.
+    pub fn arrivals(&mut self) -> Vec<(u32, SimDuration)> {
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.thinking.len() {
+            if self.rng.chance(self.p) {
+                let carrier = self.thinking.swap_remove(i);
+                let jitter = self.rng.uniform(0, self.tick.as_micros().saturating_sub(1));
+                due.push((carrier, SimDuration::from_micros(jitter)));
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// Return a carrier to the thinking set (its transaction finished
+    /// or was abandoned).
+    pub fn park(&mut self, carrier: u32) {
+        debug_assert!(!self.thinking.contains(&carrier), "double park");
+        self.thinking.push(carrier);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_mode_switches_at_the_threshold() {
+        assert!(!ClientBatching::Auto.pooled(POOL_AUTO_THRESHOLD));
+        assert!(ClientBatching::Auto.pooled(POOL_AUTO_THRESHOLD + 1));
+        assert!(!ClientBatching::PerClient.pooled(1_000_000));
+        assert!(ClientBatching::Pooled.pooled(1));
+    }
+
+    #[test]
+    fn carrier_split_covers_the_population() {
+        for n in [1u32, 10, 2_048, 2_049, 10_000, 100_000, 1_000_000] {
+            let (carriers, weight) = carrier_split(n);
+            assert!(carriers <= MAX_CARRIERS);
+            assert!(carriers as u64 * weight >= n as u64, "n={n}");
+            assert!((carriers as u64 - 1) * weight < n as u64, "n={n}");
+        }
+        assert_eq!(carrier_split(100), (100, 1), "small populations: weight 1");
+    }
+
+    #[test]
+    fn arrival_rate_matches_the_think_time() {
+        let think = SimDuration::from_millis(100);
+        let mut pool = ClientPool::new(1_000, 1, 1_000, think, DetRng::new(7));
+        // Carriers parked right back each tick: draws per carrier are
+        // geometric with success dt/T, so the draw rate is
+        // carriers / T ≈ 10_000/s (the in-engine jitter shifts *when* in
+        // the tick each fires, not how many fire).
+        let ticks_per_sec = 1_000_000 / pool.tick().as_micros();
+        let mut total = 0u64;
+        let secs = 20;
+        for _ in 0..(ticks_per_sec * secs) {
+            let due = pool.arrivals();
+            total += due.len() as u64;
+            for (c, jitter) in due {
+                assert!(jitter < pool.tick());
+                pool.park(c);
+            }
+        }
+        let per_sec = total as f64 / secs as f64;
+        assert!(
+            (per_sec - 10_000.0).abs() < 300.0,
+            "arrival rate {per_sec}/s, expected ~10000/s"
+        );
+    }
+
+    #[test]
+    fn arrivals_drain_and_parks_refill() {
+        let mut pool = ClientPool::new(4, 25, 100, SimDuration::from_millis(1), DetRng::new(3));
+        assert_eq!(pool.weight(), 25);
+        assert_eq!(pool.thinking_len(), 4);
+        let mut out = 0;
+        for _ in 0..10_000 {
+            out += pool.arrivals().len();
+            if pool.thinking_len() == 0 {
+                break;
+            }
+        }
+        assert_eq!(out, 4, "every carrier eventually arrives");
+        assert_eq!(pool.thinking_len(), 0);
+        pool.park(2);
+        assert_eq!(pool.thinking_len(), 1);
+    }
+}

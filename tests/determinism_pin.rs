@@ -1,0 +1,72 @@
+//! Determinism pin across engine-speed refactors.
+//!
+//! The timer-wheel kernel and the lazy heat decay are pure performance
+//! work: a fixed-seed per-client run must export the exact same
+//! telemetry timeline bytes as before. These tests pin that surface —
+//! two in-process runs must agree byte-for-byte, and the FNV-1a hash of
+//! the export is printed so a refactor can be checked against the
+//! previous build's output (`cargo test -q --test determinism_pin --
+//! --nocapture`).
+
+use wattdb_common::{NodeId, SimDuration};
+use wattdb_core::api::WattDb;
+use wattdb_core::cluster::Scheme;
+use wattdb_core::policy::PolicyConfig;
+
+const WINDOW_SECS: u64 = 5;
+
+fn skew_only() -> PolicyConfig {
+    PolicyConfig {
+        cpu_high: 1.1,
+        cpu_low: 0.0,
+        patience: 2,
+        skew_threshold: 1.5,
+        skew_min_heat: 1.0,
+        skew_cooldown: 4,
+        ..Default::default()
+    }
+}
+
+/// Policy-matrix-style stationary scenario driven by real OLTP clients
+/// (per-client mode): skewed load hammers warehouse 0 on node 0.
+fn oltp_run() -> WattDb {
+    let mut db = WattDb::builder()
+        .nodes(4)
+        .scheme(Scheme::Physiological)
+        .warehouses(4)
+        .density(0.05)
+        .segment_pages(8)
+        .seed(17)
+        .initial_data_nodes(&[NodeId(0), NodeId(1)])
+        .policy(skew_only())
+        .monitoring(SimDuration::from_secs(WINDOW_SECS))
+        .autopilot(true)
+        .build();
+    db.start_oltp_skewed(24, SimDuration::from_millis(40), 0.85, 1);
+    db.run_for(SimDuration::from_secs(WINDOW_SECS * 24));
+    db.stop_clients();
+    db.run_for(SimDuration::from_secs(WINDOW_SECS));
+    db
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn per_client_export_is_byte_stable_across_runs() {
+    let a = oltp_run().export_timeline_string();
+    let b = oltp_run().export_timeline_string();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "fixed-seed per-client exports must be byte-identical");
+    println!(
+        "determinism pin: fnv1a={:016x} len={}",
+        fnv1a(a.as_bytes()),
+        a.len()
+    );
+}

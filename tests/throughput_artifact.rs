@@ -1,0 +1,178 @@
+//! Schema validation and regression smoke threshold for the
+//! `engine_throughput` bench artifact.
+//!
+//! CI runs this after `cargo bench --bench engine_throughput` has
+//! written `BENCH_throughput.json` at the repo root: the artifact must
+//! carry every cell of the {1×, 10×, 100×} × {per-client, pooled}
+//! matrix with well-typed fields, and the pooled 100× cell's
+//! wall-clock-per-sim-second must not regress to ≥2× the committed
+//! baseline (`crates/bench/baseline/engine_throughput.json`). When the
+//! artifact is absent (plain `cargo test` before any bench run) the
+//! schema contract is still exercised against an inline exemplar.
+
+use std::path::{Path, PathBuf};
+
+use wattdb_telemetry::json::{parse, JsonValue};
+
+fn artifact_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json")
+}
+
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../crates/bench/baseline/engine_throughput.json")
+}
+
+/// Every numeric field a cell must carry.
+const CELL_NUMS: &[&str] = &[
+    "modeled_clients",
+    "carriers",
+    "weight",
+    "sim_secs",
+    "wall_secs",
+    "events",
+    "committed_txns",
+    "events_per_wall_sec",
+    "committed_txns_per_wall_sec",
+    "wall_per_sim_sec",
+];
+
+/// The full matrix: (scale, mode) pairs that must all be present.
+const MATRIX: &[(&str, &str)] = &[
+    ("1x", "per-client"),
+    ("1x", "pooled"),
+    ("10x", "per-client"),
+    ("10x", "pooled"),
+    ("100x", "per-client"),
+    ("100x", "pooled"),
+];
+
+/// Validate the document shape and return the pooled 100× cell's
+/// wall-clock-per-sim-second.
+fn validate(doc: &JsonValue) -> f64 {
+    assert_eq!(
+        doc.get("bench").and_then(|v| v.as_str()),
+        Some("engine_throughput"),
+        "artifact must identify itself"
+    );
+    let cells = doc
+        .get("cells")
+        .and_then(|v| v.as_arr())
+        .expect("cells array");
+    assert_eq!(cells.len(), MATRIX.len(), "all matrix cells present");
+    for (scale, mode) in MATRIX {
+        let cell = cells
+            .iter()
+            .find(|c| {
+                c.get("scale").and_then(|v| v.as_str()) == Some(scale)
+                    && c.get("mode").and_then(|v| v.as_str()) == Some(mode)
+            })
+            .unwrap_or_else(|| panic!("missing cell {scale}/{mode}"));
+        for field in CELL_NUMS {
+            let v = cell
+                .get(field)
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("cell {scale}/{mode} missing numeric {field}"));
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "cell {scale}/{mode} field {field} must be finite and non-negative"
+            );
+        }
+        assert!(
+            cell.get("full_run").and_then(|v| v.as_bool()).is_some(),
+            "cell {scale}/{mode} missing full_run flag"
+        );
+        let committed = cell.get("committed_txns").and_then(|v| v.as_u64()).unwrap();
+        assert!(committed > 0, "cell {scale}/{mode} committed no work");
+    }
+    let pooled100 = cells
+        .iter()
+        .find(|c| {
+            c.get("scale").and_then(|v| v.as_str()) == Some("100x")
+                && c.get("mode").and_then(|v| v.as_str()) == Some("pooled")
+        })
+        .unwrap();
+    assert_eq!(
+        pooled100.get("full_run").and_then(|v| v.as_bool()),
+        Some(true),
+        "pooled 100x must complete its full horizon"
+    );
+    let speedup = doc
+        .get("speedup_pooled100x_vs_perclient10x_txns_per_wall_sec")
+        .and_then(|v| v.as_f64())
+        .expect("speedup summary field");
+    assert!(
+        speedup >= 10.0,
+        "pooled@100x must hold >=10x committed txns/wall-sec over per-client@10x, got {speedup}"
+    );
+    pooled100
+        .get("wall_per_sim_sec")
+        .and_then(|v| v.as_f64())
+        .unwrap()
+}
+
+#[test]
+fn bench_throughput_artifact_is_schema_valid_when_present() {
+    let path = artifact_path();
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "note: {} not present, skipping artifact pass",
+            path.display()
+        );
+        return;
+    };
+    let doc = parse(&text)
+        .unwrap_or_else(|e| panic!("{} failed schema validation: {e:?}", path.display()));
+    validate(&doc);
+}
+
+/// The regression smoke threshold: a fresh pooled 100× run must not
+/// cost ≥2× the committed baseline's wall-clock-per-sim-second. The 2×
+/// margin absorbs machine-to-machine variance while still catching a
+/// hot-path regression that undoes the batching work.
+#[test]
+fn pooled_100x_wall_clock_within_2x_of_committed_baseline() {
+    let path = artifact_path();
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "note: {} not present, skipping smoke threshold",
+            path.display()
+        );
+        return;
+    };
+    let doc = parse(&text).expect("artifact parses");
+    let measured = validate(&doc);
+    let baseline_text =
+        std::fs::read_to_string(baseline_path()).expect("committed baseline must exist");
+    let baseline = parse(&baseline_text).expect("baseline parses");
+    let allowed = baseline
+        .get("pooled_100x_wall_per_sim_sec")
+        .and_then(|v| v.as_f64())
+        .expect("baseline pooled_100x_wall_per_sim_sec");
+    assert!(
+        measured < 2.0 * allowed,
+        "pooled 100x wall-clock-per-sim-second regressed: measured {measured:.5}, \
+         committed baseline {allowed:.5} (threshold {:.5})",
+        2.0 * allowed
+    );
+}
+
+/// The schema contract itself, exercised even when no artifact exists.
+#[test]
+fn inline_exemplar_round_trips_the_schema() {
+    let exemplar = r#"{
+  "bench": "engine_throughput",
+  "cells": [
+    {"scale": "1x", "mode": "per-client", "modeled_clients": 1000, "carriers": 1000, "weight": 1, "sim_secs": 30.0, "wall_secs": 0.3, "events": 60000, "committed_txns": 3000, "events_per_wall_sec": 200000.0, "committed_txns_per_wall_sec": 10000.0, "wall_per_sim_sec": 0.01, "full_run": true},
+    {"scale": "1x", "mode": "pooled", "modeled_clients": 1000, "carriers": 1000, "weight": 1, "sim_secs": 30.0, "wall_secs": 0.25, "events": 60000, "committed_txns": 3000, "events_per_wall_sec": 240000.0, "committed_txns_per_wall_sec": 12000.0, "wall_per_sim_sec": 0.008, "full_run": true},
+    {"scale": "10x", "mode": "per-client", "modeled_clients": 10000, "carriers": 10000, "weight": 1, "sim_secs": 30.0, "wall_secs": 230.0, "events": 370000, "committed_txns": 14000, "events_per_wall_sec": 1600.0, "committed_txns_per_wall_sec": 60.0, "wall_per_sim_sec": 7.7, "full_run": true},
+    {"scale": "10x", "mode": "pooled", "modeled_clients": 10000, "carriers": 2000, "weight": 5, "sim_secs": 30.0, "wall_secs": 1.2, "events": 192000, "committed_txns": 29000, "events_per_wall_sec": 160000.0, "committed_txns_per_wall_sec": 24000.0, "wall_per_sim_sec": 0.04, "full_run": true},
+    {"scale": "100x", "mode": "per-client", "modeled_clients": 100000, "carriers": 100000, "weight": 1, "sim_secs": 1.0, "wall_secs": 20.0, "events": 30000, "committed_txns": 500, "events_per_wall_sec": 1500.0, "committed_txns_per_wall_sec": 25.0, "wall_per_sim_sec": 20.0, "full_run": false},
+    {"scale": "100x", "mode": "pooled", "modeled_clients": 100000, "carriers": 2048, "weight": 49, "sim_secs": 30.0, "wall_secs": 9.0, "events": 180000, "committed_txns": 90000, "events_per_wall_sec": 20000.0, "committed_txns_per_wall_sec": 10000.0, "wall_per_sim_sec": 0.3, "full_run": true}
+  ],
+  "speedup_pooled100x_vs_perclient10x_txns_per_wall_sec": 166.67
+}
+"#;
+    let doc = parse(exemplar).expect("exemplar parses");
+    let wall_per_sim = validate(&doc);
+    assert!(wall_per_sim > 0.0);
+}
