@@ -36,7 +36,7 @@ use wattdb_energy::NodeState;
 use wattdb_planner::{HelperPlan, Plan, Planner};
 use wattdb_replica::ReplicaMap;
 use wattdb_sim::{Sim, UtilizationProbe};
-use wattdb_tpcc::{ClientConfig, TpccConfig};
+use wattdb_tpcc::{ClientConfig, LoadTrace, TpccConfig};
 use wattdb_txn::CcMode;
 
 use crate::autopilot::{AutoPilot, AutoPilotConfig, ControlEvent};
@@ -55,6 +55,7 @@ pub struct WattDbBuilder {
     monitoring: SimDuration,
     autopilot: bool,
     telemetry: bool,
+    trace: Option<(LoadTrace, SimDuration)>,
 }
 
 impl Default for WattDbBuilder {
@@ -67,6 +68,7 @@ impl Default for WattDbBuilder {
             monitoring: SimDuration::from_secs(5),
             autopilot: false,
             telemetry: false,
+            trace: None,
         }
     }
 }
@@ -259,6 +261,17 @@ impl WattDbBuilder {
         self
     }
 
+    /// Start a trace-driven workload at build time: the
+    /// [`LoadTrace`]'s target-client schedule begins at t = 0 with the
+    /// default mean think time ([`ClientConfig::default`]). Equivalent
+    /// to calling [`WattDb::start_traced_oltp`] right after `build()`;
+    /// use the facade call to pick a different think time or a later
+    /// start.
+    pub fn workload_trace(mut self, trace: LoadTrace) -> Self {
+        self.trace = Some((trace, ClientConfig::default().think_time));
+        self
+    }
+
     /// Build, load TPC-C, start the power sampler, and — when requested —
     /// engage the autopilot.
     pub fn build(self) -> WattDb {
@@ -301,12 +314,16 @@ impl WattDbBuilder {
                 },
             );
         }
-        WattDb {
+        let mut db = WattDb {
             sim,
             cluster,
             autopilot,
             policy: self.policy,
+        };
+        if let Some((trace, think)) = self.trace {
+            db.start_traced_oltp(trace, think);
         }
+        db
     }
 }
 
@@ -397,7 +414,18 @@ impl WattDb {
 
     /// Spawn `n` closed-loop clients with the given mean think time and
     /// start them.
+    ///
+    /// # Panics
+    /// When `n == 0`: an empty population would silently generate no
+    /// load and every downstream reading (throughput, heat, autopilot
+    /// decisions) would be measuring an idle cluster. Use
+    /// [`WattDb::run_for`] without a workload for idle experiments.
     pub fn start_oltp(&mut self, n: u32, think: SimDuration) {
+        assert!(
+            n > 0,
+            "start_oltp: n == 0 clients would spawn no workload — \
+             run_for() alone measures an idle cluster"
+        );
         {
             let mut c = self.cluster.borrow_mut();
             c.spawn_clients(
@@ -415,6 +443,9 @@ impl WattDb {
     /// `hot_fraction` of the clients are homed inside the first
     /// `hot_warehouses` warehouses, concentrating access heat on the low
     /// end of the key space.
+    ///
+    /// # Panics
+    /// When `n == 0`, for the same reason as [`WattDb::start_oltp`].
     pub fn start_oltp_skewed(
         &mut self,
         n: u32,
@@ -422,6 +453,11 @@ impl WattDb {
         hot_fraction: f64,
         hot_warehouses: u32,
     ) {
+        assert!(
+            n > 0,
+            "start_oltp_skewed: n == 0 clients would spawn no workload — \
+             run_for() alone measures an idle cluster"
+        );
         {
             let mut c = self.cluster.borrow_mut();
             c.spawn_clients_skewed(
@@ -435,6 +471,45 @@ impl WattDb {
             );
         }
         executor::start_clients(&self.cluster, &mut self.sim);
+    }
+
+    /// Start a trace-driven workload: spawn the [`LoadTrace`]'s carrier
+    /// population (one pooled carrier group per tenant, homed by each
+    /// tenant's hot-warehouse rule) and schedule the trace's breakpoints
+    /// to resize the offered load over sim-time, beginning now. Trace
+    /// runs are always pooled; `think` is every carrier's mean think
+    /// time, so a target of `n` clients offers `n / think` transactions
+    /// per second.
+    pub fn start_traced_oltp(&mut self, trace: LoadTrace, think: SimDuration) {
+        assert!(
+            trace.total_peak() > 0,
+            "start_traced_oltp: the trace never targets a single client — \
+             an all-zero schedule would spawn no workload"
+        );
+        {
+            let mut c = self.cluster.borrow_mut();
+            c.spawn_traced_clients(
+                &trace,
+                ClientConfig {
+                    think_time: think,
+                    ..Default::default()
+                },
+            );
+        }
+        executor::start_clients(&self.cluster, &mut self.sim);
+        executor::schedule_trace(&self.cluster, &mut self.sim, &trace);
+    }
+
+    /// The modeled-client target the pooled workload is currently
+    /// holding (the sum of per-tenant trace targets), or `None` in
+    /// per-client mode. Exported per window as the
+    /// `workload.target_clients` gauge.
+    pub fn workload_target(&self) -> Option<u64> {
+        self.cluster
+            .borrow()
+            .pool
+            .as_ref()
+            .map(|p| p.current_target())
     }
 
     /// Advance virtual time by `d`.
@@ -910,6 +985,24 @@ impl WattDb {
         self.cluster.borrow_mut().sample_power(now).0
     }
 
+    /// The deployment's rated peak power `P_peak`: every node active at
+    /// 100 % CPU with all drives spinning, plus the switch — the
+    /// denominator of the ideal `P(u) = u · P_peak` proportionality line
+    /// (use with [`wattdb_energy::proportionality_index_rated`]).
+    /// Normalizing by this, not by the *observed* peak, keeps a trace
+    /// that never reaches full load from inflating its score.
+    pub fn rated_peak_watts(&self) -> Watts {
+        let c = self.cluster.borrow();
+        let mut total = c.power_model.switch_power();
+        for n in &c.nodes {
+            total += c.power_model.node_power(NodeState::Active, 1.0);
+            for d in &n.disks {
+                total += c.power_model.disk_power(d.kind(), NodeState::Active);
+            }
+        }
+        total
+    }
+
     // ------------------------------------------------------- escape hatch
 
     /// Scoped read access to the engine state, for assertions and
@@ -1034,6 +1127,85 @@ mod tests {
             s.segments,
             s.nodes.iter().map(|n| n.segments).sum::<usize>()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "start_oltp: n == 0 clients would spawn no workload")]
+    fn start_oltp_rejects_zero_clients() {
+        let mut db = small();
+        db.start_oltp(0, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "start_oltp_skewed: n == 0 clients would spawn no workload")]
+    fn start_oltp_skewed_rejects_zero_clients() {
+        let mut db = small();
+        db.start_oltp_skewed(0, SimDuration::from_millis(50), 0.8, 1);
+    }
+
+    #[test]
+    fn traced_workload_tracks_the_schedule() {
+        use wattdb_tpcc::{DiurnalConfig, LoadTrace};
+        let trace = LoadTrace::diurnal(DiurnalConfig {
+            min_clients: 20,
+            max_clients: 400,
+            period: SimDuration::from_secs(60),
+            phase: 0.0,
+            step: SimDuration::from_secs(5),
+            horizon: SimDuration::from_secs(60),
+            ..Default::default()
+        });
+        let mut db = small();
+        db.start_traced_oltp(trace.clone(), SimDuration::from_millis(200));
+        assert!(db.pooled_clients(), "trace runs are always pooled");
+        assert_eq!(db.workload_target(), Some(20), "starts in the trough");
+        db.run_for(SimDuration::from_secs(32));
+        let mid = db.workload_target().unwrap();
+        assert_eq!(
+            mid,
+            trace.total_at(SimDuration::from_secs(32)),
+            "pool target follows the breakpoint schedule"
+        );
+        assert!(mid > 300, "half a period in, near the peak: {mid}");
+        assert!(db.completed() > 0, "traced clients commit work");
+    }
+
+    #[test]
+    fn builder_workload_trace_starts_at_build() {
+        use wattdb_tpcc::{DiurnalConfig, LoadTrace};
+        let trace = LoadTrace::diurnal(DiurnalConfig {
+            min_clients: 10,
+            max_clients: 80,
+            period: SimDuration::from_secs(40),
+            phase: 0.0,
+            step: SimDuration::from_secs(5),
+            horizon: SimDuration::from_secs(40),
+            ..Default::default()
+        });
+        let mut db = WattDb::builder()
+            .nodes(4)
+            .warehouses(2)
+            .density(0.01)
+            .segment_pages(8)
+            .initial_data_nodes(&[NodeId(0), NodeId(1)])
+            .seed(9)
+            .workload_trace(trace)
+            .build();
+        assert!(db.pooled_clients());
+        db.run_for(SimDuration::from_secs(20));
+        assert!(db.completed() > 0);
+    }
+
+    #[test]
+    fn rated_peak_covers_every_node_at_full_tilt() {
+        let mut db = small();
+        let rated = db.rated_peak_watts().0;
+        // 4 nodes × (26 W CPU-max + drives) + 20 W switch, per the §3.1
+        // defaults — comfortably above anything a 2-active-node run draws.
+        assert!(rated > 100.0, "rated peak {rated} W");
+        db.start_oltp(4, SimDuration::from_millis(50));
+        db.run_for(SimDuration::from_secs(10));
+        assert!(db.power_now() < rated, "observed power stays under rated");
     }
 
     #[test]

@@ -24,8 +24,8 @@ use wattdb_replica::ReplicaMap;
 use wattdb_sim::{Resource, ResourceHandle, Sim, UtilizationProbe};
 use wattdb_storage::{BufferPool, PageStore, Record, SegmentDirectory, SimDisk, PAGE_SIZE};
 use wattdb_tpcc::{
-    carrier_split, Client, ClientBatching, ClientConfig, ClientPool, GenRow, TpccConfig, TpccTable,
-    TpccWorkload,
+    carrier_split, Client, ClientBatching, ClientConfig, ClientPool, GenRow, LoadTrace, TpccConfig,
+    TpccTable, TpccWorkload, MAX_CARRIERS,
 };
 use wattdb_txn::{CcMode, IndexMap, TxnManager};
 use wattdb_wal::{LogManager, LogShipper};
@@ -926,6 +926,58 @@ impl Cluster {
             hot_fraction,
             hot_warehouses,
         );
+    }
+
+    /// Spawn the carrier population for a [`LoadTrace`]: one carrier
+    /// group per tenant, sized for the tenant's trace peak and homed by
+    /// its hot-warehouse rule, all driven by one pooled arrival process
+    /// whose per-group targets the trace's breakpoints resize (see
+    /// [`crate::executor::schedule_trace`]). Trace runs are always
+    /// pooled — resizing is O(groups) per breakpoint instead of a spawn
+    /// storm — regardless of [`ClusterConfig::client_batching`].
+    pub fn spawn_traced_clients(&mut self, trace: &LoadTrace, client_cfg: ClientConfig) {
+        let tenants = trace.tenants();
+        assert!(
+            !tenants.is_empty() && !trace.points().is_empty(),
+            "a load trace needs at least one tenant and one breakpoint"
+        );
+        let w = self
+            .workload
+            .as_ref()
+            .map(|wl| wl.config().warehouses)
+            .unwrap_or(1)
+            .max(1);
+        // Carrier budget split evenly across tenants; per-tenant weight
+        // folds the tenant's peak onto its share, so the activation
+        // granularity is one weight's worth of modeled clients.
+        let budget = (MAX_CARRIERS / tenants.len() as u32).max(1);
+        let mut specs: Vec<(u32, u64)> = Vec::with_capacity(tenants.len());
+        let mut clients = Vec::new();
+        for (ti, tenant) in tenants.iter().enumerate() {
+            let peak = trace.tenant_peak(ti).max(1);
+            let weight = peak.div_ceil(budget as u64).max(1);
+            let carriers = (peak.div_ceil(weight) as u32).max(1);
+            specs.push((carriers, weight));
+            let hot_w = tenant.hot_warehouses.clamp(1, w);
+            let hot_n = (carriers as f64 * tenant.hot_fraction.clamp(0.0, 1.0)).round() as u32;
+            for j in 0..carriers {
+                let home = if j < hot_n {
+                    (tenant.hot_first + (j % hot_w)) % w
+                } else {
+                    j % w
+                };
+                let id = wattdb_common::ClientId(clients.len() as u32);
+                clients.push(Client::new(id, home, client_cfg, &self.rng));
+            }
+        }
+        let mut pool =
+            ClientPool::new_grouped(&specs, client_cfg.think_time, self.rng.derive(0xC11E_47B0));
+        let first = &trace.points()[0];
+        for (g, &target) in first.targets.iter().enumerate() {
+            pool.set_target(g, target);
+        }
+        self.pool = Some(pool);
+        self.clients = clients;
     }
 
     /// Decide pooled vs. per-client for a spawn of `n` modeled clients:

@@ -159,7 +159,7 @@ impl Cluster {
         if self.stopped {
             return None;
         }
-        let weight = self.pool.as_ref().map_or(1, |p| p.weight());
+        let weight = self.pool.as_ref().map_or(1, |p| p.weight_of(client as u32));
         let workload = self.workload.as_mut().expect("dataset loaded");
         let cl = &mut self.clients[client];
         let drawn = cl.next_profile();
@@ -1306,6 +1306,27 @@ pub fn start_clients(cl: &ClusterRc, sim: &mut Sim) {
         }
         true
     });
+}
+
+/// Schedule a [`wattdb_tpcc::LoadTrace`]'s breakpoints against the
+/// pooled arrival process: each breakpoint after the first becomes one
+/// simulator event that retargets the pool's carrier groups (the first
+/// breakpoint was applied at spawn). Breakpoint offsets are relative to
+/// *now*, so call this when the trace starts. O(points) events total —
+/// no spawn storms, no per-client timers.
+pub fn schedule_trace(cl: &ClusterRc, sim: &mut Sim, trace: &wattdb_tpcc::LoadTrace) {
+    for point in trace.points().iter().skip(1) {
+        let targets = point.targets.clone();
+        let handle = cl.clone();
+        sim.after(point.at, move |_sim| {
+            let mut c = handle.borrow_mut();
+            if let Some(pool) = c.pool.as_mut() {
+                for (group, &target) in targets.iter().enumerate() {
+                    pool.set_target(group, target);
+                }
+            }
+        });
+    }
 }
 
 /// Retry aborted transaction bookkeeping visible for tests.

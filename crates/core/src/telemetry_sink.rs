@@ -195,6 +195,15 @@ pub fn sample_window(c: &mut Cluster, view: &ClusterView, at: SimTime, events: u
     for (&node, &w) in &c.replica_route_weights {
         r.set_gauge(&format!("replica.route_weight.{}", node.raw()), w as f64);
     }
+    // Offered load: the pooled workload's modeled-client target in
+    // force this window (trace-driven runs move it along the schedule).
+    // Per-client runs carry no pool and no gauge — their exports stay
+    // byte-identical to the pre-trace format.
+    let target = c.pool.as_ref().map(|p| p.current_target());
+    let r = &mut c.telemetry.registry;
+    if let Some(target) = target {
+        r.set_gauge("workload.target_clients", target as f64);
+    }
     // Energy: the latest 1 s power sample and Wh per committed txn so
     // far — the paper's proportionality currency.
     if let Some(sample) = c.meter.series().last() {

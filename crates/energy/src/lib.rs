@@ -4,12 +4,18 @@
 //! power draws are computed from measured (virtual-time) utilization using
 //! the calibrated model of §3.1, and integrated into Joules by the
 //! [`EnergyMeter`]. Also provides energy-proportionality metrics matching
-//! the paper's motivation (§1).
+//! the paper's motivation (§1) and a [`scorecard`] that grades an
+//! exported telemetry timeline against the ideal `P(u) = u · P_peak`
+//! line.
 
 pub mod meter;
 pub mod power;
 pub mod proportionality;
+pub mod scorecard;
 
 pub use meter::{EnergyMeter, PowerSample};
 pub use power::{NodeState, PowerModel};
-pub use proportionality::{idle_to_peak_ratio, proportionality_index, UtilPower};
+pub use proportionality::{
+    idle_to_peak_ratio, proportionality_index, proportionality_index_rated, UtilPower,
+};
+pub use scorecard::{score_export, score_jsonl, PhaseScore, PhaseSpan, Scorecard};

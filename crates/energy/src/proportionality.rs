@@ -17,17 +17,23 @@ pub struct UtilPower {
     pub power: Watts,
 }
 
-/// Energy-proportionality index over a set of observations.
+/// Energy-proportionality index against a **rated** peak power.
 ///
-/// Defined as `1 - mean(excess)`, where `excess` at each observation is the
-/// power drawn beyond proportional, normalized by peak power:
-/// `(P(u) - u·P_peak) / P_peak`. A perfectly proportional system scores 1.0;
-/// a system drawing peak power at idle scores ~0.
-pub fn proportionality_index(observations: &[UtilPower]) -> f64 {
-    let peak = observations
-        .iter()
-        .map(|o| o.power.0)
-        .fold(f64::NAN, f64::max);
+/// Defined as `1 - mean(excess)`, where `excess` at each observation is
+/// the power drawn beyond proportional, normalized by the rated peak:
+/// `(P(u) - u·P_peak) / P_peak`. A perfectly proportional system scores
+/// 1.0; a system drawing peak power at idle scores ~0.
+///
+/// `p_peak` should be the deployment's *rated* peak — every node active
+/// at full utilization — not the highest power the trace happened to
+/// observe. An observed peak is a trace-dependent yardstick: the same
+/// power curve scores differently depending on whether the trace
+/// captured a full-load moment, and two runs on the same hardware
+/// (autopilot vs. a static baseline) are graded against different ideal
+/// lines. The rated form pins the yardstick to the deployment's
+/// capacity, making scores comparable across runs.
+pub fn proportionality_index_rated(observations: &[UtilPower], p_peak: Watts) -> f64 {
+    let peak = p_peak.0;
     if observations.is_empty() || !peak.is_finite() || peak <= 0.0 {
         return 0.0;
     }
@@ -37,6 +43,22 @@ pub fn proportionality_index(observations: &[UtilPower]) -> f64 {
         .sum::<f64>()
         / observations.len() as f64;
     (1.0 - mean_excess).clamp(0.0, 1.0)
+}
+
+/// Energy-proportionality index normalized by the **observed** peak —
+/// the legacy form, which delegates to
+/// [`proportionality_index_rated`] with the highest power in the
+/// observations. Prefer the rated form when the deployment's `P_peak`
+/// is known (see `WattDb::rated_peak_watts` in `wattdb-core`).
+pub fn proportionality_index(observations: &[UtilPower]) -> f64 {
+    let peak = observations
+        .iter()
+        .map(|o| o.power.0)
+        .fold(f64::NAN, f64::max);
+    if !peak.is_finite() {
+        return 0.0;
+    }
+    proportionality_index_rated(observations, Watts(peak))
 }
 
 /// The "power range" figure of merit: idle power as a fraction of peak.
@@ -100,6 +122,38 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert_eq!(proportionality_index(&[]), 0.0);
+        assert_eq!(proportionality_index_rated(&[], Watts(100.0)), 0.0);
+        assert_eq!(
+            proportionality_index_rated(&obs(&[(0.5, 50.0)]), Watts(0.0)),
+            0.0
+        );
         assert_eq!(idle_to_peak_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn rated_peak_fixes_the_yardstick_across_runs() {
+        // The same near-proportional power curve, once captured through
+        // its full-load moment and once truncated before it. The rated
+        // form scores both runs almost identically; the observed-peak
+        // form re-draws the ideal line through whatever the shorter
+        // trace happened to see and grades it far more harshly.
+        let full = obs(&[(0.1, 30.0), (0.5, 100.0), (1.0, 200.0)]);
+        let partial = obs(&[(0.1, 30.0), (0.5, 100.0)]);
+        let rated = Watts(200.0);
+        let r_full = proportionality_index_rated(&full, rated);
+        let r_partial = proportionality_index_rated(&partial, rated);
+        assert!(
+            (r_full - r_partial).abs() < 0.03,
+            "rated yardstick stable: {r_full} vs {r_partial}"
+        );
+        let o_partial = proportionality_index(&partial);
+        assert!(
+            r_partial - o_partial > 0.2,
+            "observed peak re-grades the truncated run: rated {r_partial}, observed {o_partial}"
+        );
+        // With the rated peak equal to the observed peak both agree.
+        let a = proportionality_index(&full);
+        let b = proportionality_index_rated(&full, Watts(200.0));
+        assert!((a - b).abs() < 1e-12);
     }
 }

@@ -78,6 +78,24 @@ pub fn carrier_split(n: u32) -> (u32, u64) {
     (carriers, weight)
 }
 
+/// One contiguous run of carriers sharing a weight — a tenant, in
+/// trace-driven runs. `active` of the group's `len` carriers
+/// participate in the arrival process; the rest idle (a parked carrier
+/// costs one skipped slot per tick, no RNG draws, no events).
+#[derive(Debug, Clone, Copy)]
+struct CarrierGroup {
+    /// First carrier index of the group.
+    start: u32,
+    /// Carriers materialized for the group (its capacity / weight).
+    len: u32,
+    /// Modeled clients per carrier.
+    weight: u64,
+    /// Carriers currently enabled (`≤ len`).
+    active: u32,
+    /// Modeled-client target the activation approximates.
+    target: u64,
+}
+
 /// The aggregated arrival process over a set of carrier clients.
 ///
 /// The pool owns only the arrival state — which carriers are thinking,
@@ -85,12 +103,18 @@ pub fn carrier_split(n: u32) -> (u32, u64) {
 /// themselves stay ordinary [`crate::Client`]s in the cluster's client
 /// vector, so the whole executor path (profiles, key RNG streams,
 /// backoff) is unchanged.
+///
+/// Carriers are partitioned into contiguous **groups** (one per tenant;
+/// classic spawns have exactly one). Each group activates
+/// `ceil(target / weight)` of its carriers, so a [`crate::LoadTrace`]
+/// resizes the offered load in O(groups) per breakpoint. With every
+/// carrier active the arrival RNG stream is byte-identical to the
+/// pre-group pool — disabled carriers are skipped *without* consuming
+/// a draw.
 #[derive(Debug)]
 pub struct ClientPool {
-    /// Modeled clients represented by each carrier.
-    weight: u64,
-    /// Total modeled population.
-    modeled: u64,
+    /// Carrier groups, in ascending `start` order.
+    groups: Vec<CarrierGroup>,
     /// Arrival tick width.
     tick: SimDuration,
     /// Per-tick completion probability of one thinking carrier.
@@ -100,10 +124,29 @@ pub struct ClientPool {
     rng: DetRng,
 }
 
+/// Tick width and Bernoulli parameter for a mean think time.
+///
+/// A quarter of the mean think time keeps the discretization error far
+/// inside the exponential's own spread while bounding the tick rate;
+/// the floor keeps degenerate configs sane. `p = dt/T`, with each
+/// arrival jittered uniformly inside its tick (see
+/// [`ClientPool::arrivals`]): a carrier parks mid-tick (dt/2 to its
+/// first trial on average), waits (1/p − 1)·dt of geometric trials, and
+/// fires dt/2 of jitter into the winning tick — summing to exactly T.
+/// The jitter also breaks up the tick-boundary thundering herd that
+/// synchronized arrivals would inflict on the lock manager and the
+/// resource queues.
+fn tick_and_p(think_mean: SimDuration) -> (SimDuration, f64) {
+    let tick_us = (think_mean.as_micros() / 4).max(1_000);
+    let p = (tick_us as f64 / think_mean.as_micros().max(1) as f64).min(1.0);
+    (SimDuration::from_micros(tick_us), p)
+}
+
 impl ClientPool {
-    /// A pool over `carriers` carrier clients, each representing
-    /// `weight` modeled clients of a `modeled`-strong population with
-    /// the given mean think time. All carriers start thinking.
+    /// A single-group pool over `carriers` carrier clients, each
+    /// representing `weight` modeled clients of a `modeled`-strong
+    /// population with the given mean think time. All carriers start
+    /// thinking and active.
     pub fn new(
         carriers: u32,
         weight: u64,
@@ -111,37 +154,110 @@ impl ClientPool {
         think_mean: SimDuration,
         rng: DetRng,
     ) -> Self {
-        // A quarter of the mean think time keeps the discretization
-        // error far inside the exponential's own spread while bounding
-        // the tick rate; the floor keeps degenerate configs sane.
-        let tick_us = (think_mean.as_micros() / 4).max(1_000);
-        // p = dt/T, with each arrival jittered uniformly inside its tick
-        // (see [`ClientPool::arrivals`]): a carrier parks mid-tick (dt/2
-        // to its first trial on average), waits (1/p − 1)·dt of geometric
-        // trials, and fires dt/2 of jitter into the winning tick — summing
-        // to exactly T. The jitter also breaks up the tick-boundary
-        // thundering herd that synchronized arrivals would inflict on the
-        // lock manager and the resource queues.
-        let p = (tick_us as f64 / think_mean.as_micros().max(1) as f64).min(1.0);
+        let (tick, p) = tick_and_p(think_mean);
         Self {
-            weight,
-            modeled,
-            tick: SimDuration::from_micros(tick_us),
+            groups: vec![CarrierGroup {
+                start: 0,
+                len: carriers,
+                weight,
+                active: carriers,
+                target: modeled,
+            }],
+            tick,
             p,
             thinking: (0..carriers).collect(),
             rng,
         }
     }
 
-    /// Modeled clients per carrier (the multiplier for metrics, heat,
-    /// and resource occupancy of each executed carrier transaction).
-    pub fn weight(&self) -> u64 {
-        self.weight
+    /// A multi-group pool: one `(carriers, weight)` group per tenant,
+    /// laid out contiguously in argument order. Every carrier starts
+    /// thinking and active at full capacity; drive per-group load with
+    /// [`ClientPool::set_target`].
+    pub fn new_grouped(specs: &[(u32, u64)], think_mean: SimDuration, rng: DetRng) -> Self {
+        assert!(!specs.is_empty(), "a pool needs at least one group");
+        let (tick, p) = tick_and_p(think_mean);
+        let mut groups = Vec::with_capacity(specs.len());
+        let mut start = 0u32;
+        for &(carriers, weight) in specs {
+            let carriers = carriers.max(1);
+            let weight = weight.max(1);
+            groups.push(CarrierGroup {
+                start,
+                len: carriers,
+                weight,
+                active: carriers,
+                target: carriers as u64 * weight,
+            });
+            start += carriers;
+        }
+        Self {
+            groups,
+            tick,
+            p,
+            thinking: (0..start).collect(),
+            rng,
+        }
     }
 
-    /// Total modeled population.
+    /// Retarget group `group` at `target` modeled clients: activates
+    /// `ceil(target / weight)` of its carriers (clamped to the group's
+    /// capacity), so the activation granularity is one carrier weight.
+    /// A carrier mid-transaction when deactivated finishes it and then
+    /// idles; re-activation picks idle carriers back up on the next tick.
+    pub fn set_target(&mut self, group: usize, target: u64) {
+        let g = &mut self.groups[group];
+        let capacity = g.len as u64 * g.weight;
+        g.target = target.min(capacity);
+        g.active = g.target.div_ceil(g.weight).min(g.len as u64) as u32;
+    }
+
+    /// Modeled clients per carrier of the **first** group — the
+    /// single-group multiplier. Multi-group pools must use
+    /// [`ClientPool::weight_of`] per carrier.
+    pub fn weight(&self) -> u64 {
+        self.groups[0].weight
+    }
+
+    /// Modeled clients the given carrier stands in for.
+    pub fn weight_of(&self, carrier: u32) -> u64 {
+        self.group_of(carrier).weight
+    }
+
+    /// Total modeled population currently targeted across groups.
     pub fn modeled(&self) -> u64 {
-        self.modeled
+        self.groups.iter().map(|g| g.target).sum()
+    }
+
+    /// Alias of [`ClientPool::modeled`] under the trace vocabulary: the
+    /// sum of per-group targets in force right now (exported as the
+    /// `workload.target_clients` gauge).
+    pub fn current_target(&self) -> u64 {
+        self.modeled()
+    }
+
+    /// Number of carrier groups (tenants).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Carriers currently activated across groups.
+    pub fn active_carriers(&self) -> u32 {
+        self.groups.iter().map(|g| g.active).sum()
+    }
+
+    fn group_of(&self, carrier: u32) -> &CarrierGroup {
+        let i = self
+            .groups
+            .partition_point(|g| g.start <= carrier)
+            .saturating_sub(1);
+        &self.groups[i]
+    }
+
+    /// Is the carrier currently participating in the arrival process?
+    fn enabled(&self, carrier: u32) -> bool {
+        let g = self.group_of(carrier);
+        carrier - g.start < g.active
     }
 
     /// Arrival tick width (the single repeater's period).
@@ -166,6 +282,13 @@ impl ClientPool {
         let mut due = Vec::new();
         let mut i = 0;
         while i < self.thinking.len() {
+            // Deactivated carriers idle in the thinking set without
+            // consuming RNG draws, so a fully-active pool's arrival
+            // stream is bit-identical to one that never had groups.
+            if !self.enabled(self.thinking[i]) {
+                i += 1;
+                continue;
+            }
             if self.rng.chance(self.p) {
                 let carrier = self.thinking.swap_remove(i);
                 let jitter = self.rng.uniform(0, self.tick.as_micros().saturating_sub(1));
@@ -250,5 +373,76 @@ mod tests {
         assert_eq!(pool.thinking_len(), 0);
         pool.park(2);
         assert_eq!(pool.thinking_len(), 1);
+    }
+
+    #[test]
+    fn grouped_pool_routes_weights_per_carrier() {
+        let mut pool = ClientPool::new_grouped(
+            &[(4, 10), (2, 25)],
+            SimDuration::from_millis(100),
+            DetRng::new(9),
+        );
+        assert_eq!(pool.group_count(), 2);
+        assert_eq!(pool.weight_of(0), 10);
+        assert_eq!(pool.weight_of(3), 10);
+        assert_eq!(pool.weight_of(4), 25);
+        assert_eq!(pool.weight_of(5), 25);
+        assert_eq!(pool.current_target(), 4 * 10 + 2 * 25);
+        assert_eq!(pool.active_carriers(), 6);
+        // Retarget group 0 down: ceil(15/10) = 2 carriers stay active.
+        pool.set_target(0, 15);
+        assert_eq!(pool.active_carriers(), 2 + 2);
+        assert_eq!(pool.current_target(), 15 + 50);
+        // Targets clamp at group capacity.
+        pool.set_target(1, 1_000_000);
+        assert_eq!(pool.current_target(), 15 + 50);
+        // Zero target disables the group entirely.
+        pool.set_target(1, 0);
+        assert_eq!(pool.active_carriers(), 2);
+    }
+
+    #[test]
+    fn fully_active_groups_draw_the_same_arrival_stream_as_a_flat_pool() {
+        let think = SimDuration::from_millis(50);
+        let mut flat = ClientPool::new(8, 1, 8, think, DetRng::new(11));
+        let mut grouped = ClientPool::new_grouped(&[(3, 1), (5, 1)], think, DetRng::new(11));
+        for _ in 0..200 {
+            let a = flat.arrivals();
+            let b = grouped.arrivals();
+            assert_eq!(a, b, "grouping must not perturb the RNG stream");
+            for (c, _) in a {
+                flat.park(c);
+                grouped.park(c);
+            }
+        }
+    }
+
+    #[test]
+    fn resizing_a_group_halves_its_arrival_rate() {
+        let think = SimDuration::from_millis(100);
+        let mut pool = ClientPool::new_grouped(&[(1_000, 1)], think, DetRng::new(13));
+        let ticks_per_sec = 1_000_000 / pool.tick().as_micros();
+        let rate = |pool: &mut ClientPool, secs: u64| -> f64 {
+            let mut total = 0u64;
+            for _ in 0..(ticks_per_sec * secs) {
+                let due = pool.arrivals();
+                total += due.len() as u64;
+                for (c, _) in due {
+                    pool.park(c);
+                }
+            }
+            total as f64 / secs as f64
+        };
+        let full = rate(&mut pool, 20);
+        pool.set_target(0, 500);
+        let half = rate(&mut pool, 20);
+        assert!(
+            (full - 10_000.0).abs() < 300.0,
+            "full rate {full}/s, expected ~10000/s"
+        );
+        assert!(
+            (half - 5_000.0).abs() < 300.0,
+            "half rate {half}/s, expected ~5000/s"
+        );
     }
 }
